@@ -1,0 +1,361 @@
+(* Benchmark and figure-regeneration harness.
+
+   Every table and figure of the paper's evaluation is regenerated here:
+
+     dune exec bench/main.exe              -- everything (hybrid figures ~minutes)
+     dune exec bench/main.exe -- fast      -- equation-mode figures only (seconds)
+     dune exec bench/main.exe -- fig1      -- stage power, 13-bit (Fig. 1)
+     dune exec bench/main.exe -- fig2      -- totals for 10..13 bits (Fig. 2)
+     dune exec bench/main.exe -- fig3      -- optimum-candidate rules (Fig. 3)
+     dune exec bench/main.exe -- retarget  -- cold-vs-warm synthesis (setup-time table)
+     dune exec bench/main.exe -- ablation  -- hybrid vs equation-only evaluation
+     dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
+
+   The Bechamel group holds one Test.make per table/figure pipeline (on
+   their fast equation form so the measurements complete in seconds) plus
+   the unit operations that dominate the hybrid flow. *)
+
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Report = Adc_pipeline.Report
+module Behavioral = Adc_pipeline.Behavioral
+module Metrics = Adc_pipeline.Metrics
+module Synthesizer = Adc_synth.Synthesizer
+module Gp_model = Adc_baseline.Gp_model
+module Classic = Adc_baseline.Classic
+module Units = Adc_numerics.Units
+
+let line = String.make 72 '-'
+let header title = Printf.printf "%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* shared hybrid sweep (used by fig1/fig2/fig3 in hybrid mode) *)
+
+let hybrid_runs : (int, Optimize.run) Hashtbl.t = Hashtbl.create 4
+
+let hybrid_run k =
+  match Hashtbl.find_opt hybrid_runs k with
+  | Some r -> r
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let r = Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 (Spec.paper_case ~k) in
+    Printf.printf "[hybrid %d-bit: %d distinct MDACs, %d evaluations, %.0f s]\n%!" k
+      (List.length r.Optimize.distinct_jobs)
+      r.Optimize.synthesis_evaluations
+      (Unix.gettimeofday () -. t0);
+    Hashtbl.replace hybrid_runs k r;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* figures *)
+
+let fig1 ~hybrid () =
+  header "Fig. 1 - stage power for the 13-bit ADC configurations";
+  let run_eq = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  print_string (Report.job_table run_eq);
+  Printf.printf "\n[equation evaluation]\n";
+  print_string (Report.fig1_table run_eq);
+  if hybrid then begin
+    let run_h = hybrid_run 13 in
+    Printf.printf "\n[synthesis-backed evaluation]\n";
+    print_string (Report.fig1_table run_h)
+  end;
+  print_newline ()
+
+let fig2 ~hybrid () =
+  header "Fig. 2 - total power of the leading stages, 10..13 bits";
+  let ks = [ 10; 11; 12; 13 ] in
+  Printf.printf "[equation evaluation]\n";
+  let runs_eq = List.map (fun k -> Optimize.run ~mode:`Equation (Spec.paper_case ~k)) ks in
+  print_string (Report.fig2_table runs_eq);
+  Printf.printf
+    "paper optima: 3-2 (10b), 4-2 (11b), 4-2-2 (12b), 4-3-2 (13b); 2-bit last stage\n";
+  if hybrid then begin
+    Printf.printf "\n[synthesis-backed evaluation]\n";
+    let runs_h = List.map hybrid_run ks in
+    print_string (Report.fig2_table runs_h)
+  end;
+  print_newline ()
+
+let fig3 ~hybrid () =
+  header "Fig. 3 - optimum candidate enumeration rules";
+  let ks = [ 10; 11; 12; 13 ] in
+  Printf.printf "[equation evaluation]\n";
+  let chart = Rules.sweep ~mode:`Equation ~k_values:ks (fun ~k -> Spec.paper_case ~k) in
+  print_string (Rules.render chart);
+  List.iter
+    (fun k ->
+      Printf.printf "  %d-bit: %.0f%% saved vs the classical 2-2-2... rule\n" k
+        (100.0 *. Classic.savings_vs_optimal (Spec.paper_case ~k)))
+    ks;
+  if hybrid then begin
+    Printf.printf "\n[synthesis-backed winners]\n";
+    List.iter
+      (fun k ->
+        let r = hybrid_run k in
+        Printf.printf "  %2d-bit: %-12s %s\n" k
+          (Config.to_string (Optimize.optimum_config r))
+          (Units.format_power r.Optimize.optimum.Optimize.p_total))
+      ks
+  end;
+  print_newline ()
+
+let retarget () =
+  header "Setup-time table - cold synthesis vs specification retargeting";
+  let spec = Spec.paper_case ~k:13 in
+  let synth ?warm_start job ~seed =
+    let req = Spec.stage_requirements spec job in
+    let t0 = Unix.gettimeofday () in
+    match Synthesizer.synthesize ~seed ?warm_start spec.Spec.process req with
+    | Error e -> failwith e
+    | Ok sol -> (sol, Unix.gettimeofday () -. t0)
+  in
+  let first = { Spec.m = 3; input_bits = 11 } in
+  let cold, t_cold = synth first ~seed:21 in
+  Printf.printf "%-22s %6d evaluations  %5.1f s   %s\n"
+    ("first block " ^ Spec.job_to_string first)
+    cold.Synthesizer.evaluations t_cold
+    (Units.format_power cold.Synthesizer.power);
+  let jobs = [ { Spec.m = 3; input_bits = 10 }; { Spec.m = 3; input_bits = 12 } ] in
+  let warm_evals = ref 0 and cold_evals = ref 0 in
+  List.iter
+    (fun job ->
+      let warm, t_warm = synth ~warm_start:cold.Synthesizer.sizing job ~seed:22 in
+      let fresh, t_fresh = synth job ~seed:23 in
+      warm_evals := !warm_evals + warm.Synthesizer.evaluations;
+      cold_evals := !cold_evals + fresh.Synthesizer.evaluations;
+      Printf.printf "%-22s %6d evaluations  %5.1f s   (cold: %d evaluations, %.1f s)\n"
+        ("retarget " ^ Spec.job_to_string job)
+        warm.Synthesizer.evaluations t_warm fresh.Synthesizer.evaluations t_fresh)
+    jobs;
+  Printf.printf
+    "retargeting takes %.1fx less optimizer effort - the paper's\n\
+     \"2-3 weeks first, 1 day for subsequent blocks\" observation.\n\n"
+    (float_of_int !cold_evals /. float_of_int (Stdlib.max 1 !warm_evals))
+
+let ablation () =
+  header "Ablation - equation-only sizing audited by simulation (hybrid rationale)";
+  let spec = Spec.paper_case ~k:13 in
+  List.iter
+    (fun (m, bits) ->
+      let job = { Spec.m; input_bits = bits } in
+      let req = Spec.stage_requirements spec job in
+      match Gp_model.design spec.Spec.process req with
+      | Error e -> Printf.printf "  %s: %s\n" (Spec.job_to_string job) e
+      | Ok r ->
+        Printf.printf
+          "  %-8s predicted %-9s simulated %-9s  specs in sim: %s (violation %.2f)\n"
+          (Spec.job_to_string job)
+          (Units.format_power r.Gp_model.predicted_power)
+          (Units.format_power r.Gp_model.simulated_power)
+          (if r.Gp_model.sim_meets_specs then "MET" else "MISSED")
+          r.Gp_model.sim_violation;
+        List.iter
+          (fun (name, p, s) ->
+            if Float.abs (p -. s) > 0.25 *. Float.max (Float.abs p) (Float.abs s) then
+              Printf.printf "      %-6s equations say %.3g, simulation says %.3g\n" name p s)
+          (Gp_model.accuracy_gap r))
+    [ (4, 13); (3, 11); (2, 9) ];
+  Printf.printf
+    "the equation-only design books optimistic circuits; the hybrid loop\n\
+     (DC sim + DPI/SFG evaluation inside the optimizer) closes the gap.\n\n"
+
+let extensions () =
+  header "Extensions - corners, device noise, area, yield, Pareto front";
+  let spec = Spec.paper_case ~k:13 in
+  (* 1. corner sign-off of a representative synthesized cell *)
+  let job = { Spec.m = 3; input_bits = 10 } in
+  let req = Spec.stage_requirements spec job in
+  (match Synthesizer.synthesize ~seed:17 spec.Spec.process req with
+  | Error e -> Printf.printf "  corner cell synthesis failed: %s
+" e
+  | Ok sol ->
+    Printf.printf "[corner sign-off of the synthesized %s cell]
+" (Spec.job_to_string job);
+    let results = Adc_synth.Corner_check.check spec.Spec.process req sol.Synthesizer.sizing in
+    print_string (Adc_synth.Corner_check.render results));
+  Printf.printf
+    "  (fixed ideal cascode/bias voltages do not track the corner skews -\n\
+    \   a production cell needs a tracking bias generator; the nominal\n\
+    \   corner meets every spec)\n";
+  (* 2. device noise of the front-stage amplifier vs the kT/C budget *)
+  let z = Adc_mdac.Ota.default_sizing in
+  (match Adc_mdac.Ota.biased_operating_point spec.Spec.process z with
+  | Error e -> Printf.printf "  noise bench DC failed: %s\n" e
+  | Ok (p, dc) ->
+    let ss = Adc_circuit.Smallsig.extract p.Adc_mdac.Ota.nl dc in
+    match Adc_mdac.Noise.analyze p.Adc_mdac.Ota.nl ss ~out:p.Adc_mdac.Ota.out with
+    | Error e -> Printf.printf "  noise analysis failed: %s
+" e
+    | Ok r ->
+      Printf.printf
+        "
+[device noise of the reference OTA]
+        \  output-integrated %.1f uV rms, input-referred %.2f uV rms (gain %.0f)
+"
+        (r.Adc_mdac.Noise.v_out_rms *. 1e6)
+        (r.Adc_mdac.Noise.v_in_rms *. 1e6)
+        r.Adc_mdac.Noise.midband_gain;
+      (match r.Adc_mdac.Noise.contributions with
+      | top :: _ ->
+        Printf.printf "  dominant contributor: %s (%.1f uV at the output)
+"
+          top.Adc_mdac.Noise.source (top.Adc_mdac.Noise.v_out_rms *. 1e6)
+      | [] -> ()));
+  (* 3. area ranking and the m_i >= m_(i+1) argument *)
+  let ranked = Adc_pipeline.Area_model.rank spec
+      (Config.enumerate_leading ~k:13 ~backend_bits:7) in
+  Printf.printf "
+[area of the 13-bit candidates]
+";
+  List.iter
+    (fun (a : Adc_pipeline.Area_model.config_area) ->
+      Printf.printf "  %-14s %.3f mm^2
+"
+        (Config.to_string a.Adc_pipeline.Area_model.config)
+        (a.Adc_pipeline.Area_model.total *. 1e6))
+    ranked;
+  let (fwd, a_fwd), (rev, a_rev) =
+    Adc_pipeline.Area_model.monotonicity_argument spec ~k:13 in
+  Printf.printf
+    "  the paper's area argument for m_i >= m_i+1: %s uses %.3f mm^2,
+    \  its reversed order %s would use %.3f mm^2
+"
+    (Config.to_string fwd) (a_fwd *. 1e6) (Config.to_string rev) (a_rev *. 1e6);
+  (* 4. Monte-Carlo yield vs comparator offsets *)
+  let spec10 = Spec.paper_case ~k:10 in
+  let budget = Adc_mdac.Comparator.offset_budget ~vref_pp:spec10.Spec.vref_pp ~m:3 in
+  let sweep =
+    Adc_pipeline.Montecarlo.offset_sweep ~trials:40 ~seed:9 spec10
+      (Config.of_string "3-2")
+      ~sigmas:[ budget /. 8.0; budget /. 2.0; budget; budget *. 1.5 ]
+  in
+  Printf.printf "
+[Monte-Carlo yield of the 10-bit optimum vs comparator offsets]
+";
+  List.iter
+    (fun (sigma, (r : Adc_pipeline.Montecarlo.report)) ->
+      Printf.printf "  sigma %5.1f mV: yield %5.1f%%  (mean ENOB %.2f, p05 %.2f)
+"
+        (sigma *. 1e3) (100.0 *. r.Adc_pipeline.Montecarlo.yield)
+        r.Adc_pipeline.Montecarlo.enob_mean r.Adc_pipeline.Montecarlo.enob_p05)
+    sweep;
+  Printf.printf "  (the knee sits at the redundancy budget of %.0f mV)
+" (budget *. 1e3);
+  (* 5. power/bandwidth Pareto front for one cell *)
+  let req_p = Spec.stage_requirements spec { Spec.m = 2; input_bits = 9 } in
+  let points =
+    Adc_synth.Pareto.sweep
+      ~budget:{ Synthesizer.sa_iterations = 120; pattern_evals = 120; space_factor = 1.0 }
+      ~seed:31 spec.Spec.process req_p
+      ~gbw_multipliers:[ 0.5; 0.75; 1.0; 1.5; 2.0; 3.0 ]
+  in
+  Printf.printf "
+[power/bandwidth Pareto front of the m2@9b cell]
+";
+  print_string (Adc_synth.Pareto.render (Adc_synth.Pareto.front points));
+  print_newline ()
+
+let behavioral_check () =
+  header "Behavioral verification of the 13-bit optimum (extension)";
+  let spec = Spec.paper_case ~k:13 in
+  let adc = Behavioral.ideal spec (Config.of_string "4-3-2") in
+  let s = Metrics.static_linearity ~oversample:8 adc in
+  let d = Metrics.dynamic_performance ~n_fft:4096 adc ~fs:spec.Spec.fs ~f_in:4.1e6 in
+  Printf.printf
+    "  4-3-2 + ideal backend: ENOB %.2f bits, SNDR %.1f dB, DNL %.3f, INL %.3f LSB\n\n"
+    d.Metrics.enob d.Metrics.sndr_db s.Metrics.dnl_max s.Metrics.inl_max
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure pipeline *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one test per table/figure pipeline)";
+  let open Bechamel in
+  let open Toolkit in
+  let spec13 = Spec.paper_case ~k:13 in
+  let req = Spec.stage_requirements spec13 { Spec.m = 3; input_bits = 11 } in
+  let seed_sizing = Synthesizer.initial_sizing spec13.Spec.process req in
+  let adc = Behavioral.ideal spec13 (Config.of_string "4-3-2") in
+  let signal =
+    Array.init 4096 (fun i -> sin (2.0 *. Float.pi *. 37.0 *. float_of_int i /. 4096.0))
+  in
+  let tests =
+    Test.make_grouped ~name:"adc-topopt"
+      [
+        Test.make ~name:"fig1-equation-13bit"
+          (Staged.stage (fun () -> ignore (Optimize.run ~mode:`Equation spec13)));
+        Test.make ~name:"fig2-equation-sweep"
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun k -> ignore (Optimize.run ~mode:`Equation (Spec.paper_case ~k)))
+                 [ 10; 11; 12; 13 ]));
+        Test.make ~name:"fig3-rules"
+          (Staged.stage (fun () ->
+               ignore
+                 (Rules.sweep ~mode:`Equation ~k_values:[ 10; 11; 12; 13 ]
+                    (fun ~k -> Spec.paper_case ~k))));
+        Test.make ~name:"hybrid-cell-evaluation"
+          (Staged.stage (fun () ->
+               ignore
+                 (Synthesizer.evaluate_sizing ~kind:Synthesizer.Hybrid
+                    spec13.Spec.process req seed_sizing)));
+        Test.make ~name:"equation-cell-evaluation"
+          (Staged.stage (fun () ->
+               ignore
+                 (Synthesizer.evaluate_sizing ~kind:Synthesizer.Equation_only
+                    spec13.Spec.process req seed_sizing)));
+        Test.make ~name:"behavioral-conversion"
+          (Staged.stage (fun () -> ignore (Behavioral.convert adc 0.123)));
+        Test.make ~name:"fft-4096"
+          (Staged.stage (fun () -> ignore (Adc_numerics.Fft.forward_real signal)));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~stabilize:true () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] ->
+        if t > 1e6 then Printf.printf "  %-42s %10.3f ms/run\n" name (t /. 1e6)
+        else Printf.printf "  %-42s %10.3f us/run\n" name (t /. 1e3)
+      | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* entry point *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "fig1" -> fig1 ~hybrid:true ()
+  | "fig2" -> fig2 ~hybrid:true ()
+  | "fig3" -> fig3 ~hybrid:true ()
+  | "retarget" -> retarget ()
+  | "ablation" -> ablation ()
+  | "extensions" -> extensions ()
+  | "micro" -> micro ()
+  | "fast" ->
+    fig1 ~hybrid:false ();
+    fig2 ~hybrid:false ();
+    fig3 ~hybrid:false ();
+    behavioral_check ()
+  | "all" ->
+    fig1 ~hybrid:true ();
+    fig2 ~hybrid:true ();
+    fig3 ~hybrid:true ();
+    retarget ();
+    ablation ();
+    extensions ();
+    behavioral_check ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|micro|fast|all)\n" other;
+    exit 1

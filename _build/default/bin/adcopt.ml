@@ -1,0 +1,279 @@
+(* adcopt: designer-driven topology optimization for pipelined ADCs.
+
+   Command-line front end over the library: candidate enumeration, the
+   topology optimizer (equation or full-synthesis evaluation), the
+   resolution sweep behind the paper's Fig. 2/3, single-block synthesis,
+   and behavioral verification. *)
+
+module Config = Adc_pipeline.Config
+module Spec = Adc_pipeline.Spec
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Report = Adc_pipeline.Report
+module Behavioral = Adc_pipeline.Behavioral
+module Metrics = Adc_pipeline.Metrics
+module Synthesizer = Adc_synth.Synthesizer
+module Units = Adc_numerics.Units
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let k_arg =
+  let doc = "Target resolution in bits (10-13 covers the paper's sweep)." in
+  Arg.(value & opt int 13 & info [ "k"; "resolution" ] ~docv:"BITS" ~doc)
+
+let fs_arg =
+  let doc = "Sampling rate in MHz." in
+  Arg.(value & opt float 40.0 & info [ "fs" ] ~docv:"MHZ" ~doc)
+
+let mode_arg =
+  let doc =
+    "Evaluation mode: $(b,equation) (fast closed forms), $(b,hybrid) (cell \
+     synthesis with the simulation-backed evaluator), or $(b,verified) \
+     (hybrid plus transient settling checks)."
+  in
+  let modes =
+    [ ("equation", `Equation); ("hybrid", `Hybrid); ("verified", `Hybrid_verified) ]
+  in
+  Arg.(value & opt (enum modes) `Equation & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the synthesis searches." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc)
+
+let attempts_arg =
+  let doc = "Independent searches per distinct MDAC job (best kept)." in
+  Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"N" ~doc)
+
+let spec_of k fs = Spec.make ~k ~fs:(fs *. 1e6) ()
+
+(* ------------------------------------------------------------------ *)
+(* enumerate *)
+
+let enumerate k fs =
+  let spec = spec_of k fs in
+  let cands = Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec) in
+  Printf.printf "%d-bit pipelined ADC: %d candidate configurations (backend %d bits)\n"
+    k (List.length cands) (Spec.backend_bits spec);
+  List.iter (fun c -> Printf.printf "  %s\n" (Config.to_string c)) cands;
+  let jobs = Spec.distinct_jobs spec cands in
+  Printf.printf "%d distinct MDAC jobs to synthesize:\n" (List.length jobs);
+  List.iter (fun j -> Printf.printf "  %s\n" (Spec.job_to_string j)) jobs
+
+let enumerate_cmd =
+  let doc = "Enumerate the stage-resolution candidates (paper Section 2)." in
+  Cmd.v (Cmd.info "enumerate" ~doc) Term.(const enumerate $ k_arg $ fs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize *)
+
+let optimize k fs mode seed attempts =
+  let spec = spec_of k fs in
+  let run = Optimize.run ~mode ~seed ~attempts spec in
+  print_string (Report.candidate_summary run);
+  print_string (Report.fig1_table run);
+  (match mode with
+  | `Equation -> ()
+  | `Hybrid | `Hybrid_verified ->
+    Printf.printf "synthesis: %d evaluator calls, %d cold / %d warm jobs\n"
+      run.Optimize.synthesis_evaluations run.Optimize.cold_jobs run.Optimize.warm_jobs);
+  Printf.printf "optimum: %s at %s\n"
+    (Config.to_string (Optimize.optimum_config run))
+    (Units.format_power run.Optimize.optimum.Optimize.p_total);
+  let full =
+    Adc_pipeline.Power_model.full_converter spec (Optimize.optimum_config run)
+  in
+  Printf.printf
+    "full converter (equation model): %s = S/H %s + front stages + %d-stage backend\n"
+    (Units.format_power full.Adc_pipeline.Power_model.p_full)
+    (Units.format_power full.Adc_pipeline.Power_model.p_sha)
+    (List.length full.Adc_pipeline.Power_model.backend)
+
+let optimize_cmd =
+  let doc = "Run the topology optimization for one converter spec." in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep k_lo k_hi fs mode seed attempts =
+  let ks = List.init (k_hi - k_lo + 1) (fun i -> k_lo + i) in
+  let runs = List.map (fun k -> Optimize.run ~mode ~seed ~attempts (spec_of k fs)) ks in
+  print_string (Report.fig2_table runs);
+  let chart =
+    Rules.sweep ~mode ~seed ~k_values:ks (fun ~k -> spec_of k fs)
+  in
+  print_string (Rules.render chart)
+
+let k_lo_arg =
+  Arg.(value & opt int 10 & info [ "from" ] ~docv:"BITS" ~doc:"Lowest resolution.")
+
+let k_hi_arg =
+  Arg.(value & opt int 13 & info [ "to" ] ~docv:"BITS" ~doc:"Highest resolution.")
+
+let sweep_cmd =
+  let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg)
+
+(* ------------------------------------------------------------------ *)
+(* synth: one MDAC job *)
+
+let synth m bits fs seed =
+  let spec = spec_of 13 fs in
+  let job = { Spec.m; input_bits = bits } in
+  let req = Spec.stage_requirements spec job in
+  Printf.printf "MDAC job %s block specs:\n" (Spec.job_to_string job);
+  Printf.printf "  interstage gain      %g\n" req.Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.gain;
+  Printf.printf "  sampling array       %s\n"
+    (Units.format_cap req.Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.c_total);
+  Printf.printf "  feedback factor      %.3f\n" req.Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.beta;
+  Printf.printf "  DC gain              >= %.0f\n" req.Adc_mdac.Mdac_stage.a0_min;
+  Printf.printf "  unity-gain bandwidth >= %s\n"
+    (Units.format_freq req.Adc_mdac.Mdac_stage.gbw_min_hz);
+  Printf.printf "  slew rate            >= %.0f V/us\n"
+    (req.Adc_mdac.Mdac_stage.sr_min /. 1e6);
+  match Synthesizer.synthesize ~seed spec.Spec.process req with
+  | Error e -> Printf.eprintf "synthesis failed: %s\n" e
+  | Ok sol ->
+    Printf.printf "synthesized cell: %s, %s, %d evaluations\n"
+      (Units.format_power sol.Synthesizer.power)
+      (if sol.Synthesizer.feasible then "all specs met"
+       else Printf.sprintf "violation %.3f" sol.Synthesizer.violation)
+      sol.Synthesizer.evaluations;
+    List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics
+
+let m_arg =
+  Arg.(value & opt int 3 & info [ "m" ] ~docv:"BITS" ~doc:"Stage resolution (2-4).")
+
+let bits_arg =
+  Arg.(value & opt int 12 & info [ "bits" ] ~docv:"BITS" ~doc:"Accuracy at the stage input.")
+
+let synth_cmd =
+  let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
+  Cmd.v (Cmd.info "synth" ~doc) Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* behavioral *)
+
+let behavioral k fs config_str =
+  let spec = spec_of k fs in
+  let config =
+    match config_str with
+    | Some s -> Config.of_string s
+    | None -> Optimize.optimum_config (Optimize.run ~mode:`Equation spec)
+  in
+  let adc = Behavioral.ideal spec config in
+  Printf.printf "behavioral %d-bit ADC, leading stages %s + ideal %d-bit backend\n" k
+    (Config.to_string config)
+    (k - Config.effective_bits config);
+  let s = Metrics.static_linearity adc in
+  Printf.printf "  DNL %.3f LSB, INL %.3f LSB, %d missing codes\n" s.Metrics.dnl_max
+    s.Metrics.inl_max s.Metrics.missing_codes;
+  let d = Metrics.dynamic_performance adc ~fs:spec.Spec.fs ~f_in:(spec.Spec.fs /. 11.0) in
+  Printf.printf "  SNDR %.1f dB, ENOB %.2f bits, SFDR %.1f dB (bin %d of %d)\n"
+    d.Metrics.sndr_db d.Metrics.enob d.Metrics.sfdr_db d.Metrics.signal_bin d.Metrics.n_fft
+
+let config_arg =
+  Arg.(value & opt (some string) None
+       & info [ "config" ] ~docv:"M1-M2-..." ~doc:"Stage configuration, e.g. 4-3-2.")
+
+let behavioral_cmd =
+  let doc = "Behavioral verification (digital correction, INL/DNL, ENOB)." in
+  Cmd.v (Cmd.info "behavioral" ~doc) Term.(const behavioral $ k_arg $ fs_arg $ config_arg)
+
+(* ------------------------------------------------------------------ *)
+(* corners *)
+
+let corners m bits fs seed =
+  let spec = spec_of 13 fs in
+  let job = { Spec.m; input_bits = bits } in
+  let req = Spec.stage_requirements spec job in
+  match Synthesizer.synthesize ~seed spec.Spec.process req with
+  | Error e -> Printf.eprintf "synthesis failed: %s\n" e
+  | Ok sol ->
+    Printf.printf "corner sign-off of the synthesized %s cell (%s nominal):\n"
+      (Spec.job_to_string job)
+      (Units.format_power sol.Adc_synth.Synthesizer.power);
+    let results =
+      Adc_synth.Corner_check.check spec.Spec.process req
+        sol.Adc_synth.Synthesizer.sizing
+    in
+    print_string (Adc_synth.Corner_check.render results)
+
+let corners_cmd =
+  let doc = "Synthesize one MDAC cell and re-verify it across process corners." in
+  Cmd.v (Cmd.info "corners" ~doc) Term.(const corners $ m_arg $ bits_arg $ fs_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* montecarlo *)
+
+let montecarlo k fs config_str trials seed =
+  let spec = spec_of k fs in
+  let config =
+    match config_str with
+    | Some s -> Config.of_string s
+    | None -> Optimize.optimum_config (Optimize.run ~mode:`Equation spec)
+  in
+  let budget =
+    Adc_mdac.Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:3
+  in
+  Printf.printf
+    "Monte-Carlo yield of the %d-bit %s pipeline vs comparator offsets\n\
+     (redundancy budget %.0f mV; %d trials per point)\n"
+    k (Config.to_string config) (budget *. 1e3) trials;
+  let sweep =
+    Adc_pipeline.Montecarlo.offset_sweep ~trials ~seed spec config
+      ~sigmas:[ budget /. 8.0; budget /. 4.0; budget /. 2.0; budget; budget *. 1.5 ]
+  in
+  List.iter
+    (fun (sigma, (r : Adc_pipeline.Montecarlo.report)) ->
+      Printf.printf "  sigma %6.1f mV: yield %5.1f%%  mean ENOB %.2f  p05 %.2f\n"
+        (sigma *. 1e3)
+        (100.0 *. r.Adc_pipeline.Montecarlo.yield)
+        r.Adc_pipeline.Montecarlo.enob_mean r.Adc_pipeline.Montecarlo.enob_p05)
+    sweep
+
+let trials_arg =
+  Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials per point.")
+
+let montecarlo_cmd =
+  let doc = "Monte-Carlo yield of a configuration under comparator offsets." in
+  Cmd.v (Cmd.info "montecarlo" ~doc)
+    Term.(const montecarlo $ k_arg $ fs_arg $ config_arg $ trials_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* area *)
+
+let area k fs =
+  let spec = spec_of k fs in
+  let cands = Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec) in
+  Printf.printf "estimated area of the %d-bit candidates:\n" k;
+  List.iter
+    (fun (a : Adc_pipeline.Area_model.config_area) ->
+      Printf.printf "  %-14s %8.3f mm^2\n"
+        (Config.to_string a.Adc_pipeline.Area_model.config)
+        (a.Adc_pipeline.Area_model.total *. 1e6))
+    (Adc_pipeline.Area_model.rank spec cands)
+
+let area_cmd =
+  let doc = "Rank the candidates by estimated silicon area." in
+  Cmd.v (Cmd.info "area" ~doc) Term.(const area $ k_arg $ fs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top level *)
+
+let main_cmd =
+  let doc = "designer-driven topology optimization for pipelined ADCs (DATE 2005)" in
+  let info = Cmd.info "adcopt" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ enumerate_cmd; optimize_cmd; sweep_cmd; synth_cmd; behavioral_cmd;
+      corners_cmd; montecarlo_cmd; area_cmd ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  exit (Cmd.eval main_cmd)

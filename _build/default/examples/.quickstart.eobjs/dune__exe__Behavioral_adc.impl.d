@@ -1,0 +1,1 @@
+examples/behavioral_adc.ml: Adc_mdac Adc_numerics Adc_pipeline List Printf

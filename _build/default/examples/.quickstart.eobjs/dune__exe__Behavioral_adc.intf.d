@@ -1,0 +1,1 @@
+examples/behavioral_adc.mli:

@@ -1,0 +1,1 @@
+examples/cell_analysis.ml: Adc_circuit Adc_mdac Adc_numerics Adc_pipeline Adc_sfg Adc_synth Array Complex Float List Printf String

@@ -1,0 +1,1 @@
+examples/design_13bit.ml: Adc_mdac Adc_pipeline Adc_synth List Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/design_13bit.mli:

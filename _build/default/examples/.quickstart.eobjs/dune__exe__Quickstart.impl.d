@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adc_numerics Adc_pipeline List Printf String

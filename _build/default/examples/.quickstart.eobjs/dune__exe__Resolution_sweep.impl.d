@@ -1,0 +1,1 @@
+examples/resolution_sweep.ml: Adc_baseline Adc_pipeline List Printf

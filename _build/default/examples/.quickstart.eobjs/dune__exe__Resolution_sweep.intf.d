@@ -1,0 +1,1 @@
+examples/resolution_sweep.mli:

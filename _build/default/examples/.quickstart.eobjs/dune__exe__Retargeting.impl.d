@@ -1,0 +1,1 @@
+examples/retargeting.ml: Adc_numerics Adc_pipeline Adc_synth List Printf Stdlib Unix

@@ -1,0 +1,88 @@
+(* Behavioral verification of the optimized converter (extension beyond
+   the paper): build the 13-bit pipeline behaviorally — per-stage flash,
+   MDAC residue, digital correction, ideal backend — and measure
+   ENOB/INL/DNL under increasingly realistic impairments.
+
+     dune exec examples/behavioral_adc.exe *)
+
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Behavioral = Adc_pipeline.Behavioral
+module Metrics = Adc_pipeline.Metrics
+module Comparator = Adc_mdac.Comparator
+module Rng = Adc_numerics.Rng
+
+let report name adc ~fs ~rng =
+  let s = Metrics.static_linearity ~oversample:8 adc in
+  let d = Metrics.dynamic_performance ~n_fft:4096 ?rng adc ~fs ~f_in:(fs /. 9.7) in
+  Printf.printf "  %-34s ENOB %5.2f  SNDR %5.1f dB  SFDR %5.1f dB  DNL %+.3f  INL %.3f\n"
+    name d.Metrics.enob d.Metrics.sndr_db d.Metrics.sfdr_db s.Metrics.dnl_max
+    s.Metrics.inl_max
+
+let () =
+  let k = 13 in
+  let spec = Spec.paper_case ~k in
+  let config = Config.of_string "4-3-2" in
+  Printf.printf "== behavioral %d-bit ADC, leading stages %s ==\n" k
+    (Config.to_string config);
+
+  (* 1. ideal pipeline: digital correction reconstructs K bits exactly *)
+  let ideal = Behavioral.ideal spec config in
+  report "ideal stages" ideal ~fs:spec.Spec.fs ~rng:None;
+
+  (* 2. comparator offsets inside the redundancy budget: the correction
+     logic absorbs them completely *)
+  let budget = Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:3 in
+  let rng = Rng.create 42 in
+  let offsets_ok = Behavioral.with_random_offsets rng ~sigma:(budget /. 4.0) ideal in
+  report
+    (Printf.sprintf "comparator offsets (sigma %.0f mV)" (budget /. 4.0 *. 1e3))
+    offsets_ok ~fs:spec.Spec.fs ~rng:None;
+
+  (* 3. offsets far beyond the budget: redundancy finally breaks *)
+  let offsets_bad = Behavioral.with_random_offsets rng ~sigma:(budget *. 2.2) ideal in
+  report
+    (Printf.sprintf "excessive offsets (sigma %.0f mV)" (budget *. 2.2 *. 1e3))
+    offsets_bad ~fs:spec.Spec.fs ~rng:None;
+
+  (* 4. finite amplifier gain from the loop-gain spec boundary *)
+  let finite_gain =
+    Behavioral.create spec config
+      (List.map
+         (fun m ->
+           { (Behavioral.ideal_impairment ~m) with
+             Behavioral.gain_error = -2.0 ** float_of_int (-(k + 1)) })
+         config)
+  in
+  report "finite gain at the spec boundary" finite_gain ~fs:spec.Spec.fs ~rng:None;
+
+  (* 4b. an amplifier with 10x too little loop gain visibly bends the
+     transfer characteristic *)
+  let weak_gain =
+    Behavioral.create spec config
+      (List.map
+         (fun m ->
+           { (Behavioral.ideal_impairment ~m) with
+             Behavioral.gain_error = -10.0 *. (2.0 ** float_of_int (-(k + 1))) })
+         config)
+  in
+  report "10x too little amplifier gain" weak_gain ~fs:spec.Spec.fs ~rng:None;
+
+  (* 5. kT/C-level noise on the front stage *)
+  let noisy =
+    Behavioral.create spec config
+      (List.mapi
+         (fun i m ->
+           let noise = if i = 0 then 60e-6 else 0.0 in
+           { (Behavioral.ideal_impairment ~m) with Behavioral.noise_rms = noise })
+         config)
+  in
+  report "front-stage kT/C noise (60 uV rms)" noisy ~fs:spec.Spec.fs
+    ~rng:(Some (Rng.create 7));
+
+  (* 6. the classical all-1.5-bit configuration for contrast *)
+  let classic = Config.of_string "2-2-2-2-2-2" in
+  report "classical 2-2-2-2-2-2 (ideal)" (Behavioral.ideal spec classic)
+    ~fs:spec.Spec.fs ~rng:None;
+  print_endline "\nBoth ideal configurations reach the full 13 bits: the topology choice";
+  print_endline "moves the POWER, not the achievable accuracy - which is the paper's point."

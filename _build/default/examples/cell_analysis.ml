@@ -1,0 +1,95 @@
+(* Deep-dive analysis of one synthesized MDAC amplifier: the designer-
+   facing artifacts the paper's block-level flow produces — the symbolic
+   DPI/SFG transfer function, poles and margins, the device noise
+   breakdown, and the corner sign-off table.
+
+     dune exec examples/cell_analysis.exe *)
+
+module Spec = Adc_pipeline.Spec
+module Synthesizer = Adc_synth.Synthesizer
+module Corner_check = Adc_synth.Corner_check
+module Ota = Adc_mdac.Ota
+module Noise = Adc_mdac.Noise
+module Mdac_stage = Adc_mdac.Mdac_stage
+module Analysis = Adc_sfg.Analysis
+module Expr = Adc_sfg.Expr
+module Smallsig = Adc_circuit.Smallsig
+module Dc = Adc_circuit.Dc
+module Units = Adc_numerics.Units
+
+let () =
+  let spec = Spec.paper_case ~k:13 in
+  let job = { Spec.m = 3; input_bits = 10 } in
+  let req = Spec.stage_requirements spec job in
+  Printf.printf "== cell-level analysis of the %s MDAC amplifier ==\n\n"
+    (Spec.job_to_string job);
+
+  (* 1. synthesize the cell *)
+  let sol =
+    match Synthesizer.synthesize ~seed:17 spec.Spec.process req with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Printf.printf "synthesized: %s, %s\n"
+    (Units.format_power sol.Synthesizer.power)
+    (if sol.Synthesizer.feasible then "all specs met" else "INFEASIBLE");
+
+  (* 2. the symbolic transfer function the DPI/SFG + Mason step derives *)
+  (match Ota.symbolic_transfer ~load_cap:req.Mdac_stage.c_load_eff spec.Spec.process
+           sol.Synthesizer.sizing with
+  | Error e -> Printf.printf "symbolic TF failed: %s\n" e
+  | Ok tf ->
+    let vars = Expr.vars tf in
+    Printf.printf
+      "\nsymbolic open-loop transfer function: a ratio over %d small-signal\n\
+       parameters (%s, ...)\n"
+      (List.length vars)
+      (String.concat ", " (List.filteri (fun i _ -> i < 6) vars)));
+
+  (* 3. numeric characterization: poles, margins *)
+  (match Ota.evaluate ~load_cap:req.Mdac_stage.c_load_eff spec.Spec.process
+           sol.Synthesizer.sizing with
+  | Error e -> Printf.printf "evaluation failed: %s\n" e
+  | Ok perf ->
+    let s = Analysis.characterize perf.Ota.tf in
+    Printf.printf "\nnumeric characterization:\n";
+    Printf.printf "  DC gain        %.0f V/V (%.1f dB)\n" s.Analysis.dc_gain
+      (Units.db_of_ratio s.Analysis.dc_gain);
+    (match s.Analysis.unity_gain_hz with
+    | Some f -> Printf.printf "  unity gain at  %s\n" (Units.format_freq f)
+    | None -> ());
+    (match s.Analysis.phase_margin_deg with
+    | Some pm -> Printf.printf "  phase margin   %.1f deg\n" pm
+    | None -> ());
+    Printf.printf "  poles          ";
+    Array.iteri
+      (fun i (p : Complex.t) ->
+        if i < 3 then
+          Printf.printf "%s%s" (if i > 0 then ", " else "")
+            (Units.format_freq (Complex.norm p /. (2.0 *. Float.pi))))
+      s.Analysis.poles;
+    Printf.printf " ...\n");
+
+  (* 4. device noise breakdown at the biased operating point *)
+  (match Ota.biased_operating_point ~load_cap:req.Mdac_stage.c_load_eff
+           spec.Spec.process sol.Synthesizer.sizing with
+  | Error e -> Printf.printf "bias failed: %s\n" e
+  | Ok (ports, op) ->
+    let ss = Smallsig.extract ports.Ota.nl op in
+    match Noise.analyze ports.Ota.nl ss ~out:ports.Ota.out with
+    | Error e -> Printf.printf "noise failed: %s\n" e
+    | Ok r ->
+      Printf.printf "\ndevice noise (integrated %s to %s):\n"
+        (Units.format_freq r.Noise.f_lo) (Units.format_freq r.Noise.f_hi);
+      Printf.printf "  input-referred %.2f uV rms\n" (r.Noise.v_in_rms *. 1e6);
+      List.iteri
+        (fun i (c : Noise.contribution) ->
+          if i < 4 then
+            Printf.printf "  %-6s %8.1f uV at the output\n" c.Noise.source
+              (c.Noise.v_out_rms *. 1e6))
+        r.Noise.contributions);
+
+  (* 5. corner sign-off *)
+  Printf.printf "\ncorner sign-off:\n%s"
+    (Corner_check.render
+       (Corner_check.check spec.Spec.process req sol.Synthesizer.sizing))

@@ -1,0 +1,32 @@
+(* Quickstart: enumerate the candidates for a 13-bit 40 MSPS pipelined
+   ADC and pick the minimum-power stage-resolution configuration.
+
+     dune exec examples/quickstart.exe *)
+
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Optimize = Adc_pipeline.Optimize
+module Units = Adc_numerics.Units
+
+let () =
+  (* the paper's operating point: 13 bits at 40 MSPS in the synthetic
+     0.25 um 3.3 V process *)
+  let spec = Spec.paper_case ~k:13 in
+
+  (* all stage-resolution candidates with m_i in {2,3,4}, m_i >= m_(i+1),
+     down to the 7-bit backend *)
+  let candidates = Config.enumerate_leading ~k:13 ~backend_bits:7 in
+  Printf.printf "candidates: %s\n"
+    (String.concat ", " (List.map Config.to_string candidates));
+
+  (* rank them by total front-end power (fast equation evaluation) *)
+  let run = Optimize.run ~mode:`Equation spec in
+  List.iter
+    (fun (cr : Optimize.config_result) ->
+      Printf.printf "  %-14s %s\n"
+        (Config.to_string cr.Optimize.config)
+        (Units.format_power cr.Optimize.p_total))
+    run.Optimize.candidates;
+
+  Printf.printf "optimum: %s (the paper's 4-3-2 result)\n"
+    (Config.to_string (Optimize.optimum_config run))

@@ -1,0 +1,28 @@
+(* The paper's Fig. 2 and Fig. 3: sweep the target resolution from 10 to
+   13 bits, rank every candidate, and condense the optima into the
+   designer decision rules.
+
+     dune exec examples/resolution_sweep.exe *)
+
+module Spec = Adc_pipeline.Spec
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Report = Adc_pipeline.Report
+module Classic = Adc_baseline.Classic
+
+let () =
+  let ks = [ 10; 11; 12; 13 ] in
+  let runs = List.map (fun k -> Optimize.run ~mode:`Equation (Spec.paper_case ~k)) ks in
+  print_string (Report.fig2_table runs);
+  print_newline ();
+  let chart = Rules.sweep ~mode:`Equation ~k_values:ks (fun ~k -> Spec.paper_case ~k) in
+  print_string (Rules.render chart);
+  print_newline ();
+  (* how much the enumeration saves over the classical all-1.5-bit rule *)
+  print_endline "Savings over the classical 2-2-2-... design rule:";
+  List.iter
+    (fun k ->
+      let spec = Spec.paper_case ~k in
+      Printf.printf "  %2d-bit: %.0f%% less front-end power\n" k
+        (100.0 *. Classic.savings_vs_optimal spec))
+    ks

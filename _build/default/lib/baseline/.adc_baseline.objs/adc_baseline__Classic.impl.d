@@ -1,0 +1,1 @@
+lib/baseline/classic.ml: Adc_pipeline List

@@ -1,0 +1,1 @@
+lib/baseline/classic.mli: Adc_pipeline

@@ -1,0 +1,1 @@
+lib/baseline/gp_model.ml: Adc_mdac Adc_synth Float List

@@ -1,0 +1,1 @@
+lib/baseline/gp_model.mli: Adc_circuit Adc_mdac Stdlib

@@ -1,0 +1,18 @@
+module Config = Adc_pipeline.Config
+module Spec = Adc_pipeline.Spec
+module Power_model = Adc_pipeline.Power_model
+
+let config ~k ~backend_bits =
+  if k <= backend_bits then invalid_arg "Classic.config: k must exceed backend_bits";
+  List.init (k - backend_bits) (fun _ -> 2)
+
+let power spec =
+  Power_model.config spec (config ~k:spec.Spec.k ~backend_bits:(Spec.backend_bits spec))
+
+let savings_vs_optimal spec =
+  let classic = (power spec).Power_model.p_total in
+  let candidates =
+    Config.enumerate_leading ~k:spec.Spec.k ~backend_bits:(Spec.backend_bits spec)
+  in
+  let best = (Power_model.optimum spec candidates).Power_model.p_total in
+  (classic -. best) /. classic

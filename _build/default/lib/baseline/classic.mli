@@ -1,0 +1,12 @@
+(** The classical all-1.5-bit (2-2-2-...) pipeline: the incumbent design
+    rule the paper's enumeration improves on. *)
+
+val config : k:int -> backend_bits:int -> Adc_pipeline.Config.t
+(** All 2-bit leading stages for a K-bit converter. *)
+
+val power : Adc_pipeline.Spec.t -> Adc_pipeline.Power_model.config_power
+(** Equation-model power of the classical choice. *)
+
+val savings_vs_optimal : Adc_pipeline.Spec.t -> float
+(** Fractional power saved by the enumerated optimum relative to the
+    classical rule ((classic - optimal) / classic), equation model. *)

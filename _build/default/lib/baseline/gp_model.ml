@@ -1,0 +1,48 @@
+module Synthesizer = Adc_synth.Synthesizer
+module Constraint_set = Adc_synth.Constraint_set
+
+type result = {
+  sizing : Adc_mdac.Ota.sizing;
+  predicted : (string * float) list;
+  simulated : (string * float) list;
+  predicted_power : float;
+  simulated_power : float;
+  sim_meets_specs : bool;
+  sim_violation : float;
+}
+
+let design proc req =
+  let sizing = Synthesizer.initial_sizing proc req in
+  let predicted, _ =
+    Synthesizer.evaluate_sizing ~kind:Synthesizer.Equation_only proc req sizing
+  in
+  let simulated, _ =
+    Synthesizer.evaluate_sizing ~kind:Synthesizer.Hybrid proc req sizing
+  in
+  if simulated = [] then Error "equation-only design failed to simulate"
+  else begin
+    let constraints = Synthesizer.constraints_of req in
+    let lookup name = List.assoc_opt name simulated in
+    let sim_violation = Constraint_set.total_violation constraints ~lookup in
+    let power metrics =
+      match List.assoc_opt "power" metrics with Some p -> p | None -> Float.nan
+    in
+    Ok
+      {
+        sizing;
+        predicted;
+        simulated;
+        predicted_power = power predicted;
+        simulated_power = power simulated;
+        sim_meets_specs = sim_violation <= 0.02;
+        sim_violation;
+      }
+  end
+
+let accuracy_gap r =
+  List.filter_map
+    (fun (name, pv) ->
+      match List.assoc_opt name r.simulated with
+      | Some sv -> Some (name, pv, sv)
+      | None -> None)
+    r.predicted

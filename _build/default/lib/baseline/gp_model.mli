@@ -1,0 +1,27 @@
+(** Equation-only sizing baseline (Hershenson-style, ICCAD 2002).
+
+    The paper contrasts its hybrid flow with pure equation-based methods
+    that "avoid simulation entirely ... at the cost of design accuracy".
+    This baseline designs an MDAC amplifier entirely from the closed-form
+    two-stage equations (the same posynomial-style expressions a
+    geometric-programming formulation would use) and then — as the
+    accuracy audit — simulates the resulting circuit once. The gap
+    between predicted and simulated metrics is the cost the paper's
+    hybrid method eliminates. *)
+
+type result = {
+  sizing : Adc_mdac.Ota.sizing;
+  predicted : (string * float) list;     (** closed-form metrics *)
+  simulated : (string * float) list;     (** one verification simulation *)
+  predicted_power : float;
+  simulated_power : float;
+  sim_meets_specs : bool;                (** specs verified by simulation *)
+  sim_violation : float;                 (** aggregate normalized violation *)
+}
+
+val design :
+  Adc_circuit.Process.t -> Adc_mdac.Mdac_stage.requirements -> (result, string) Stdlib.result
+(** Size by equations only; simulate once for the audit. *)
+
+val accuracy_gap : result -> (string * float * float) list
+(** [(metric, predicted, simulated)] for the metrics both sides report. *)

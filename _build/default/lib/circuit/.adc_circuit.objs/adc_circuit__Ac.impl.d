@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Adc_numerics Array Complex Float Hashtbl List Netlist Smallsig Stdlib

@@ -1,0 +1,1 @@
+lib/circuit/corners.ml: Printf Process

@@ -1,0 +1,1 @@
+lib/circuit/corners.mli: Process

@@ -1,0 +1,1 @@
+lib/circuit/dc.ml: Adc_numerics Array Float Mna Netlist Printf

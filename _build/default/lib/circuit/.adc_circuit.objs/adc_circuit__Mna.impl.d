@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Adc_numerics Array List Mosfet Netlist Process Stimulus

@@ -1,0 +1,1 @@
+lib/circuit/mosfet.ml: Float Process

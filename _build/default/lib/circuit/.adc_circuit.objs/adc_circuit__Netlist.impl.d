@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Hashtbl List Printf Process Stimulus String

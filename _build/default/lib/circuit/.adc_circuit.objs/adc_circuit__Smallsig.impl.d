@@ -1,0 +1,1 @@
+lib/circuit/smallsig.ml: Dc Float List Mna Mosfet Netlist Process String

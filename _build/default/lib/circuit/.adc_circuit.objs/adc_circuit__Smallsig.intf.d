@@ -1,0 +1,1 @@
+lib/circuit/smallsig.mli: Dc Mosfet Netlist Process

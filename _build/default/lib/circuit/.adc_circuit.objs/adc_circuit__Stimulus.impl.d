@@ -1,0 +1,1 @@
+lib/circuit/stimulus.ml: Array Float

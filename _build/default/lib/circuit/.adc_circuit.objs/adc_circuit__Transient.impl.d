@@ -1,0 +1,1 @@
+lib/circuit/transient.ml: Adc_numerics Array Dc Float List Mna Netlist Printf

@@ -1,0 +1,158 @@
+module Cxm = Adc_numerics.Cxm
+type point = { freq : float; x : Complex.t array }
+
+let run ?(switch_time = 0.0) nl (ss : Smallsig.t) ~freqs =
+  let nv = Netlist.node_count nl - 1 in
+  let n = Netlist.unknown_count nl in
+  let mos_table = Hashtbl.create 16 in
+  List.iter (fun (m : Smallsig.mos_op) -> Hashtbl.replace mos_table m.name m) ss.mos;
+  let solve_at freq =
+    let w = 2.0 *. Float.pi *. freq in
+    let m = Cxm.create n in
+    let b = Array.make n Complex.zero in
+    let row node = node - 1 in
+    let stamp r c (v : Complex.t) = if r <> 0 && c <> 0 then Cxm.add_to m (row r) (row c) v in
+    let stamp_branch_row bi node v = if node <> 0 then Cxm.add_to m bi (row node) v in
+    let stamp_node_branch node bi v = if node <> 0 then Cxm.add_to m (row node) bi v in
+    let stamp_admittance a bb (y : Complex.t) =
+      stamp a a y;
+      stamp bb bb y;
+      stamp a bb (Complex.neg y);
+      stamp bb a (Complex.neg y)
+    in
+    let real_y g = { Complex.re = g; im = 0.0 } in
+    let cap_y c = { Complex.re = 0.0; im = w *. c } in
+    let inject node (i : Complex.t) =
+      if node <> 0 then b.(row node) <- Complex.add b.(row node) i
+    in
+    List.iter
+      (fun d ->
+        match d with
+        | Netlist.Resistor { np; nn; ohms; _ } -> stamp_admittance np nn (real_y (1.0 /. ohms))
+        | Netlist.Switch { np; nn; r_on; r_off; closed_at; _ } ->
+          let r = if closed_at switch_time then r_on else r_off in
+          stamp_admittance np nn (real_y (1.0 /. r))
+        | Netlist.Capacitor { np; nn; farads; _ } -> stamp_admittance np nn (cap_y farads)
+        | Netlist.Isource { np; nn; ac_mag; _ } ->
+          (* AC current flows np -> nn through the source: leaves np *)
+          inject np { Complex.re = -.ac_mag; im = 0.0 };
+          inject nn { Complex.re = ac_mag; im = 0.0 }
+        | Netlist.Vsource { v_name; np; nn; ac_mag; _ } ->
+          let bi = nv + Netlist.branch_index nl v_name in
+          stamp_node_branch np bi Complex.one;
+          stamp_node_branch nn bi (Complex.neg Complex.one);
+          stamp_branch_row bi np Complex.one;
+          stamp_branch_row bi nn (Complex.neg Complex.one);
+          b.(bi) <- { Complex.re = ac_mag; im = 0.0 }
+        | Netlist.Vcvs { e_name; p; n = nneg; cp; cn; gain } ->
+          let bi = nv + Netlist.branch_index nl e_name in
+          stamp_node_branch p bi Complex.one;
+          stamp_node_branch nneg bi (Complex.neg Complex.one);
+          stamp_branch_row bi p Complex.one;
+          stamp_branch_row bi nneg (Complex.neg Complex.one);
+          stamp_branch_row bi cp (real_y (-.gain));
+          stamp_branch_row bi cn (real_y gain)
+        | Netlist.Mos { m_name; d = dd; g; s; b = bulk; _ } ->
+          let op = Hashtbl.find mos_table m_name in
+          (* transconductances: current into drain = gm*vgs + gds*vds + gmb*vbs *)
+          let gm = real_y op.gm and gds = real_y op.gds and gmb = real_y op.gmb in
+          stamp dd g gm;
+          stamp dd s (Complex.neg gm);
+          stamp s g (Complex.neg gm);
+          stamp s s gm;
+          stamp_admittance dd s gds;
+          stamp dd bulk gmb;
+          stamp dd s (Complex.neg gmb);
+          stamp s bulk (Complex.neg gmb);
+          stamp s s gmb;
+          let c = op.caps in
+          stamp_admittance g s (cap_y c.cgs);
+          stamp_admittance g dd (cap_y c.cgd);
+          stamp_admittance g bulk (cap_y c.cgb);
+          stamp_admittance dd bulk (cap_y c.cdb);
+          stamp_admittance s bulk (cap_y c.csb))
+      (Netlist.devices nl);
+    (* small conductance to ground keeps otherwise-floating nodes solvable *)
+    for nd = 0 to nv - 1 do
+      Cxm.add_to m nd nd (real_y 1e-12)
+    done;
+    { freq; x = Cxm.solve m b }
+  in
+  Array.map solve_at freqs
+
+let voltage p node =
+  let n = Netlist.node_index node in
+  if n = 0 then Complex.zero else p.x.(n - 1)
+
+let transfer points node = Array.map (fun p -> (p.freq, voltage p node)) points
+
+let logspace ~f_start ~f_stop ~points_per_decade =
+  if f_start <= 0.0 || f_stop <= f_start then invalid_arg "Ac.logspace";
+  let decades = log10 (f_stop /. f_start) in
+  let n = Stdlib.max 2 (int_of_float (Float.ceil (decades *. float_of_int points_per_decade)) + 1) in
+  Array.init n (fun i ->
+      f_start *. (10.0 ** (decades *. float_of_int i /. float_of_int (n - 1))))
+
+let unity_gain_freq tf =
+  let n = Array.length tf in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let _, z0 = tf.(i - 1) and _, z1 = tf.(i) in
+      let m0 = Complex.norm z0 and m1 = Complex.norm z1 in
+      if m0 >= 1.0 && m1 < 1.0 then begin
+        (* log-log interpolation between the bracketing points *)
+        let f0 = fst tf.(i - 1) and f1 = fst tf.(i) in
+        let l0 = log m0 and l1 = log m1 in
+        let frac = if l0 = l1 then 0.5 else l0 /. (l0 -. l1) in
+        Some (f0 *. ((f1 /. f0) ** frac))
+      end
+      else go (i + 1)
+    end
+  in
+  if n < 2 then None else go 1
+
+let phase_margin_deg tf =
+  match unity_gain_freq tf with
+  | None -> None
+  | Some fu ->
+    (* interpolate unwrapped phase at fu *)
+    let unwrapped =
+      let prev = ref 0.0 in
+      let first = ref true in
+      Array.map
+        (fun (f, z) ->
+          let ph = Complex.arg z in
+          let ph =
+            if !first then begin
+              first := false;
+              ph
+            end
+            else begin
+              let rec adjust p =
+                if p -. !prev > Float.pi then adjust (p -. (2.0 *. Float.pi))
+                else if p -. !prev < -.Float.pi then adjust (p +. (2.0 *. Float.pi))
+                else p
+              in
+              adjust ph
+            end
+          in
+          prev := ph;
+          (f, ph))
+        tf
+    in
+    let n = Array.length unwrapped in
+    let rec interp i =
+      if i >= n then snd unwrapped.(n - 1)
+      else begin
+        let f1, p1 = unwrapped.(i) in
+        if f1 >= fu then begin
+          let f0, p0 = unwrapped.(i - 1) in
+          let frac = log (fu /. f0) /. log (f1 /. f0) in
+          p0 +. (frac *. (p1 -. p0))
+        end
+        else interp (i + 1)
+      end
+    in
+    let phase_at_fu = if n < 2 then snd unwrapped.(0) else interp 1 in
+    Some (180.0 +. (phase_at_fu *. 180.0 /. Float.pi))

@@ -1,0 +1,29 @@
+(** AC small-signal frequency sweep.
+
+    Linearizes every MOSFET at the extracted operating point (gm, gds,
+    gmb plus Meyer/junction capacitances) and solves the complex MNA
+    system at each requested frequency. *)
+
+type point = { freq : float; x : Complex.t array }
+
+val run :
+  ?switch_time:float -> Netlist.t -> Smallsig.t -> freqs:float array -> point array
+(** [run nl ss ~freqs] sweeps the linearized circuit. Sources contribute
+    their [ac_mag]; switches take their state at [switch_time]
+    (default 0). *)
+
+val voltage : point -> Netlist.node -> Complex.t
+
+val transfer : point array -> Netlist.node -> (float * Complex.t) array
+(** Response of one node across the sweep (relative to the unit AC
+    excitation). *)
+
+val logspace : f_start:float -> f_stop:float -> points_per_decade:int -> float array
+
+val unity_gain_freq : (float * Complex.t) array -> float option
+(** First frequency at which the magnitude falls through 1 (interpolated
+    on log-magnitude). *)
+
+val phase_margin_deg : (float * Complex.t) array -> float option
+(** 180 + phase at the unity-gain frequency, in degrees (loop-gain
+    convention for a negative-feedback amplifier). *)

@@ -1,0 +1,44 @@
+type corner = TT | SS | FF | SF | FS
+
+let all = [ TT; SS; FF; SF; FS ]
+
+let to_string = function
+  | TT -> "TT"
+  | SS -> "SS"
+  | FF -> "FF"
+  | SF -> "SF"
+  | FS -> "FS"
+
+let skew_mos (p : Process.mos_params) ~fast =
+  if fast then { p with kp = p.kp *. 1.12; vt0 = p.vt0 -. 0.04 }
+  else { p with kp = p.kp *. 0.88; vt0 = p.vt0 +. 0.04 }
+
+let apply ?(temperature = 300.0) (proc : Process.t) corner =
+  if temperature <= 0.0 then invalid_arg "Corners.apply: non-positive temperature";
+  let nmos_fast, pmos_fast =
+    match corner with
+    | TT -> (None, None)
+    | SS -> (Some false, Some false)
+    | FF -> (Some true, Some true)
+    | SF -> (Some false, Some true)
+    | FS -> (Some true, Some false)
+  in
+  let skew p = function None -> p | Some fast -> skew_mos p ~fast in
+  (* mobility derates with temperature as ~T^-1.5 *)
+  let mu_derate = (temperature /. 300.0) ** -1.5 in
+  let with_temp (p : Process.mos_params) = { p with kp = p.kp *. mu_derate } in
+  {
+    proc with
+    name =
+      Printf.sprintf "%s-%s%s" proc.name (to_string corner)
+        (if temperature = 300.0 then ""
+         else Printf.sprintf "-%.0fK" temperature);
+    temperature;
+    nmos = with_temp (skew proc.nmos nmos_fast);
+    pmos = with_temp (skew proc.pmos pmos_fast);
+  }
+
+let describe (proc : Process.t) =
+  Printf.sprintf "%s: KPn %.0f uA/V^2, KPp %.0f uA/V^2, Vtn %.0f mV, Vtp %.0f mV, %.0f K"
+    proc.name (proc.nmos.kp *. 1e6) (proc.pmos.kp *. 1e6)
+    (proc.nmos.vt0 *. 1e3) (proc.pmos.vt0 *. 1e3) proc.temperature

@@ -1,0 +1,24 @@
+(** Process corners and temperature scaling.
+
+    Industrial sign-off evaluates every synthesized cell across process
+    corners; the paper's NeoCircuit flow does the same internally. We
+    model the classic five digital corners by scaling the square-law
+    parameters: slow devices have lower mobility and higher threshold,
+    fast devices the opposite, with NMOS and PMOS skewed independently
+    in the mixed corners. *)
+
+type corner = TT | SS | FF | SF | FS
+(** Typical, slow-slow, fast-fast, slow-N/fast-P, fast-N/slow-P. *)
+
+val all : corner list
+val to_string : corner -> string
+
+val apply : ?temperature:float -> Process.t -> corner -> Process.t
+(** Derive the corner process: +-12% mobility, -+40 mV threshold per
+    device polarity, and the requested junction temperature (default
+    the nominal 300 K; 398 K is the usual hot sign-off). Temperature
+    additionally derates mobility by (T/300)^-1.5 and kT scales the
+    noise floor. *)
+
+val describe : Process.t -> string
+(** One-line summary (name, kp values, vt values, temperature). *)

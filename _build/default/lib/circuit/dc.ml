@@ -1,0 +1,104 @@
+module Vec = Adc_numerics.Vec
+module Mat = Adc_numerics.Mat
+type result = {
+  x : Vec.t;
+  iterations : int;
+  strategy : string;
+  residual : float;
+}
+
+let residual_norm nl ~x ~time ~source_scale ~gmin ~cap_policy =
+  let _, res = Mna.assemble nl ~x ~time ~source_scale ~gmin ~cap_policy in
+  Vec.norm_inf res
+
+let newton ?(max_iter = 120) ?(vstep_limit = 0.4) ~x0 ~time ~source_scale ~gmin
+    ~cap_policy nl =
+  let nv = Netlist.node_count nl - 1 in
+  let x = Vec.copy x0 in
+  let rec iterate k =
+    if k >= max_iter then Error (Printf.sprintf "Newton: no convergence in %d iterations" max_iter)
+    else begin
+      let jac, res = Mna.assemble nl ~x ~time ~source_scale ~gmin ~cap_policy in
+      match Mat.solve jac (Vec.scale (-1.0) res) with
+      | exception Mat.Singular -> Error "Newton: singular Jacobian"
+      | dx ->
+        (* damp voltage updates; branch currents move freely *)
+        let max_v_step = ref 0.0 in
+        for i = 0 to nv - 1 do
+          max_v_step := Float.max !max_v_step (Float.abs dx.(i))
+        done;
+        let damp =
+          if !max_v_step > vstep_limit then vstep_limit /. !max_v_step else 1.0
+        in
+        for i = 0 to Array.length x - 1 do
+          x.(i) <- x.(i) +. (damp *. dx.(i))
+        done;
+        let res_norm = Vec.norm_inf res in
+        let dx_norm = !max_v_step *. damp in
+        if dx_norm < 1e-10 && res_norm < 1e-9 then Ok (x, k + 1)
+        else iterate (k + 1)
+    end
+  in
+  iterate 0
+
+let solve ?x0 ?(time = 0.0) ?(max_iter = 120) nl =
+  (match Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Dc.solve: bad netlist: " ^ msg));
+  let n = Netlist.unknown_count nl in
+  let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+  let finish ~x ~iterations ~strategy =
+    let residual =
+      residual_norm nl ~x ~time ~source_scale:1.0 ~gmin:0.0 ~cap_policy:Mna.Cap_open
+    in
+    Ok { x; iterations; strategy; residual }
+  in
+  (* 1. plain Newton with a tiny stabilizing gmin *)
+  match
+    newton ~max_iter ~x0 ~time ~source_scale:1.0 ~gmin:1e-12 ~cap_policy:Mna.Cap_open nl
+  with
+  | Ok (x, it) -> finish ~x ~iterations:it ~strategy:"newton"
+  | Error _ ->
+    (* 2. gmin stepping *)
+    let gmins = [ 1e-3; 1e-4; 1e-5; 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11; 1e-12 ] in
+    let rec gmin_steps x iters = function
+      | [] -> Ok (x, iters)
+      | g :: rest -> begin
+        match
+          newton ~max_iter ~x0:x ~time ~source_scale:1.0 ~gmin:g
+            ~cap_policy:Mna.Cap_open nl
+        with
+        | Ok (x', it) -> gmin_steps x' (iters + it) rest
+        | Error e -> Error e
+      end
+    in
+    (match gmin_steps x0 0 gmins with
+    | Ok (x, it) -> finish ~x ~iterations:it ~strategy:"gmin-stepping"
+    | Error _ ->
+      (* 3. source stepping at moderate gmin, then relax gmin *)
+      let alphas = [ 0.05; 0.1; 0.2; 0.35; 0.5; 0.65; 0.8; 0.9; 1.0 ] in
+      let rec src_steps x iters = function
+        | [] -> Ok (x, iters)
+        | a :: rest -> begin
+          match
+            newton ~max_iter ~x0:x ~time ~source_scale:a ~gmin:1e-9
+              ~cap_policy:Mna.Cap_open nl
+          with
+          | Ok (x', it) -> src_steps x' (iters + it) rest
+          | Error e -> Error e
+        end
+      in
+      (match src_steps (Vec.create n) 0 alphas with
+      | Error e -> Error ("Dc.solve: all strategies failed: " ^ e)
+      | Ok (x, it1) -> begin
+        match gmin_steps x 0 [ 1e-10; 1e-11; 1e-12 ] with
+        | Ok (x', it2) ->
+          finish ~x:x' ~iterations:(it1 + it2) ~strategy:"source-stepping"
+        | Error e -> Error ("Dc.solve: gmin relaxation failed: " ^ e)
+      end))
+
+let node_voltage r node = Mna.node_voltage_of r.x (Netlist.node_index node)
+
+let branch_current nl r name =
+  let nv = Netlist.node_count nl - 1 in
+  r.x.(nv + Netlist.branch_index nl name)

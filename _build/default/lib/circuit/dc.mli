@@ -1,0 +1,30 @@
+(** DC operating-point solver.
+
+    Newton-Raphson with voltage-step damping; falls back to gmin stepping
+    and then source stepping when plain Newton fails (standard SPICE
+    continuation strategy). *)
+
+type result = {
+  x : float array;             (** converged unknown vector *)
+  iterations : int;      (** total Newton iterations across continuation *)
+  strategy : string;     (** "newton" | "gmin-stepping" | "source-stepping" *)
+  residual : float;      (** final infinity-norm of the KCL residual *)
+}
+
+val solve :
+  ?x0:float array -> ?time:float -> ?max_iter:int -> Netlist.t ->
+  (result, string) Stdlib.result
+(** Find the operating point. [time] fixes source values and switch
+    states (default 0). *)
+
+val node_voltage : result -> Netlist.node -> float
+val branch_current : Netlist.t -> result -> string -> float
+(** Current through a named voltage source (positive from [np] to [nn]
+    through the source). Raises [Not_found] for unknown names. *)
+
+val newton :
+  ?max_iter:int -> ?vstep_limit:float ->
+  x0:float array -> time:float -> source_scale:float -> gmin:float ->
+  cap_policy:Mna.cap_policy -> Netlist.t ->
+  (float array * int, string) Stdlib.result
+(** The raw damped-Newton kernel (shared with the transient engine). *)

@@ -1,0 +1,113 @@
+module Vec = Adc_numerics.Vec
+module Mat = Adc_numerics.Mat
+type cap_companion = { geq : float; ieq : float }
+
+type cap_policy =
+  | Cap_open
+  | Cap_companion of (cap_index:int -> np:int -> nn:int -> farads:float -> cap_companion)
+
+let node_voltage_of (x : Vec.t) n = if n = 0 then 0.0 else x.(n - 1)
+
+let cap_count nl =
+  List.fold_left
+    (fun acc d -> match d with Netlist.Capacitor _ -> acc + 1 | _ -> acc)
+    0 (Netlist.devices nl)
+
+let assemble nl ~x ~time ~source_scale ~gmin ~cap_policy =
+  let nv = Netlist.node_count nl - 1 in
+  let n = Netlist.unknown_count nl in
+  let jac = Mat.create n n in
+  let res = Vec.create n in
+  let v node = node_voltage_of x node in
+  let row node = node - 1 in
+  (* stamp a current i leaving [node] with given partials *)
+  let stamp_f node i = if node <> 0 then res.(row node) <- res.(row node) +. i in
+  let stamp_j r c g =
+    if r <> 0 && c <> 0 then Mat.add_to jac (row r) (row c) g
+  in
+  let stamp_conductance a b g =
+    stamp_j a a g;
+    stamp_j b b g;
+    stamp_j a b (-.g);
+    stamp_j b a (-.g)
+  in
+  let stamp_resistor_like np nn ohms =
+    let g = 1.0 /. ohms in
+    let i = g *. (v np -. v nn) in
+    stamp_f np i;
+    stamp_f nn (-.i);
+    stamp_conductance np nn g
+  in
+  let mos_polarity_params = Process.mos (Netlist.process nl) in
+  let cap_idx = ref 0 in
+  let stamp_device d =
+    match d with
+    | Netlist.Resistor { np; nn; ohms; _ } -> stamp_resistor_like np nn ohms
+    | Netlist.Switch { np; nn; r_on; r_off; closed_at; _ } ->
+      stamp_resistor_like np nn (if closed_at time then r_on else r_off)
+    | Netlist.Capacitor { np; nn; farads; _ } -> begin
+      let k = !cap_idx in
+      incr cap_idx;
+      match cap_policy with
+      | Cap_open -> ()
+      | Cap_companion f ->
+        let { geq; ieq } = f ~cap_index:k ~np ~nn ~farads in
+        let i = (geq *. (v np -. v nn)) +. ieq in
+        stamp_f np i;
+        stamp_f nn (-.i);
+        stamp_conductance np nn geq
+    end
+    | Netlist.Isource { np; nn; wave; _ } ->
+      let i = source_scale *. Stimulus.value wave time in
+      (* positive current flows np -> nn through the source *)
+      stamp_f np i;
+      stamp_f nn (-.i)
+    | Netlist.Vsource { v_name; np; nn; wave; _ } ->
+      let bi = nv + Netlist.branch_index nl v_name in
+      let ib = x.(bi) in
+      stamp_f np ib;
+      stamp_f nn (-.ib);
+      if np <> 0 then Mat.add_to jac (row np) bi 1.0;
+      if nn <> 0 then Mat.add_to jac (row nn) bi (-1.0);
+      let vval = source_scale *. Stimulus.value wave time in
+      res.(bi) <- res.(bi) +. (v np -. v nn -. vval);
+      if np <> 0 then Mat.add_to jac bi (row np) 1.0;
+      if nn <> 0 then Mat.add_to jac bi (row nn) (-1.0)
+    | Netlist.Vcvs { e_name; p; n = nneg; cp; cn; gain } ->
+      let bi = nv + Netlist.branch_index nl e_name in
+      let ib = x.(bi) in
+      stamp_f p ib;
+      stamp_f nneg (-.ib);
+      if p <> 0 then Mat.add_to jac (row p) bi 1.0;
+      if nneg <> 0 then Mat.add_to jac (row nneg) bi (-1.0);
+      res.(bi) <- res.(bi) +. (v p -. v nneg -. (gain *. (v cp -. v cn)));
+      if p <> 0 then Mat.add_to jac bi (row p) 1.0;
+      if nneg <> 0 then Mat.add_to jac bi (row nneg) (-1.0);
+      if cp <> 0 then Mat.add_to jac bi (row cp) (-.gain);
+      if cn <> 0 then Mat.add_to jac bi (row cn) gain
+    | Netlist.Mos { d; g; s; b; polarity; w; l; mult; _ } ->
+      let params = mos_polarity_params polarity in
+      let vgs = v g -. v s and vds = v d -. v s and vbs = v b -. v s in
+      let e = Mosfet.eval params polarity ~w ~l ~vgs ~vds ~vbs in
+      let ids = mult *. e.ids in
+      let gm = mult *. e.gm and gds = mult *. e.gds and gmb = mult *. e.gmb in
+      stamp_f d ids;
+      stamp_f s (-.ids);
+      stamp_j d g gm;
+      stamp_j d d gds;
+      stamp_j d b gmb;
+      stamp_j d s (-.(gm +. gds +. gmb));
+      stamp_j s g (-.gm);
+      stamp_j s d (-.gds);
+      stamp_j s b (-.gmb);
+      stamp_j s s (gm +. gds +. gmb)
+  in
+  List.iter stamp_device (Netlist.devices nl);
+  (* gmin from every node to ground stabilizes floating subcircuits and
+     enables gmin stepping *)
+  if gmin > 0.0 then
+    for nd = 1 to nv do
+      Mat.add_to jac (nd - 1) (nd - 1) gmin;
+      res.(nd - 1) <- res.(nd - 1) +. (gmin *. x.(nd - 1))
+    done;
+  (jac, res)

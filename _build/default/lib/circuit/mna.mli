@@ -1,0 +1,35 @@
+(** Modified nodal analysis: residual/Jacobian assembly.
+
+    Unknown vector layout: indices [0 .. nodes-2] are the voltages of
+    nodes [1 .. nodes-1] (ground dropped), followed by one branch current
+    per voltage source / VCVS in declaration order.
+
+    Residual convention: [f.(row)] is the sum of currents *leaving* the
+    node (or the branch voltage equation), so a solution satisfies
+    [f = 0] and Newton solves [J dx = -f]. *)
+
+type cap_companion = {
+  geq : float;  (** companion conductance *)
+  ieq : float;  (** companion current source, leaving the positive node *)
+}
+
+type cap_policy =
+  | Cap_open  (** DC: capacitors carry no current *)
+  | Cap_companion of (cap_index:int -> np:int -> nn:int -> farads:float -> cap_companion)
+      (** Transient: integration-method companion model; [cap_index]
+          counts capacitors in declaration order. *)
+
+val node_voltage_of : float array -> int -> float
+(** Voltage of a node index given the unknown vector (0 for ground). *)
+
+val assemble :
+  Netlist.t ->
+  x:float array ->
+  time:float ->
+  source_scale:float ->
+  gmin:float ->
+  cap_policy:cap_policy ->
+  Adc_numerics.Mat.t * float array
+(** Build the Jacobian and residual at the point [x]. *)
+
+val cap_count : Netlist.t -> int

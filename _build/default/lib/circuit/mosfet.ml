@@ -1,0 +1,107 @@
+type region = Cutoff | Triode | Saturation
+
+type eval = {
+  ids : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+  region : region;
+}
+
+let vt_body (p : Process.mos_params) ~vbs =
+  (* vbs <= 0 increases vt; clamp the forward-bias side to keep sqrt real *)
+  let arg = Float.max 0.0 (p.phi -. vbs) in
+  p.vt0 +. (p.gamma *. (sqrt arg -. sqrt p.phi))
+
+let dvt_dvbs (p : Process.mos_params) ~vbs =
+  let arg = p.phi -. vbs in
+  if arg <= 1e-9 then 0.0 else -.p.gamma /. (2.0 *. sqrt arg)
+
+(* NMOS equations assuming vds >= 0. Returns ids and raw partials. *)
+let eval_nmos_fwd (p : Process.mos_params) ~w ~l ~vgs ~vds ~vbs =
+  let vt = vt_body p ~vbs in
+  let dvt = dvt_dvbs p ~vbs in
+  let vov = vgs -. vt in
+  let beta = p.kp *. w /. l in
+  let lam = Process.lambda_of p ~l in
+  if vov <= 0.0 then { ids = 0.0; gm = 0.0; gds = 0.0; gmb = 0.0; region = Cutoff }
+  else if vds < vov then begin
+    (* triode *)
+    let clm = 1.0 +. (lam *. vds) in
+    let core = (vov *. vds) -. (0.5 *. vds *. vds) in
+    let ids = beta *. core *. clm in
+    let gm = beta *. vds *. clm in
+    let gds = (beta *. (vov -. vds) *. clm) +. (beta *. core *. lam) in
+    (* vov depends on vt(vbs): d ids/d vbs = beta*vds*clm * (-dvt) *)
+    let gmb = beta *. vds *. clm *. -.dvt in
+    { ids; gm; gds; gmb; region = Triode }
+  end
+  else begin
+    (* saturation *)
+    let clm = 1.0 +. (lam *. vds) in
+    let ids = 0.5 *. beta *. vov *. vov *. clm in
+    let gm = beta *. vov *. clm in
+    let gds = 0.5 *. beta *. vov *. vov *. lam in
+    let gmb = gm *. -.dvt in
+    { ids; gm; gds; gmb; region = Saturation }
+  end
+
+(* Handle vds < 0 by terminal swap: with vgd = vgs - vds playing the role
+   of vgs, vbd playing vbs, and the current reversed. Chain rule gives the
+   partials with respect to the *original* vgs/vds/vbs. *)
+let eval_nmos (p : Process.mos_params) ~w ~l ~vgs ~vds ~vbs =
+  if vds >= 0.0 then eval_nmos_fwd p ~w ~l ~vgs ~vds ~vbs
+  else begin
+    let r = eval_nmos_fwd p ~w ~l ~vgs:(vgs -. vds) ~vds:(-.vds) ~vbs:(vbs -. vds) in
+    {
+      ids = -.r.ids;
+      gm = r.gm;
+      gds = r.gm +. r.gds +. r.gmb;
+      gmb = r.gmb;
+      region = r.region;
+    }
+  end
+
+let eval (p : Process.mos_params) polarity ~w ~l ~vgs ~vds ~vbs =
+  if w <= 0.0 || l <= 0.0 then invalid_arg "Mosfet.eval: non-positive geometry";
+  match polarity with
+  | Process.Nmos -> eval_nmos p ~w ~l ~vgs ~vds ~vbs
+  | Process.Pmos ->
+    (* reflect: I_p(vgs,vds,vbs) = -I_n(-vgs,-vds,-vbs); partials keep sign *)
+    let r = eval_nmos p ~w ~l ~vgs:(-.vgs) ~vds:(-.vds) ~vbs:(-.vbs) in
+    { r with ids = -.r.ids }
+
+let threshold p polarity ~vbs =
+  match polarity with
+  | Process.Nmos -> vt_body p ~vbs
+  | Process.Pmos -> -.vt_body p ~vbs:(-.vbs)
+
+type caps = { cgs : float; cgd : float; cgb : float; cdb : float; csb : float }
+
+let capacitances (p : Process.mos_params) ~w ~l region =
+  let cox_total = p.cox *. w *. l in
+  let cov = p.cov *. w in
+  let cj = p.cj *. w *. p.ldiff in
+  match region with
+  | Cutoff -> { cgs = cov; cgd = cov; cgb = cox_total; cdb = cj; csb = cj }
+  | Triode ->
+    {
+      cgs = (0.5 *. cox_total) +. cov;
+      cgd = (0.5 *. cox_total) +. cov;
+      cgb = 0.0;
+      cdb = cj;
+      csb = cj;
+    }
+  | Saturation ->
+    {
+      cgs = (2.0 /. 3.0 *. cox_total) +. cov;
+      cgd = cov;
+      cgb = 0.0;
+      cdb = cj;
+      csb = cj;
+    }
+
+let vdsat p polarity ~vgs ~vbs =
+  match polarity with
+  | Process.Nmos -> Float.max 0.0 (vgs -. vt_body p ~vbs)
+  | Process.Pmos -> Float.max 0.0 (-.vgs -. vt_body p ~vbs:(-.vbs))

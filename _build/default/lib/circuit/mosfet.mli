@@ -1,0 +1,40 @@
+(** Level-1 MOSFET device equations.
+
+    Square-law model with channel-length modulation and body effect,
+    symmetric in drain/source (negative [vds] swaps the terminals
+    internally). PMOS devices are evaluated by polarity reflection.
+
+    Current convention: [ids] is the current flowing into the drain
+    terminal and out of the source terminal. For an NMOS in normal
+    operation [ids >= 0]; for a PMOS [ids <= 0]. *)
+
+type region = Cutoff | Triode | Saturation
+
+type eval = {
+  ids : float;  (** drain current, A *)
+  gm : float;   (** d ids / d vgs at the applied bias *)
+  gds : float;  (** d ids / d vds *)
+  gmb : float;  (** d ids / d vbs *)
+  region : region;
+}
+
+val eval :
+  Process.mos_params ->
+  Process.polarity ->
+  w:float -> l:float ->
+  vgs:float -> vds:float -> vbs:float ->
+  eval
+(** Evaluate the device at the given terminal-difference voltages. *)
+
+val threshold : Process.mos_params -> Process.polarity -> vbs:float -> float
+(** Body-effect-adjusted threshold voltage (signed: negative for PMOS). *)
+
+type caps = { cgs : float; cgd : float; cgb : float; cdb : float; csb : float }
+
+val capacitances :
+  Process.mos_params -> w:float -> l:float -> region -> caps
+(** Meyer-style region-dependent gate capacitances plus constant junction
+    capacitances; used for AC analysis and SFG construction. *)
+
+val vdsat : Process.mos_params -> Process.polarity -> vgs:float -> vbs:float -> float
+(** Saturation voltage [vgs - vt] (clamped at 0); magnitude for PMOS. *)

@@ -1,0 +1,73 @@
+type polarity = Nmos | Pmos
+
+type mos_params = {
+  vt0 : float;
+  kp : float;
+  lambda_l : float;
+  gamma : float;
+  phi : float;
+  cox : float;
+  cov : float;
+  cj : float;
+  ldiff : float;
+}
+
+type t = {
+  name : string;
+  vdd : float;
+  temperature : float;
+  nmos : mos_params;
+  pmos : mos_params;
+  l_min : float;
+  w_min : float;
+  cap_density : float;
+  cap_matching : float;
+  c_unit_min : float;
+}
+
+let boltzmann = 1.380649e-23
+let kt p = boltzmann *. p.temperature
+
+(* Representative 0.25 um parameters: tox ~ 5.7 nm -> Cox ~ 6 fF/um^2;
+   mu_n ~ 350 cm^2/Vs -> KPn ~ 210 uA/V^2; PMOS mobility ~ 1/3 of NMOS. *)
+let c025 =
+  {
+    name = "synthetic-025um-3p3V";
+    vdd = 3.3;
+    temperature = 300.0;
+    nmos =
+      {
+        vt0 = 0.55;
+        kp = 400e-6;
+        lambda_l = 0.04e-6;
+        gamma = 0.45;
+        phi = 0.85;
+        cox = 6.0e-3;
+        cov = 0.35e-9;
+        cj = 1.1e-3;
+        ldiff = 0.6e-6;
+      };
+    pmos =
+      {
+        vt0 = 0.60;
+        kp = 135e-6;
+        lambda_l = 0.05e-6;
+        gamma = 0.40;
+        phi = 0.85;
+        cox = 6.0e-3;
+        cov = 0.35e-9;
+        cj = 1.3e-3;
+        ldiff = 0.6e-6;
+      };
+    l_min = 0.25e-6;
+    w_min = 0.5e-6;
+    cap_density = 1.0e-3;
+    cap_matching = 5.0e-5;
+    c_unit_min = 8e-15;
+  }
+
+let mos p = function Nmos -> p.nmos | Pmos -> p.pmos
+
+let lambda_of params ~l =
+  if l <= 0.0 then invalid_arg "Process.lambda_of: l <= 0";
+  params.lambda_l /. l

@@ -1,0 +1,51 @@
+(** Synthetic 0.25 um, 3.3 V CMOS process.
+
+    The paper targets a proprietary 0.25 um 3.3 V process; we substitute a
+    level-1 (square-law) model with representative public-domain
+    parameters. The topology-optimization conclusions depend on scaling
+    laws (kT/C vs capacitance, gm/Id vs current, comparator count vs stage
+    bits), which a square-law process reproduces faithfully; see
+    DESIGN.md section 2. *)
+
+type polarity = Nmos | Pmos
+
+type mos_params = {
+  vt0 : float;      (** zero-bias threshold, V (magnitude) *)
+  kp : float;       (** transconductance parameter mu*Cox, A/V^2 *)
+  lambda_l : float; (** channel-length modulation coefficient * L, V^-1 * m.
+                        lambda(L) = lambda_l / L, giving longer channels
+                        proportionally higher output resistance. *)
+  gamma : float;    (** body-effect coefficient, sqrt(V) *)
+  phi : float;      (** 2*phi_F surface potential, V *)
+  cox : float;      (** gate-oxide capacitance per area, F/m^2 *)
+  cov : float;      (** gate-drain/source overlap cap per width, F/m *)
+  cj : float;       (** junction cap per drain/source area, F/m^2 *)
+  ldiff : float;    (** drain/source diffusion length, m *)
+}
+
+type t = {
+  name : string;
+  vdd : float;          (** supply voltage, V *)
+  temperature : float;  (** Kelvin *)
+  nmos : mos_params;
+  pmos : mos_params;
+  l_min : float;        (** minimum channel length, m *)
+  w_min : float;        (** minimum channel width, m *)
+  cap_density : float;  (** MiM/poly-poly capacitor density, F/m^2 *)
+  cap_matching : float; (** unit-capacitor relative sigma at 1 pF (MiM-class
+                            matching, ~0.01%), unitless *)
+  c_unit_min : float;   (** smallest practical unit capacitor, F *)
+}
+
+val boltzmann : float
+(** k = 1.380649e-23 J/K. *)
+
+val kt : t -> float
+(** k*T at the process temperature. *)
+
+val c025 : t
+(** The synthetic 0.25 um 3.3 V process used throughout the reproduction. *)
+
+val mos : t -> polarity -> mos_params
+val lambda_of : mos_params -> l:float -> float
+(** Effective channel-length-modulation coefficient at channel length [l]. *)

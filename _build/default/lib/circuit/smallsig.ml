@@ -1,0 +1,68 @@
+type mos_op = {
+  name : string;
+  polarity : Process.polarity;
+  region : Mosfet.region;
+  ids : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+  caps : Mosfet.caps;
+  vgs : float;
+  vds : float;
+  vbs : float;
+  vdsat : float;
+  w : float;
+  l : float;
+  mult : float;
+}
+
+type t = { op : Dc.result; mos : mos_op list }
+
+let extract nl (op : Dc.result) =
+  let v n = Mna.node_voltage_of op.x n in
+  let proc = Netlist.process nl in
+  let mos =
+    List.map
+      (fun (m : Netlist.mos) ->
+        let params = Process.mos proc m.polarity in
+        let vgs = v m.g -. v m.s and vds = v m.d -. v m.s and vbs = v m.b -. v m.s in
+        let e = Mosfet.eval params m.polarity ~w:m.w ~l:m.l ~vgs ~vds ~vbs in
+        let caps = Mosfet.capacitances params ~w:(m.w *. m.mult) ~l:m.l e.region in
+        {
+          name = m.m_name;
+          polarity = m.polarity;
+          region = e.region;
+          ids = m.mult *. e.ids;
+          gm = m.mult *. e.gm;
+          gds = m.mult *. e.gds;
+          gmb = m.mult *. e.gmb;
+          caps;
+          vgs;
+          vds;
+          vbs;
+          vdsat = Mosfet.vdsat params m.polarity ~vgs ~vbs;
+          w = m.w;
+          l = m.l;
+          mult = m.mult;
+        })
+      (Netlist.mos_devices nl)
+  in
+  { op; mos }
+
+let find_mos t name =
+  match List.find_opt (fun m -> String.equal m.name name) t.mos with
+  | Some m -> m
+  | None -> raise Not_found
+
+let total_supply_current nl (op : Dc.result) ~supply =
+  Float.abs (Dc.branch_current nl op supply)
+
+let saturation_ok t ~except =
+  List.for_all
+    (fun m ->
+      List.mem m.name except
+      ||
+      match m.region with
+      | Mosfet.Saturation -> true
+      | Mosfet.Triode | Mosfet.Cutoff -> false)
+    t.mos

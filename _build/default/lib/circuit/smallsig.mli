@@ -1,0 +1,39 @@
+(** Small-signal parameter extraction at a DC operating point.
+
+    This is the "DC simulation to extract small signal values" step of the
+    paper's hybrid evaluation: the numbers feed both the AC engine and the
+    DPI/SFG symbolic transfer functions. *)
+
+type mos_op = {
+  name : string;
+  polarity : Process.polarity;
+  region : Mosfet.region;
+  ids : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+  caps : Mosfet.caps;
+  vgs : float;
+  vds : float;
+  vbs : float;
+  vdsat : float;
+  w : float;
+  l : float;
+  mult : float;
+}
+
+type t = {
+  op : Dc.result;
+  mos : mos_op list;
+}
+
+val extract : Netlist.t -> Dc.result -> t
+val find_mos : t -> string -> mos_op
+(** Raises [Not_found] for unknown device names. *)
+
+val total_supply_current : Netlist.t -> Dc.result -> supply:string -> float
+(** Magnitude of the DC current drawn from the named supply source. *)
+
+val saturation_ok : t -> except:string list -> bool
+(** True when every MOSFET (other than the listed names, e.g. switches)
+    operates in saturation — the usual analog bias-validity check. *)

@@ -1,0 +1,53 @@
+type t =
+  | Dc of float
+  | Pulse of {
+      v_low : float;
+      v_high : float;
+      t_delay : float;
+      t_rise : float;
+      t_fall : float;
+      t_width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; phase : float }
+  | Pwl of (float * float) array
+
+let pwl_value points t =
+  let n = Array.length points in
+  if n = 0 then 0.0
+  else if t <= fst points.(0) then snd points.(0)
+  else if t >= fst points.(n - 1) then snd points.(n - 1)
+  else begin
+    let rec seek i =
+      if fst points.(i + 1) >= t then i else seek (i + 1)
+    in
+    let i = seek 0 in
+    let t0, v0 = points.(i) and t1, v1 = points.(i + 1) in
+    if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+  end
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Sine { offset; amplitude; freq; phase } ->
+    offset +. (amplitude *. sin ((2.0 *. Float.pi *. freq *. t) +. phase))
+  | Pwl points -> pwl_value points t
+  | Pulse { v_low; v_high; t_delay; t_rise; t_fall; t_width; period } ->
+    if t < t_delay then v_low
+    else begin
+      let tc =
+        if period > 0.0 then Float.rem (t -. t_delay) period else t -. t_delay
+      in
+      if tc < t_rise then
+        v_low +. ((v_high -. v_low) *. tc /. Float.max t_rise 1e-15)
+      else if tc < t_rise +. t_width then v_high
+      else if tc < t_rise +. t_width +. t_fall then
+        v_high
+        -. ((v_high -. v_low) *. (tc -. t_rise -. t_width) /. Float.max t_fall 1e-15)
+      else v_low
+    end
+
+let dc_value w = value w 0.0
+
+let step ?(t0 = 0.0) ~from ~to_ () =
+  Pwl [| (t0, from); (t0 +. 1e-12, to_) |]

@@ -1,0 +1,27 @@
+(** Time-domain source waveforms. *)
+
+type t =
+  | Dc of float
+  | Pulse of {
+      v_low : float;
+      v_high : float;
+      t_delay : float;
+      t_rise : float;
+      t_fall : float;
+      t_width : float;
+      period : float;
+    }
+  | Sine of { offset : float; amplitude : float; freq : float; phase : float }
+  | Pwl of (float * float) array
+      (** Piecewise-linear (time, value) points with increasing time;
+          held constant outside the range. *)
+
+val value : t -> float -> float
+(** [value w t] is the source value at time [t]. *)
+
+val dc_value : t -> float
+(** The operating-point value (the waveform at t = 0, or the DC level). *)
+
+val step : ?t0:float -> from:float -> to_:float -> unit -> t
+(** An ideal-in-the-limit step realized as a 1 ps ramp at [t0] (default
+    0); convenient for settling test benches. *)

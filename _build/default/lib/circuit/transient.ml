@@ -1,0 +1,111 @@
+module Vec = Adc_numerics.Vec
+module Mat = Adc_numerics.Mat
+type waveforms = { times : float array; data : float array array }
+
+let run ?x0 ?(max_newton = 60) nl ~t_stop ~dt =
+  if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Transient.run: bad time parameters";
+  let x0 =
+    match x0 with
+    | Some x -> Ok (Vec.copy x)
+    | None -> begin
+      match Dc.solve ~time:0.0 nl with
+      | Ok r -> Ok r.x
+      | Error e -> Error ("Transient.run: initial DC failed: " ^ e)
+    end
+  in
+  match x0 with
+  | Error e -> Error e
+  | Ok x0 ->
+    let n_caps = Mna.cap_count nl in
+    let n_steps = int_of_float (Float.ceil (t_stop /. dt)) in
+    let v_of x node = Mna.node_voltage_of x node in
+    (* capacitor history: voltage difference and branch current at the
+       previous accepted time point *)
+    let cap_v = Array.make n_caps 0.0 in
+    let cap_i = Array.make n_caps 0.0 in
+    (* initialize cap voltages from x0 *)
+    let cap_nodes = Array.make n_caps (0, 0, 0.0) in
+    let k = ref 0 in
+    List.iter
+      (fun d ->
+        match d with
+        | Netlist.Capacitor { np; nn; farads; _ } ->
+          cap_nodes.(!k) <- (np, nn, farads);
+          cap_v.(!k) <- v_of x0 np -. v_of x0 nn;
+          incr k
+        | Netlist.Resistor _ | Netlist.Vsource _ | Netlist.Isource _
+        | Netlist.Vcvs _ | Netlist.Mos _ | Netlist.Switch _ -> ())
+      (Netlist.devices nl);
+    let times = Array.make (n_steps + 1) 0.0 in
+    let data = Array.make (n_steps + 1) [||] in
+    data.(0) <- Vec.copy x0;
+    let x = ref (Vec.copy x0) in
+    let error = ref None in
+    (* step [si]: solve for the state at time si*dt *)
+    let step si =
+      let t = float_of_int si *. dt in
+      times.(si) <- t;
+      let first = si = 1 in
+      let companion ~cap_index ~np:_ ~nn:_ ~farads =
+        if first then
+          (* backward Euler start-up *)
+          let geq = farads /. dt in
+          { Mna.geq; ieq = -.geq *. cap_v.(cap_index) }
+        else
+          (* trapezoidal *)
+          let geq = 2.0 *. farads /. dt in
+          { Mna.geq; ieq = -.((geq *. cap_v.(cap_index)) +. cap_i.(cap_index)) }
+      in
+      match
+        Dc.newton ~max_iter:max_newton ~vstep_limit:3.3 ~x0:!x ~time:t
+          ~source_scale:1.0 ~gmin:1e-12
+          ~cap_policy:(Mna.Cap_companion companion) nl
+      with
+      | Error e -> error := Some (Printf.sprintf "Transient.run: t=%.4g: %s" t e)
+      | Ok (x', _) ->
+        (* update capacitor history *)
+        Array.iteri
+          (fun ci (np, nn, farads) ->
+            let vd = v_of x' np -. v_of x' nn in
+            let i_new =
+              if first then farads /. dt *. (vd -. cap_v.(ci))
+              else (2.0 *. farads /. dt *. (vd -. cap_v.(ci))) -. cap_i.(ci)
+            in
+            cap_v.(ci) <- vd;
+            cap_i.(ci) <- i_new)
+          cap_nodes;
+        x := x';
+        data.(si) <- Vec.copy x'
+    in
+    let si = ref 1 in
+    while !error = None && !si <= n_steps do
+      step !si;
+      incr si
+    done;
+    (match !error with
+    | Some e -> Error e
+    | None -> Ok { times; data })
+
+let node_waveform _nl { times; data } node =
+  let idx = Netlist.node_index node in
+  Array.mapi
+    (fun i t -> (t, if idx = 0 then 0.0 else data.(i).(idx - 1)))
+    times
+
+let final_voltage nl w node =
+  let wf = node_waveform nl w node in
+  snd wf.(Array.length wf - 1)
+
+let settling_time nl w node ~target ~tol =
+  let wf = node_waveform nl w node in
+  let n = Array.length wf in
+  if Float.abs (snd wf.(n - 1) -. target) > tol then None
+  else begin
+    let rec go i =
+      if i < 0 then Some (fst wf.(0))
+      else if Float.abs (snd wf.(i) -. target) > tol then
+        if i = n - 1 then None else Some (fst wf.(i + 1))
+      else go (i - 1)
+    in
+    go (n - 1)
+  end

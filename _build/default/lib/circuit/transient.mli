@@ -1,0 +1,37 @@
+(** Transient analysis.
+
+    Fixed-step integration with a Newton solve at every step. The first
+    step uses backward Euler to start the capacitor-current history, then
+    trapezoidal integration takes over (the standard SPICE pairing:
+    A-stable start-up, second-order accuracy afterwards).
+
+    Device capacitances of MOSFETs are not included automatically; the
+    switched-capacitor test benches model them with explicit capacitors,
+    which keeps the transient behaviour interpretable (see DESIGN.md). *)
+
+type waveforms = {
+  times : float array;
+  data : float array array;  (** [data.(step).(unknown)] *)
+}
+
+val run :
+  ?x0:float array ->
+  ?max_newton:int ->
+  Netlist.t ->
+  t_stop:float ->
+  dt:float ->
+  (waveforms, string) result
+(** Simulate from t = 0 to [t_stop]. When [x0] is omitted the initial
+    state is the DC operating point at t = 0 (switches in their t = 0
+    state). *)
+
+val node_waveform : Netlist.t -> waveforms -> Netlist.node -> (float * float) array
+(** Time series of one node voltage. *)
+
+val final_voltage : Netlist.t -> waveforms -> Netlist.node -> float
+
+val settling_time :
+  Netlist.t -> waveforms -> Netlist.node -> target:float -> tol:float -> float option
+(** Last instant at which the node leaves the [target +- tol] band; [None]
+    if it never enters or never leaves it (never settles -> [None] when
+    the final value is still outside the band). *)

@@ -1,0 +1,1 @@
+lib/core/area_model.ml: Adc_circuit Adc_mdac Config List Spec

@@ -1,0 +1,1 @@
+lib/core/behavioral.ml: Adc_mdac Adc_numerics Adc_synth Array Config Float List Optimize Spec Stdlib

@@ -1,0 +1,1 @@
+lib/core/behavioral.mli: Adc_numerics Config Optimize Spec

@@ -1,0 +1,1 @@
+lib/core/correction.mli: Config

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Adc_numerics Array Behavioral Complex Float

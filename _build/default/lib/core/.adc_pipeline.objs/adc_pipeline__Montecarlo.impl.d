@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Adc_circuit Adc_mdac Adc_numerics Array Behavioral List Metrics Spec

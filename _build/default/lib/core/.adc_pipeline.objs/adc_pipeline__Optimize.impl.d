@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Adc_synth Config Hashtbl List Logs Power_model Spec Stdlib

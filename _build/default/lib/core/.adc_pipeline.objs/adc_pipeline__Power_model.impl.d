@@ -1,0 +1,1 @@
+lib/core/power_model.ml: Adc_mdac Config List Spec

@@ -1,0 +1,1 @@
+lib/core/report.ml: Adc_numerics Buffer Config List Optimize Printf Spec Stdlib

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Adc_numerics Buffer Config Float List Optimize Printf Spec Stdlib

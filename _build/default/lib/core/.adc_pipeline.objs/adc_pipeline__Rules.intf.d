@@ -1,0 +1,1 @@
+lib/core/rules.mli: Adc_synth Config Optimize Spec

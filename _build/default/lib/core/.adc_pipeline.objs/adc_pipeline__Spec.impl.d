@@ -1,0 +1,1 @@
+lib/core/spec.ml: Adc_circuit Adc_mdac Config List Printf

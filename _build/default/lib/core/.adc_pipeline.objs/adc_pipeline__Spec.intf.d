@@ -1,0 +1,1 @@
+lib/core/spec.mli: Adc_circuit Adc_mdac Config

@@ -1,0 +1,77 @@
+module Mdac_stage = Adc_mdac.Mdac_stage
+module Comparator = Adc_mdac.Comparator
+module Process = Adc_circuit.Process
+
+type stage_area = {
+  job : Spec.job;
+  a_caps : float;
+  a_active : float;
+  a_comparators : float;
+  a_total : float;
+}
+
+type config_area = {
+  config : Config.t;
+  stages : stage_area list;
+  total : float;
+}
+
+(* one comparator slice: latch + preamp + local routing *)
+let comparator_slice_area = 450e-12
+
+(* amplifier active area from the equation-model currents at a nominal
+   current density, plus the compensation capacitor *)
+let active_area_of proc (breakdown : Mdac_stage.power_breakdown) =
+  let current_density = 180.0 (* A/m^2 of active silicon, empirical *) in
+  let device_area =
+    (breakdown.Mdac_stage.i_tail +. breakdown.Mdac_stage.i_stage2) /. current_density
+  in
+  let cc_area = breakdown.Mdac_stage.c_comp /. proc.Process.cap_density in
+  device_area +. cc_area
+
+let stage (spec : Spec.t) (job : Spec.job) =
+  let req = Spec.stage_requirements spec job in
+  let proc = spec.Spec.process in
+  let breakdown =
+    Mdac_stage.equation_power ~model:spec.Spec.calibration.Spec.power_model proc req
+  in
+  (* sampling array is laid out twice (sample + feedback share units but
+     routing and dummies double the raw plate area) *)
+  let a_caps =
+    2.0 *. req.Mdac_stage.caps.Adc_mdac.Caps.c_total /. proc.Process.cap_density
+  in
+  let a_active = active_area_of proc breakdown in
+  let a_comparators =
+    float_of_int (Comparator.count ~m:job.Spec.m) *. comparator_slice_area
+  in
+  { job; a_caps; a_active; a_comparators; a_total = a_caps +. a_active +. a_comparators }
+
+let config spec c =
+  let stages = List.map (stage spec) (Spec.jobs_of_config spec c) in
+  { config = c; stages; total = List.fold_left (fun a s -> a +. s.a_total) 0.0 stages }
+
+let rank spec candidates =
+  candidates |> List.map (config spec)
+  |> List.sort (fun a b -> compare a.total b.total)
+
+(* area of an arbitrary (possibly non-monotone) stage list at resolution k *)
+let area_of_sequence spec ~k stages_list =
+  let jobs =
+    List.map
+      (fun (m, bits) -> { Spec.m; input_bits = bits })
+      (Config.stage_input_bits ~k stages_list)
+  in
+  List.fold_left (fun a j -> a +. (stage spec j).a_total) 0.0 jobs
+
+let monotonicity_argument spec ~k =
+  let forward =
+    match
+      Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec)
+      |> List.filter (fun c -> List.length c > 1 && List.hd c > List.nth c (List.length c - 1))
+    with
+    | c :: _ -> c
+    | [] -> invalid_arg "Area_model.monotonicity_argument: no multi-resolution candidate"
+  in
+  let reversed = List.rev forward in
+  ( (forward, area_of_sequence spec ~k forward),
+    (reversed, area_of_sequence spec ~k reversed) )

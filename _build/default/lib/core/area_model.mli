@@ -1,0 +1,35 @@
+(** Stage and configuration area estimates.
+
+    The paper's [m_i >= m_(i+1)] enumeration constraint "arises because
+    of the area factor": a high-resolution stage late in the pipeline
+    would spend a large capacitor array and sub-ADC where accuracy no
+    longer demands it. This model quantifies that designer argument:
+    capacitor area from the sampling array, active area from the
+    equation-model device currents, and comparator area per sub-ADC
+    slice. *)
+
+type stage_area = {
+  job : Spec.job;
+  a_caps : float;        (** sampling + feedback array, m^2 *)
+  a_active : float;      (** amplifier devices (from current density), m^2 *)
+  a_comparators : float; (** sub-ADC, m^2 *)
+  a_total : float;
+}
+
+type config_area = {
+  config : Config.t;
+  stages : stage_area list;
+  total : float;
+}
+
+val stage : Spec.t -> Spec.job -> stage_area
+val config : Spec.t -> Config.t -> config_area
+
+val rank : Spec.t -> Config.t list -> config_area list
+(** Sorted by ascending total area. *)
+
+val monotonicity_argument : Spec.t -> k:int -> (Config.t * float) * (Config.t * float)
+(** The designer's area case for [m_i >= m_(i+1)]: compares a
+    non-increasing candidate with its reversed (increasing) counterpart
+    at the same resolution and returns both areas — the reversed one is
+    consistently larger. *)

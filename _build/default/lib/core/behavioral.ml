@@ -1,0 +1,177 @@
+module Comparator = Adc_mdac.Comparator
+module Rng = Adc_numerics.Rng
+module Synthesizer = Adc_synth.Synthesizer
+
+type stage_impairment = {
+  gain_error : float;
+  settle_error : float;
+  offsets : float array;
+  noise_rms : float;
+}
+
+let ideal_impairment ~m =
+  {
+    gain_error = 0.0;
+    settle_error = 0.0;
+    offsets = Array.make (Comparator.count ~m) 0.0;
+    noise_rms = 0.0;
+  }
+
+type stage = { m : int; imp : stage_impairment }
+
+type t = {
+  k : int;
+  vref_pp : float;
+  stages : stage list;
+  backend_bits : int;
+}
+
+let create ?backend_bits (spec : Spec.t) config imps =
+  if List.length config <> List.length imps then
+    invalid_arg "Behavioral.create: impairment list length mismatch";
+  List.iter2
+    (fun m imp ->
+      if Array.length imp.offsets <> Comparator.count ~m then
+        invalid_arg "Behavioral.create: offsets length mismatch")
+    config imps;
+  let backend_bits =
+    match backend_bits with
+    | Some b -> b
+    | None -> spec.Spec.k - Config.effective_bits config
+  in
+  if backend_bits < 0 then invalid_arg "Behavioral.create: negative backend resolution";
+  {
+    k = spec.Spec.k;
+    vref_pp = spec.Spec.vref_pp;
+    stages = List.map2 (fun m imp -> { m; imp }) config imps;
+    backend_bits;
+  }
+
+let ideal spec config =
+  create spec config (List.map (fun m -> ideal_impairment ~m) config)
+
+let of_synthesis (spec : Spec.t) (cr : Optimize.config_result) =
+  let imps =
+    List.map
+      (fun (s : Optimize.stage_result) ->
+        let m = s.Optimize.job.Spec.m in
+        match s.Optimize.solution with
+        | None -> ideal_impairment ~m
+        | Some sol ->
+          let req = Spec.stage_requirements spec s.Optimize.job in
+          let beta = req.Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.beta in
+          let gain_error =
+            match sol.Synthesizer.performance with
+            | Some perf -> -1.0 /. Float.max (perf.Adc_mdac.Ota.dc_gain *. beta) 10.0
+            | None -> 0.0
+          in
+          let settle_error =
+            match sol.Synthesizer.settling with
+            | Some st -> st.Adc_mdac.Ota.static_error
+            | None -> 0.0
+          in
+          { (ideal_impairment ~m) with gain_error; settle_error })
+      cr.Optimize.stages
+  in
+  create spec cr.Optimize.config imps
+
+let with_random_offsets rng ~sigma t =
+  {
+    t with
+    stages =
+      List.map
+        (fun st ->
+          let offsets =
+            Array.map (fun _ -> Rng.gaussian_scaled rng ~mean:0.0 ~sigma) st.imp.offsets
+          in
+          { st with imp = { st.imp with offsets } })
+        t.stages;
+  }
+
+let n_codes t = 1 lsl t.k
+let full_scale_pp t = t.vref_pp
+
+(* All arithmetic in normalized coordinates x in [-1, 1]. *)
+let flash_code t (st : stage) x =
+  let offsets_norm =
+    Array.map (fun o -> o /. (t.vref_pp /. 2.0)) st.imp.offsets
+  in
+  (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m:st.m ~offsets:offsets_norm x).Comparator.code
+
+let dac_value st code =
+  let n = (1 lsl st.m) - 2 in
+  (float_of_int code -. (float_of_int n /. 2.0)) *. (2.0 ** float_of_int (1 - st.m))
+
+let residue ?rng t (st : stage) x code =
+  let gain = 2.0 ** float_of_int (st.m - 1) in
+  let ideal = gain *. (x -. dac_value st code) in
+  let distorted = ideal *. (1.0 +. st.imp.gain_error) *. (1.0 -. st.imp.settle_error) in
+  (* noise_rms is input-referred (the kT/C sample), so it is amplified by
+     the interstage gain like the signal *)
+  let noise =
+    match rng with
+    | Some rng when st.imp.noise_rms > 0.0 ->
+      gain *. Rng.gaussian_scaled rng ~mean:0.0
+                ~sigma:(st.imp.noise_rms /. (t.vref_pp /. 2.0))
+    | Some _ | None -> 0.0
+  in
+  distorted +. noise
+
+let convert ?rng t v =
+  let x0 = v /. (t.vref_pp /. 2.0) in
+  let x0 = Float.max (-1.0) (Float.min 1.0 x0) in
+  let rec pipeline x weight acc = function
+    | [] ->
+      (* ideal backend quantizer on the final residue *)
+      let b = t.backend_bits in
+      if b = 0 then acc
+      else begin
+        let levels = float_of_int (1 lsl b) in
+        let q = Float.floor ((Float.max (-1.0) (Float.min 0.999999 x) +. 1.0) /. 2.0 *. levels) in
+        let x_q = (((2.0 *. q) +. 1.0) /. levels) -. 1.0 in
+        acc +. (x_q *. weight)
+      end
+    | st :: rest ->
+      let code = flash_code t st x in
+      let acc = acc +. (dac_value st code *. weight) in
+      let x' = residue ?rng t st x code in
+      pipeline x' (weight /. (2.0 ** float_of_int (st.m - 1))) acc rest
+  in
+  let x_hat = pipeline x0 1.0 0.0 t.stages in
+  let codes = float_of_int (n_codes t) in
+  let code = int_of_float (Float.floor ((x_hat +. 1.0) /. 2.0 *. codes)) in
+  Stdlib.max 0 (Stdlib.min (n_codes t - 1) code)
+
+let convert_array ?rng t vs = Array.map (convert ?rng t) vs
+
+let raw_codes t v =
+  let x0 = v /. (t.vref_pp /. 2.0) in
+  let rec go x = function
+    | [] -> []
+    | st :: rest ->
+      let code = flash_code t st x in
+      code :: go (residue t st x code) rest
+  in
+  go x0 t.stages
+
+let backend_quantize t x =
+  let b = t.backend_bits in
+  if b = 0 then 0
+  else begin
+    let levels = float_of_int (1 lsl b) in
+    let q =
+      Float.floor ((Float.max (-1.0) (Float.min 0.999999 x) +. 1.0) /. 2.0 *. levels)
+    in
+    int_of_float q
+  end
+
+let raw_conversion t v =
+  let x0 = v /. (t.vref_pp /. 2.0) in
+  let x0 = Float.max (-1.0) (Float.min 1.0 x0) in
+  let rec go x acc = function
+    | [] -> (List.rev acc, backend_quantize t x)
+    | st :: rest ->
+      let code = flash_code t st x in
+      go (residue t st x code) (code :: acc) rest
+  in
+  go x0 [] t.stages

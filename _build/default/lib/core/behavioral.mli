@@ -1,0 +1,64 @@
+(** Behavioral pipelined ADC with digital correction.
+
+    Validates a stage-resolution configuration end to end: every stage is
+    a flash sub-ADC plus an ideal-or-impaired MDAC residue amplifier, the
+    backend is an ideal quantizer, and the digital correction logic
+    recombines the redundant stage codes exactly as the hardware would.
+    Impairments (finite gain, incomplete settling, comparator offsets,
+    thermal noise) map one-to-one onto the circuit-level quantities the
+    synthesis flow produces, closing the loop between the system and the
+    circuit levels. *)
+
+type stage_impairment = {
+  gain_error : float;        (** relative interstage-gain error *)
+  settle_error : float;      (** relative incomplete-settling error *)
+  offsets : float array;     (** comparator offsets, V; length 2^m - 2 *)
+  noise_rms : float;         (** input-referred sampled noise of the stage, V rms *)
+}
+
+val ideal_impairment : m:int -> stage_impairment
+
+type t
+
+val create :
+  ?backend_bits:int ->
+  Spec.t ->
+  Config.t ->
+  stage_impairment list ->
+  t
+(** [create spec config imps] builds the converter from the leading-stage
+    configuration (extended with an ideal backend quantizer of
+    [backend_bits], default the spec's backend). [imps] must match the
+    config length. *)
+
+val ideal : Spec.t -> Config.t -> t
+
+val of_synthesis : Spec.t -> Optimize.config_result -> t
+(** Map a synthesized candidate's per-stage static error (finite-gain) and
+    settling results onto behavioral impairments; comparator offsets are
+    zero (deterministic). *)
+
+val with_random_offsets : Adc_numerics.Rng.t -> sigma:float -> t -> t
+(** Re-draw comparator offsets with the given sigma (checks redundancy
+    margin experimentally). *)
+
+val n_codes : t -> int
+
+val full_scale_pp : t -> float
+(** Peak-to-peak input range of the converter, V. *)
+
+val convert : ?rng:Adc_numerics.Rng.t -> t -> float -> int
+(** One conversion of an input voltage (volts, centered on vcm = 0 in
+    this model's coordinates: inputs span [-vref_pp/2, +vref_pp/2]).
+    [rng] enables the per-stage noise draw. *)
+
+val convert_array : ?rng:Adc_numerics.Rng.t -> t -> float array -> int array
+
+val raw_codes : t -> float -> int list
+(** The uncorrected per-stage sub-ADC codes (for tests of the correction
+    logic). *)
+
+val raw_conversion : t -> float -> int list * int
+(** Per-stage sub-ADC codes plus the backend quantizer code — the exact
+    inputs the hardware digital-correction adder (see {!Correction})
+    receives. Deterministic (no noise draw). *)

@@ -1,0 +1,68 @@
+type t = int list
+
+let to_string c = String.concat "-" (List.map string_of_int c)
+
+let of_string s =
+  match String.split_on_char '-' (String.trim s) with
+  | [] | [ "" ] -> invalid_arg "Config.of_string: empty"
+  | parts ->
+    List.map
+      (fun p ->
+        match int_of_string_opt (String.trim p) with
+        | Some m when m >= 2 -> m
+        | Some _ | None -> invalid_arg ("Config.of_string: bad stage " ^ p))
+      parts
+
+let effective_bits c = List.fold_left (fun acc m -> acc + m - 1) 0 c
+
+let is_valid ?(m_min = 2) ?(m_max = 4) c =
+  let rec monotone = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+  in
+  c <> []
+  && List.for_all (fun m -> m >= m_min && m <= m_max) c
+  && monotone c
+
+(* Non-increasing sequences with parts (m-1) in {1,2,3} summing to
+   [total]: classic bounded-partition enumeration. *)
+let partitions ~total ~max_part =
+  let rec go total max_part =
+    if total = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun part ->
+          if part <= total then
+            List.map (fun rest -> part :: rest) (go (total - part) part)
+          else [])
+        (List.init max_part (fun i -> max_part - i))
+  in
+  go total max_part
+
+let enumerate_leading ~k ~backend_bits =
+  if k <= backend_bits then
+    invalid_arg "Config.enumerate_leading: k must exceed backend_bits";
+  let total = k - backend_bits in
+  partitions ~total ~max_part:3
+  |> List.map (fun parts -> List.map (fun p -> p + 1) parts)
+  |> List.sort (fun a b -> compare b a)
+
+let enumerate_full ~k =
+  partitions ~total:k ~max_part:3
+  |> List.map (fun parts -> List.map (fun p -> p + 1) parts)
+  |> List.sort (fun a b -> compare b a)
+
+let extend_with_twos ~k c =
+  let used = effective_bits c in
+  if used > k then invalid_arg "Config.extend_with_twos: too many bits";
+  let rec fill remaining = if remaining <= 0 then [] else 2 :: fill (remaining - 1) in
+  c @ fill (k - used)
+
+let stage_input_bits ~k c =
+  let rec go remaining = function
+    | [] -> []
+    | m :: rest -> (m, remaining) :: go (remaining - (m - 1)) rest
+  in
+  go k c
+
+let backend_bits_after ~k c = k - effective_bits c

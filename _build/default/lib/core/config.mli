@@ -1,0 +1,49 @@
+(** Pipeline stage-resolution configurations and candidate enumeration.
+
+    A configuration is the list of per-stage resolutions [m_1; m_2; ...]
+    (raw bits including the redundant bit). Each stage contributes
+    [m_i - 1] effective bits, so a K-bit converter satisfies
+    [sum (m_i - 1) = K] over the whole pipeline.
+
+    Candidate enumeration (paper Section 2): all leading-stage sequences
+    with [m_i] in [{2, 3, 4}] ([m_i <= 4] for closed-loop-bandwidth
+    reasons) and [m_i >= m_(i+1)] (area practice), carried until the
+    remaining backend resolution drops to [backend_bits] (7 in the
+    paper — the front stages dominate power). For K = 13 this yields
+    exactly the paper's seven candidates. *)
+
+type t = int list
+(** Stage resolutions, first stage first. *)
+
+val to_string : t -> string
+(** "4-3-2" style. *)
+
+val of_string : string -> t
+(** Parse "4-3-2"; raises [Invalid_argument] on malformed input. *)
+
+val effective_bits : t -> int
+(** [sum (m_i - 1)]. *)
+
+val is_valid : ?m_min:int -> ?m_max:int -> t -> bool
+(** Bounds and the non-increasing constraint. *)
+
+val enumerate_leading : k:int -> backend_bits:int -> t list
+(** All candidates for a K-bit converter: non-increasing [m_i] in
+    {2,3,4} with [effective_bits = k - backend_bits]. Sorted with larger
+    leading resolutions first. Raises [Invalid_argument] when
+    [k <= backend_bits]. *)
+
+val enumerate_full : k:int -> t list
+(** Complete pipelines resolving all [k] bits under the same rules
+    (last stage allowed to be 2). Used by the behavioral simulator. *)
+
+val extend_with_twos : k:int -> t -> t
+(** Fill a leading candidate out to a full K-bit pipeline with 2-bit
+    stages (the paper's backend assumption). *)
+
+val stage_input_bits : k:int -> t -> (int * int) list
+(** For each stage, [(m_i, B_i)] where [B_i] is the resolution remaining
+    at the stage input ([B_1 = k]). *)
+
+val backend_bits_after : k:int -> t -> int
+(** Resolution left for the backend after the listed stages. *)

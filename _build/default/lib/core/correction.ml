@@ -1,0 +1,56 @@
+type t = {
+  k : int;
+  config : Config.t;
+  backend_bits : int;
+  weights : int list;       (* 2^(B_(i+1) - 1) per stage *)
+  max_codes : int list;     (* 2^m_i - 2 per stage *)
+  constant : int;
+}
+
+(* Derivation (see behavioral.ml for the arithmetic form): with
+   S_i = sum_(j<=i) (m_j - 1) and B_(i+1) = k - S_i,
+
+     code = sum_i d_i * 2^(B_(i+1) - 1)  +  q  +  C
+     C    = 2^(k-1) - 2^(backend-1)
+            - sum_i (2^(m_i - 1) - 1) * 2^(B_(i+1) - 1)
+
+   i.e. one shift per stage, one adder tree, one constant. *)
+let create ~k ~config ~backend_bits =
+  if backend_bits < 1 then invalid_arg "Correction.create: backend_bits < 1";
+  if Config.effective_bits config + backend_bits <> k then
+    invalid_arg "Correction.create: stage bits + backend do not sum to k";
+  let rec shifts remaining = function
+    | [] -> []
+    | m :: rest ->
+      let after = remaining - (m - 1) in
+      (after - 1) :: shifts after rest
+  in
+  let shift_amounts = shifts k config in
+  let weights = List.map (fun s -> 1 lsl s) shift_amounts in
+  let max_codes = List.map (fun m -> (1 lsl m) - 2) config in
+  let constant =
+    (1 lsl (k - 1))
+    - (1 lsl (backend_bits - 1))
+    - List.fold_left2
+        (fun acc m w -> acc + (((1 lsl (m - 1)) - 1) * w))
+        0 config weights
+  in
+  { k; config; backend_bits; weights; max_codes; constant }
+
+let combine t ~stage_codes ~backend_code =
+  if List.length stage_codes <> List.length t.config then
+    invalid_arg "Correction.combine: stage code count mismatch";
+  List.iter2
+    (fun d max_d ->
+      if d < 0 || d > max_d then invalid_arg "Correction.combine: stage code out of range")
+    stage_codes t.max_codes;
+  if backend_code < 0 || backend_code >= 1 lsl t.backend_bits then
+    invalid_arg "Correction.combine: backend code out of range";
+  let sum =
+    List.fold_left2 (fun acc d w -> acc + (d * w)) 0 stage_codes t.weights
+    + backend_code + t.constant
+  in
+  Stdlib.max 0 (Stdlib.min ((1 lsl t.k) - 1) sum)
+
+let stage_weights t = t.weights
+let alignment_constant t = t.constant

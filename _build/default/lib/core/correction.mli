@@ -1,0 +1,27 @@
+(** Digital correction logic.
+
+    The hardware that merges the redundant per-stage codes: every stage's
+    sub-ADC code is left-shifted to its weight and added, together with
+    the backend code and a constant alignment offset — one adder tree, no
+    multipliers. This module implements that integer datapath exactly and
+    is proven (by property test) equivalent to the arithmetic
+    reconstruction inside {!Behavioral}. *)
+
+type t
+
+val create : k:int -> config:Config.t -> backend_bits:int -> t
+(** Precompute the shift amounts and the alignment constant for a
+    pipeline with the given leading stages. Raises [Invalid_argument]
+    when the bit budget is inconsistent ([sum (m_i - 1) + backend > k]
+    or negative backend). *)
+
+val combine : t -> stage_codes:int list -> backend_code:int -> int
+(** The corrected output code, clamped to [0, 2^k - 1]. Stage codes must
+    be in [0, 2^m_i - 2] and the backend code in [0, 2^backend - 1]
+    (checked). *)
+
+val stage_weights : t -> int list
+(** The power-of-two weight applied to each stage code (for tests and
+    documentation of the adder structure). *)
+
+val alignment_constant : t -> int

@@ -1,0 +1,112 @@
+module Fft = Adc_numerics.Fft
+
+type static_report = {
+  dnl_max : float;
+  inl_max : float;
+  missing_codes : int;
+  n_transitions : int;
+}
+
+(* Locate the input level of every code transition with a fine ramp,
+   then compare code widths against the ideal LSB. *)
+let static_linearity ?(oversample = 16) adc =
+  let n_codes = Behavioral.n_codes adc in
+  let half_fs = Behavioral.full_scale_pp adc /. 2.0 in
+  let n_points = n_codes * oversample in
+  let transitions = Array.make (n_codes + 1) Float.nan in
+  let prev_code = ref (-1) in
+  for i = 0 to n_points - 1 do
+    (* normalized input in (-1, 1) *)
+    let x = (((float_of_int i +. 0.5) /. float_of_int n_points) *. 2.0) -. 1.0 in
+    let code = Behavioral.convert adc (x *. half_fs) in
+    if code <> !prev_code then begin
+      for c = !prev_code + 1 to code do
+        if c >= 0 && c <= n_codes then transitions.(c) <- x
+      done;
+      prev_code := code
+    end
+  done;
+  let lsb = 2.0 /. float_of_int n_codes in
+  let dnl_max = ref 0.0 and inl_max = ref 0.0 in
+  let missing = ref 0 and found = ref 0 in
+  (* usable transition range: first and last codes clip *)
+  let first_t = ref None and last_t = ref None in
+  for c = 1 to n_codes - 1 do
+    if Float.is_nan transitions.(c) then incr missing
+    else begin
+      incr found;
+      if !first_t = None then first_t := Some c;
+      last_t := Some c
+    end
+  done;
+  (match (!first_t, !last_t) with
+  | Some c0, Some c1 when c1 > c0 ->
+    (* endpoint-fit line through the first and last observed transitions *)
+    let t0 = transitions.(c0) and t1 = transitions.(c1) in
+    let slope = (t1 -. t0) /. float_of_int (c1 - c0) in
+    for c = c0 to c1 do
+      if not (Float.is_nan transitions.(c)) then begin
+        let ideal = t0 +. (slope *. float_of_int (c - c0)) in
+        let inl = (transitions.(c) -. ideal) /. lsb in
+        if Float.abs inl > Float.abs !inl_max then inl_max := inl
+      end;
+      if c > c0 && (not (Float.is_nan transitions.(c))) && not (Float.is_nan transitions.(c - 1))
+      then begin
+        let width = (transitions.(c) -. transitions.(c - 1)) /. lsb in
+        let dnl = width -. 1.0 in
+        if Float.abs dnl > Float.abs !dnl_max then dnl_max := dnl
+      end
+    done
+  | _ -> ());
+  {
+    dnl_max = !dnl_max;
+    inl_max = Float.abs !inl_max;
+    missing_codes = !missing;
+    n_transitions = !found;
+  }
+
+type dynamic_report = {
+  sndr_db : float;
+  enob : float;
+  sfdr_db : float;
+  signal_bin : int;
+  n_fft : int;
+}
+
+let dynamic_performance ?(n_fft = 4096) ?(amplitude = 0.98) ?rng adc ~fs ~f_in =
+  if not (Fft.is_power_of_two n_fft) then
+    invalid_arg "Metrics.dynamic_performance: n_fft must be a power of two";
+  let bin = Fft.coherent_bin ~n:n_fft ~fs ~f_target:f_in in
+  let f_tone = float_of_int bin *. fs /. float_of_int n_fft in
+  let half_fs = Behavioral.full_scale_pp adc /. 2.0 in
+  let codes =
+    Array.init n_fft (fun i ->
+        let ti = float_of_int i /. fs in
+        let v = amplitude *. half_fs *. sin (2.0 *. Float.pi *. f_tone *. ti) in
+        float_of_int (Behavioral.convert ?rng adc v))
+  in
+  let mean = Adc_numerics.Stats.mean codes in
+  let centered = Array.map (fun c -> c -. mean) codes in
+  let spec = Fft.forward_real centered in
+  let half = n_fft / 2 in
+  let power k = Complex.norm2 spec.(k) in
+  (* signal power: the bin plus one neighbour each side (leakage guard) *)
+  let signal_p = power bin +. power (bin - 1) +. power (bin + 1) in
+  let noise_p = ref 0.0 in
+  let max_spur = ref 0.0 in
+  for k = 1 to half - 1 do
+    if k < bin - 1 || k > bin + 1 then begin
+      let p = power k in
+      noise_p := !noise_p +. p;
+      if p > !max_spur then max_spur := p
+    end
+  done;
+  let sndr_db = 10.0 *. log10 (signal_p /. Float.max !noise_p 1e-300) in
+  let sfdr_db = 10.0 *. log10 (signal_p /. Float.max !max_spur 1e-300) in
+  {
+    sndr_db;
+    enob = (sndr_db -. 1.76) /. 6.02;
+    sfdr_db;
+    signal_bin = bin;
+    n_fft;
+  }

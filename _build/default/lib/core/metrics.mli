@@ -1,0 +1,33 @@
+(** Converter metrics: static (INL/DNL) and dynamic (SNDR/ENOB/SFDR). *)
+
+type static_report = {
+  dnl_max : float;   (** worst DNL, LSB *)
+  inl_max : float;   (** worst |INL|, LSB *)
+  missing_codes : int;
+  n_transitions : int;
+}
+
+val static_linearity : ?oversample:int -> Behavioral.t -> static_report
+(** Fine-ramp method: sweep the full scale with [oversample] points per
+    ideal code (default 16), locate code transitions, and compute DNL and
+    (endpoint-corrected) INL in LSB. *)
+
+type dynamic_report = {
+  sndr_db : float;
+  enob : float;
+  sfdr_db : float;
+  signal_bin : int;
+  n_fft : int;
+}
+
+val dynamic_performance :
+  ?n_fft:int ->
+  ?amplitude:float ->
+  ?rng:Adc_numerics.Rng.t ->
+  Behavioral.t ->
+  fs:float ->
+  f_in:float ->
+  dynamic_report
+(** Coherent-tone FFT test: a sine of [amplitude] (fraction of half
+    full-scale, default 0.98) at the closest odd bin — true coherence,
+    rectangular window — with SNDR integrated over all non-signal bins. *)

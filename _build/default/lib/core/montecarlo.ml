@@ -1,0 +1,75 @@
+module Rng = Adc_numerics.Rng
+module Stats = Adc_numerics.Stats
+module Comparator = Adc_mdac.Comparator
+
+type trial_config = {
+  offset_sigma : float;
+  gain_sigma : float;
+  enob_margin : float;
+  n_fft : int;
+}
+
+let default_trials (spec : Spec.t) =
+  let budget = Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:3 in
+  {
+    offset_sigma = budget /. 4.0;
+    (* unit-cap sigma at the front array size, referred to the gain *)
+    gain_sigma = spec.Spec.process.Adc_circuit.Process.cap_matching;
+    enob_margin = 0.5;
+    n_fft = 1024;
+  }
+
+type report = {
+  n_trials : int;
+  n_pass : int;
+  yield : float;
+  enob_mean : float;
+  enob_min : float;
+  enob_p05 : float;
+}
+
+let one_trial rng (config : trial_config) (spec : Spec.t) stage_ms =
+  let imps =
+    List.map
+      (fun m ->
+        let offsets =
+          Array.init (Comparator.count ~m) (fun _ ->
+              Rng.gaussian_scaled rng ~mean:0.0 ~sigma:config.offset_sigma)
+        in
+        {
+          (Behavioral.ideal_impairment ~m) with
+          Behavioral.offsets;
+          gain_error = Rng.gaussian_scaled rng ~mean:0.0 ~sigma:config.gain_sigma;
+        })
+      stage_ms
+  in
+  let adc = Behavioral.create spec stage_ms imps in
+  let d =
+    Metrics.dynamic_performance ~n_fft:config.n_fft adc ~fs:spec.Spec.fs
+      ~f_in:(spec.Spec.fs /. 9.7)
+  in
+  d.Metrics.enob
+
+let run ?(trials = 100) ?config ~seed (spec : Spec.t) stage_config =
+  if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
+  let config = match config with Some c -> c | None -> default_trials spec in
+  let rng = Rng.create seed in
+  let enobs = Array.init trials (fun _ -> one_trial rng config spec stage_config) in
+  let target = float_of_int spec.Spec.k -. config.enob_margin in
+  let n_pass = Array.fold_left (fun a e -> if e >= target then a + 1 else a) 0 enobs in
+  let lo, _ = Stats.min_max enobs in
+  {
+    n_trials = trials;
+    n_pass;
+    yield = float_of_int n_pass /. float_of_int trials;
+    enob_mean = Stats.mean enobs;
+    enob_min = lo;
+    enob_p05 = Stats.percentile enobs 5.0;
+  }
+
+let offset_sweep ?(trials = 60) ~seed spec stage_config ~sigmas =
+  List.map
+    (fun sigma ->
+      let config = { (default_trials spec) with offset_sigma = sigma } in
+      (sigma, run ~trials ~config ~seed spec stage_config))
+    sigmas

@@ -1,0 +1,45 @@
+(** Monte-Carlo yield of a converter configuration.
+
+    Random comparator offsets (the quantity the 1-bit redundancy must
+    absorb) and capacitor-mismatch-induced interstage-gain errors are
+    drawn per trial; a trial passes when the behavioral converter keeps
+    its ENOB within a margin of the target resolution. Sweeping the
+    offset sigma maps the redundancy budget edge experimentally. *)
+
+type trial_config = {
+  offset_sigma : float;      (** comparator offset sigma, V *)
+  gain_sigma : float;        (** relative interstage-gain-error sigma *)
+  enob_margin : float;       (** pass threshold: ENOB >= k - margin *)
+  n_fft : int;
+}
+
+val default_trials : Spec.t -> trial_config
+(** Offsets at a quarter of the m=3 redundancy budget, gain errors from
+    the process capacitor matching, 0.5-bit ENOB margin. *)
+
+type report = {
+  n_trials : int;
+  n_pass : int;
+  yield : float;
+  enob_mean : float;
+  enob_min : float;
+  enob_p05 : float;          (** 5th-percentile ENOB *)
+}
+
+val run :
+  ?trials:int ->
+  ?config:trial_config ->
+  seed:int ->
+  Spec.t ->
+  Config.t ->
+  report
+
+val offset_sweep :
+  ?trials:int ->
+  seed:int ->
+  Spec.t ->
+  Config.t ->
+  sigmas:float list ->
+  (float * report) list
+(** Yield as a function of comparator-offset sigma: the redundancy
+    budget shows up as the knee of this curve. *)

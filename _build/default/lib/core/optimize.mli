@@ -1,0 +1,60 @@
+(** The paper's topology optimization: enumerate candidates, synthesize
+    every distinct MDAC once, assemble stage and total powers, pick the
+    winner.
+
+    Modes select the evaluation depth:
+    - [`Equation]: closed-form power only (seconds; the screening pass);
+    - [`Hybrid]: full cell synthesis per distinct job with the
+      simulation-backed hybrid evaluator (the paper's flow);
+    - [`Hybrid_verified]: hybrid plus a final transient settling check
+      per job.
+
+    Synthesis results are cached by job identity and reused across
+    candidates; jobs are processed hardest-first and each one warm-starts
+    from the most similar already-synthesized job (the paper's
+    "retargeting" effect). *)
+
+type mode = [ `Equation | `Hybrid | `Hybrid_verified ]
+
+type stage_result = {
+  index : int;
+  job : Spec.job;
+  p_mdac : float;
+  p_comparator : float;
+  p_stage : float;
+  solution : Adc_synth.Synthesizer.solution option; (** None in `Equation mode *)
+}
+
+type config_result = {
+  config : Config.t;
+  stages : stage_result list;
+  p_total : float;
+  all_feasible : bool;
+}
+
+type run = {
+  spec : Spec.t;
+  mode : mode;
+  candidates : config_result list;  (** sorted by ascending total power *)
+  optimum : config_result;
+  distinct_jobs : Spec.job list;
+  synthesis_evaluations : int;      (** total evaluator calls across jobs *)
+  cold_jobs : int;
+  warm_jobs : int;
+}
+
+val run :
+  ?mode:mode ->
+  ?seed:int ->
+  ?attempts:int ->
+  ?budget:Adc_synth.Synthesizer.budget ->
+  ?candidates:Config.t list ->
+  Spec.t ->
+  run
+(** Optimize one converter spec. [candidates] defaults to the paper's
+    enumeration with a 7-bit backend. [attempts] independent searches are
+    run per distinct job and the best feasible solution kept (default 2 —
+    single annealing runs are noisier than the few-percent candidate
+    margins the figures resolve). *)
+
+val optimum_config : run -> Config.t

@@ -1,0 +1,85 @@
+module Mdac_stage = Adc_mdac.Mdac_stage
+
+type stage_power = {
+  index : int;
+  job : Spec.job;
+  p_mdac : float;
+  p_comparator : float;
+  p_stage : float;
+}
+
+type config_power = {
+  config : Config.t;
+  stages : stage_power list;
+  p_total : float;
+}
+
+let stage (spec : Spec.t) ~index (job : Spec.job) =
+  let req = Spec.stage_requirements spec job in
+  let breakdown =
+    Mdac_stage.equation_power ~model:spec.Spec.calibration.Spec.power_model
+      spec.Spec.process req
+  in
+  let p_comparator = Spec.comparator_power spec ~m:job.Spec.m in
+  {
+    index;
+    job;
+    p_mdac = breakdown.Mdac_stage.p_ota;
+    p_comparator;
+    p_stage =
+      breakdown.Mdac_stage.p_ota +. p_comparator +. Spec.stage_fixed_power spec;
+  }
+
+let config spec c =
+  let stages =
+    List.mapi (fun i job -> stage spec ~index:(i + 1) job) (Spec.jobs_of_config spec c)
+  in
+  {
+    config = c;
+    stages;
+    p_total = List.fold_left (fun acc s -> acc +. s.p_stage) 0.0 stages;
+  }
+
+let rank spec candidates =
+  candidates
+  |> List.map (config spec)
+  |> List.sort (fun a b -> compare a.p_total b.p_total)
+
+let optimum spec candidates =
+  match rank spec candidates with
+  | [] -> invalid_arg "Power_model.optimum: no candidates"
+  | best :: _ -> best
+
+type full_power = {
+  p_sha : float;
+  front : stage_power list;
+  backend : stage_power list;
+  p_full : float;
+}
+
+let full_converter (spec : Spec.t) c =
+  let full_config = Config.extend_with_twos ~k:spec.Spec.k c in
+  let all_jobs = Spec.jobs_of_config spec full_config in
+  let n_front = List.length c in
+  let stages = List.mapi (fun i job -> stage spec ~index:(i + 1) job) all_jobs in
+  let front = List.filteri (fun i _ -> i < n_front) stages in
+  let backend = List.filteri (fun i _ -> i >= n_front) stages in
+  let sha_req =
+    Adc_mdac.Sha.requirements spec.Spec.process ~bits:spec.Spec.k ~fs:spec.Spec.fs
+      ~vref_pp:spec.Spec.vref_pp
+      ~noise_fraction:spec.Spec.calibration.Spec.noise_fraction
+  in
+  let first_stage_load =
+    match all_jobs with
+    | job :: _ ->
+      (Spec.stage_requirements spec job).Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.c_total
+    | [] -> 1e-12
+  in
+  let p_sha =
+    Adc_mdac.Sha.equation_power ~model:spec.Spec.calibration.Spec.power_model
+      spec.Spec.process sha_req ~c_load_ext:first_stage_load
+  in
+  let p_full =
+    p_sha +. List.fold_left (fun a (s : stage_power) -> a +. s.p_stage) 0.0 stages
+  in
+  { p_sha; front; backend; p_full }

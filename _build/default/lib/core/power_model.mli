@@ -1,0 +1,42 @@
+(** Fast equation-based stage/total power of a candidate configuration.
+
+    The screening model: every stage's MDAC power comes from the
+    closed-form two-stage-Miller expressions in
+    {!Adc_mdac.Mdac_stage.equation_power}, plus the sub-ADC comparator
+    power. This is the "equation evaluation" half of the hybrid flow and
+    the engine behind the quick versions of the paper's figures (the
+    full synthesis-based path lives in {!Optimize}). *)
+
+type stage_power = {
+  index : int;           (** 1-based stage position *)
+  job : Spec.job;
+  p_mdac : float;        (** amplifier power, W *)
+  p_comparator : float;  (** sub-ADC power, W *)
+  p_stage : float;
+}
+
+type config_power = {
+  config : Config.t;
+  stages : stage_power list;
+  p_total : float;       (** leading stages only, the paper's metric *)
+}
+
+val stage : Spec.t -> index:int -> Spec.job -> stage_power
+val config : Spec.t -> Config.t -> config_power
+val rank : Spec.t -> Config.t list -> config_power list
+(** Evaluated and sorted by ascending total power. *)
+
+val optimum : Spec.t -> Config.t list -> config_power
+(** Raises [Invalid_argument] on an empty candidate list. *)
+
+type full_power = {
+  p_sha : float;          (** front-end sample-and-hold amplifier, W *)
+  front : stage_power list;
+  backend : stage_power list; (** the 2-bit tail completing the K bits *)
+  p_full : float;
+}
+
+val full_converter : Spec.t -> Config.t -> full_power
+(** The whole-converter budget the paper's figures exclude: S/H plus the
+    enumerated leading stages plus the all-1.5-bit backend that resolves
+    the remaining bits. *)

@@ -1,0 +1,81 @@
+let mw p = Printf.sprintf "%.2f" (p *. 1e3)
+
+let max_stage_count (run : Optimize.run) =
+  List.fold_left
+    (fun acc (cr : Optimize.config_result) ->
+      Stdlib.max acc (List.length cr.Optimize.stages))
+    0 run.Optimize.candidates
+
+let fig1_table (run : Optimize.run) =
+  let buf = Buffer.create 512 in
+  let n_stages = max_stage_count run in
+  Buffer.add_string buf
+    (Printf.sprintf "Fig. 1 - Stage power (mW) for the %d-bit ADC configurations\n"
+       run.Optimize.spec.Spec.k);
+  Buffer.add_string buf (Printf.sprintf "%-14s" "config");
+  for i = 1 to n_stages do
+    Buffer.add_string buf (Printf.sprintf "  stage%-2d" i)
+  done;
+  Buffer.add_string buf "   total\n";
+  List.iter
+    (fun (cr : Optimize.config_result) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s" (Config.to_string cr.Optimize.config));
+      for i = 1 to n_stages do
+        match List.nth_opt cr.Optimize.stages (i - 1) with
+        | Some s -> Buffer.add_string buf (Printf.sprintf "  %7s" (mw s.Optimize.p_stage))
+        | None -> Buffer.add_string buf (Printf.sprintf "  %7s" "-")
+      done;
+      Buffer.add_string buf (Printf.sprintf "  %7s\n" (mw cr.Optimize.p_total)))
+    run.Optimize.candidates;
+  Buffer.contents buf
+
+let fig2_table runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 2 - Total power (mW) of the leading stages (backend > 7 bits)\n";
+  List.iter
+    (fun (run : Optimize.run) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d-bit ADC:\n" run.Optimize.spec.Spec.k);
+      List.iter
+        (fun (cr : Optimize.config_result) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-14s %8s%s\n"
+               (Config.to_string cr.Optimize.config)
+               (mw cr.Optimize.p_total)
+               (if cr == run.Optimize.optimum then "   <- optimum" else "")))
+        run.Optimize.candidates)
+    runs;
+  Buffer.contents buf
+
+let candidate_summary (run : Optimize.run) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d-bit, %s: %d candidates, %d distinct MDAC jobs\n"
+       run.Optimize.spec.Spec.k
+       (Adc_numerics.Units.format_freq run.Optimize.spec.Spec.fs)
+       (List.length run.Optimize.candidates)
+       (List.length run.Optimize.distinct_jobs));
+  List.iteri
+    (fun i (cr : Optimize.config_result) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d. %-14s %8s mW%s%s\n" (i + 1)
+           (Config.to_string cr.Optimize.config)
+           (mw cr.Optimize.p_total)
+           (if cr.Optimize.all_feasible then "" else "   [infeasible stage]")
+           (if i = 0 then "   <- optimum" else "")))
+    run.Optimize.candidates;
+  Buffer.contents buf
+
+let job_table (run : Optimize.run) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Distinct MDAC jobs (%d):\n" (List.length run.Optimize.distinct_jobs));
+  List.iter
+    (fun (j : Spec.job) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s (stage resolution %d, input accuracy %d bits)\n"
+           (Spec.job_to_string j) j.Spec.m j.Spec.input_bits))
+    run.Optimize.distinct_jobs;
+  Buffer.contents buf

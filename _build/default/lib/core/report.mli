@@ -1,0 +1,18 @@
+(** Text rendering of the paper's tables and figures. *)
+
+val fig1_table : Optimize.run -> string
+(** "Stage power for 13-bit ADC configuration": one row per candidate,
+    one column per stage position, entries in mW. *)
+
+val fig2_table : Optimize.run list -> string
+(** "Total power for first stages of the pipelined ADC": one row per
+    candidate per resolution. *)
+
+val candidate_summary : Optimize.run -> string
+(** Candidates ranked by total power with feasibility flags. *)
+
+val job_table : Optimize.run -> string
+(** The distinct MDAC jobs behind a run (the "11 MDACs" table). *)
+
+val mw : float -> string
+(** Power in milliwatts with two decimals. *)

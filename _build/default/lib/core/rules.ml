@@ -1,0 +1,101 @@
+type optimum_row = {
+  k : int;
+  config : Config.t;
+  p_total : float;
+  runner_up : Config.t option;
+  margin : float;
+}
+
+type chart = {
+  rows : optimum_row list;
+  first_stage_rule : (int * int) list;
+  last_stage_always_two : bool;
+  monotone_non_increasing : bool;
+  summary : string list;
+}
+
+let row_of_run (run : Optimize.run) =
+  let best = run.Optimize.optimum in
+  let runner_up, margin =
+    match run.Optimize.candidates with
+    | _ :: second :: _ ->
+      ( Some second.Optimize.config,
+        (second.Optimize.p_total -. best.Optimize.p_total)
+        /. Float.max best.Optimize.p_total 1e-30 )
+    | [ _ ] | [] -> (None, 0.0)
+  in
+  {
+    k = run.Optimize.spec.Spec.k;
+    config = best.Optimize.config;
+    p_total = best.Optimize.p_total;
+    runner_up;
+    margin;
+  }
+
+let last_element c = List.nth c (List.length c - 1)
+
+let derive rows =
+  let first_stage_rule = List.map (fun r -> (r.k, List.hd r.config)) rows in
+  let last_stage_always_two = List.for_all (fun r -> last_element r.config = 2) rows in
+  let monotone_non_increasing = List.for_all (fun r -> Config.is_valid r.config) rows in
+  let threshold_for m1 =
+    rows
+    |> List.filter (fun r -> List.hd r.config >= m1)
+    |> List.map (fun r -> r.k)
+    |> function
+    | [] -> None
+    | ks -> Some (List.fold_left Stdlib.min max_int ks)
+  in
+  let summary =
+    List.concat
+      [
+        (match threshold_for 4 with
+        | Some k -> [ Printf.sprintf "K >= %d  ->  4-bit first stage" k ]
+        | None -> []);
+        (match threshold_for 3 with
+        | Some k -> [ Printf.sprintf "K >= %d  ->  first stage of at least 3 bits" k ]
+        | None -> []);
+        (if last_stage_always_two then
+           [ "last enumerated stage is always 2 bits" ]
+         else []);
+        (if monotone_non_increasing then
+           [ "optimal resolutions are non-increasing down the pipeline (m_i >= m_i+1)" ]
+         else []);
+      ]
+  in
+  {
+    rows;
+    first_stage_rule;
+    last_stage_always_two;
+    monotone_non_increasing;
+    summary;
+  }
+
+let sweep ?(mode = `Equation) ?(seed = 11) ?budget ~k_values make_spec =
+  let rows =
+    List.map
+      (fun k ->
+        let spec = make_spec ~k in
+        row_of_run (Optimize.run ~mode ~seed ?budget spec))
+      k_values
+  in
+  derive rows
+
+let render chart =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Optimum candidate enumeration (Fig. 3)\n";
+  Buffer.add_string buf "  K   optimum      total power   margin to runner-up\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-3d %-12s %-13s %+.1f%%%s\n" r.k
+           (Config.to_string r.config)
+           (Adc_numerics.Units.format_power r.p_total)
+           (100.0 *. r.margin)
+           (match r.runner_up with
+           | Some c -> Printf.sprintf "  (vs %s)" (Config.to_string c)
+           | None -> "")))
+    chart.rows;
+  Buffer.add_string buf "Derived rules:\n";
+  List.iter (fun line -> Buffer.add_string buf ("  - " ^ line ^ "\n")) chart.summary;
+  Buffer.contents buf

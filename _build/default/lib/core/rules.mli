@@ -1,0 +1,31 @@
+(** Derivation of the Fig. 3 decision chart.
+
+    The paper condenses its sweep into designer rules ("4-bit first stage
+    above 11 bits, 2-bit last stage always, ..."). This module re-derives
+    the same kind of chart from our own sweep results so the chart is a
+    product of the data, not a transcription. *)
+
+type optimum_row = {
+  k : int;
+  config : Config.t;        (** optimal leading stages *)
+  p_total : float;
+  runner_up : Config.t option;
+  margin : float;           (** (runner-up - best)/best, relative *)
+}
+
+type chart = {
+  rows : optimum_row list;
+  first_stage_rule : (int * int) list;  (** (k, optimal m1) *)
+  last_stage_always_two : bool;
+  monotone_non_increasing : bool;       (** all optima satisfy m_i >= m_i+1 *)
+  summary : string list;                (** rendered rule lines *)
+}
+
+val sweep :
+  ?mode:Optimize.mode -> ?seed:int -> ?budget:Adc_synth.Synthesizer.budget ->
+  k_values:int list -> (k:int -> Spec.t) -> chart
+(** Run the optimizer for each resolution and condense the optima into
+    rules. *)
+
+val render : chart -> string
+(** Multi-line text block (the repo's Fig. 3). *)

@@ -1,0 +1,1 @@
+lib/mdac/caps.ml: Adc_circuit Float

@@ -1,0 +1,1 @@
+lib/mdac/caps.mli: Adc_circuit

@@ -1,0 +1,1 @@
+lib/mdac/comparator.ml: Adc_circuit Array Float

@@ -1,0 +1,1 @@
+lib/mdac/comparator.mli: Adc_circuit

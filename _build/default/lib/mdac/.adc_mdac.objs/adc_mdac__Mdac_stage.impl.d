@@ -1,0 +1,1 @@
+lib/mdac/mdac_stage.ml: Adc_circuit Caps Comparator Float Stdlib

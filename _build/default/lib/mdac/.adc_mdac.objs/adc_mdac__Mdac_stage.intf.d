@@ -1,0 +1,1 @@
+lib/mdac/mdac_stage.mli: Adc_circuit Caps Comparator

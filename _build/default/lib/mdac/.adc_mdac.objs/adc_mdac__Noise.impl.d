@@ -1,0 +1,1 @@
+lib/mdac/noise.ml: Adc_circuit Adc_sfg Array Complex Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/mdac/noise.mli: Adc_circuit

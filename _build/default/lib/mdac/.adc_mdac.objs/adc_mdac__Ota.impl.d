@@ -1,0 +1,1 @@
+lib/mdac/ota.ml: Adc_circuit Adc_sfg Array Complex Float

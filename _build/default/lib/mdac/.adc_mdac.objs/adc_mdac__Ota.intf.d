@@ -1,0 +1,1 @@
+lib/mdac/ota.mli: Adc_circuit Adc_sfg

@@ -1,0 +1,1 @@
+lib/mdac/sc_mdac.ml: Adc_circuit Array Float Mdac_stage Ota

@@ -1,0 +1,1 @@
+lib/mdac/sc_mdac.mli: Adc_circuit Ota Stdlib

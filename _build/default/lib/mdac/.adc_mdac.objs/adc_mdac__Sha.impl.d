@@ -1,0 +1,1 @@
+lib/mdac/sha.ml: Adc_circuit Caps Float Mdac_stage

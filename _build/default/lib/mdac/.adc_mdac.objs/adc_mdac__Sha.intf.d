@@ -1,0 +1,1 @@
+lib/mdac/sha.mli: Adc_circuit Mdac_stage

@@ -1,0 +1,52 @@
+module Process = Adc_circuit.Process
+
+type sizing = {
+  c_unit : float;
+  n_units : int;
+  c_sample : float;
+  c_feedback : float;
+  c_total : float;
+  beta : float;
+  gain : float;
+}
+
+let noise_budget_v2 ~vref_pp ~bits ~fraction =
+  if bits <= 0 then invalid_arg "Caps.noise_budget_v2: bits <= 0";
+  let lsb = vref_pp /. (2.0 ** float_of_int bits) in
+  fraction *. lsb *. lsb /. 12.0
+
+let c_total_for_noise proc ~vref_pp ~bits ~noise_fraction =
+  let budget = noise_budget_v2 ~vref_pp ~bits ~fraction:noise_fraction in
+  (* sampling and amplification phases each fold kT/C onto the signal *)
+  2.0 *. Process.kt proc /. budget
+
+let c_unit_for_matching (proc : Process.t) ~bits ~m =
+  if m < 1 then invalid_arg "Caps.c_unit_for_matching: m < 1";
+  (* unit-cap relative sigma scales as sigma0 * sqrt(1pF / Cu); the
+     interstage-gain error of an n-unit array averages to about
+     sigma_u / sqrt(n). Require one sigma below half an LSB at the
+     stage accuracy (production parts absorb the tail with trimming or
+     calibration, which we do not model). *)
+  let n_units = 2.0 ** float_of_int (m - 1) in
+  let sigma_u_max = sqrt n_units *. 0.5 /. (2.0 ** float_of_int (bits + 1)) in
+  let sigma0 = proc.Process.cap_matching in
+  let c_needed = 1e-12 *. ((sigma0 /. sigma_u_max) ** 2.0) in
+  Float.max proc.Process.c_unit_min c_needed
+
+let size proc ~bits ~m ~vref_pp ~noise_fraction ~c_in_ratio =
+  if m < 2 then invalid_arg "Caps.size: m < 2";
+  if c_in_ratio < 0.0 then invalid_arg "Caps.size: negative c_in_ratio";
+  let gain = 2.0 ** float_of_int (m - 1) in
+  let n_units = 1 lsl (m - 1) in
+  let c_unit_match = c_unit_for_matching proc ~bits ~m in
+  let c_total_noise = c_total_for_noise proc ~vref_pp ~bits ~noise_fraction in
+  (* unit cap must satisfy both constraints across the n_units array *)
+  let c_unit = Float.max c_unit_match (c_total_noise /. float_of_int n_units) in
+  let c_total = c_unit *. float_of_int n_units in
+  let c_feedback = c_total /. gain in
+  let c_sample = c_total -. c_feedback in
+  (* the OTA input pair is itself sized for this stage, so its input
+     capacitance tracks the sampling array: model it as a fixed fraction
+     of c_total, which makes the feedback factor scale-invariant *)
+  let beta = c_feedback /. (c_total *. (1.0 +. c_in_ratio)) in
+  { c_unit; n_units; c_sample; c_feedback; c_total; beta; gain }

@@ -1,0 +1,44 @@
+(** Switched-capacitor array sizing for an MDAC stage.
+
+    The designer-derived analytical model of the paper's system level:
+    capacitor values follow from the thermal-noise (kT/C) budget of the
+    accuracy the stage must preserve, the unit-capacitor matching floor,
+    and the interstage gain [2^(m-1)] set by the stage resolution [m]. *)
+
+type sizing = {
+  c_unit : float;      (** unit capacitor, F *)
+  n_units : int;       (** total sampling units (2^(m-1)) *)
+  c_sample : float;    (** Cs: input sampling capacitance excluding Cf, F *)
+  c_feedback : float;  (** Cf, F *)
+  c_total : float;     (** Cs + Cf: the kT/C-relevant total, F *)
+  beta : float;        (** feedback factor Cf / (Cs + Cf + Cin) *)
+  gain : float;        (** closed-loop interstage gain 2^(m-1) *)
+}
+
+val noise_budget_v2 : vref_pp:float -> bits:int -> fraction:float -> float
+(** Allowed input-referred thermal-noise power: [fraction] of the
+    quantization noise [(LSB^2)/12] at [bits] resolution. *)
+
+val c_total_for_noise :
+  Adc_circuit.Process.t -> vref_pp:float -> bits:int -> noise_fraction:float -> float
+(** Minimum total sampling capacitance meeting the kT/C budget (factor 2
+    for the sample + amplify noise folds). *)
+
+val c_unit_for_matching :
+  Adc_circuit.Process.t -> bits:int -> m:int -> float
+(** Unit capacitance needed so that random cap mismatch keeps the DAC/
+    gain error below 1/2 LSB at [bits] (3-sigma), given the process's
+    matching coefficient; clamped at the process minimum unit. *)
+
+val size :
+  Adc_circuit.Process.t ->
+  bits:int ->          (* resolution remaining at the stage input *)
+  m:int ->             (* stage resolution (raw bits incl. redundancy) *)
+  vref_pp:float ->
+  noise_fraction:float ->
+  c_in_ratio:float ->  (* OTA input cap as a fraction of c_total *)
+  sizing
+(** Full sizing: unit cap from matching, total from noise, rounded up to
+    an integer number of units; [beta] includes the OTA input capacitance
+    through [c_in_ratio] (the input pair is sized for this stage, so its
+    capacitance tracks the array). *)

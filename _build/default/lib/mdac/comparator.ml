@@ -1,0 +1,47 @@
+module Process = Adc_circuit.Process
+
+type model = {
+  c_latch : float;
+  e_factor : float;
+  i_preamp_base : float;
+}
+
+let default_model = { c_latch = 40e-15; e_factor = 1.5; i_preamp_base = 1e-6 }
+
+let count ~m =
+  if m < 2 then invalid_arg "Comparator.count: m < 2";
+  (1 lsl m) - 2
+
+let offset_budget ~vref_pp ~m = vref_pp /. (2.0 ** float_of_int (m + 1))
+
+let power_per_comparator ?(model = default_model) (proc : Process.t) ~fs
+    ~offset_budget =
+  if fs <= 0.0 then invalid_arg "Comparator.power_per_comparator: fs <= 0";
+  let dynamic = model.e_factor *. model.c_latch *. proc.Process.vdd *. proc.Process.vdd *. fs in
+  (* preamp bias grows as the offset budget tightens below 100 mV *)
+  let static =
+    model.i_preamp_base *. Float.max 1.0 (0.1 /. Float.max offset_budget 1e-4)
+    *. proc.Process.vdd
+  in
+  dynamic +. static
+
+let stage_power ?model proc ~fs ~vref_pp ~m =
+  let n = count ~m in
+  let budget = offset_budget ~vref_pp ~m in
+  float_of_int n *. power_per_comparator ?model proc ~fs ~offset_budget:budget
+
+type decision = { code : int; thresholds : float array }
+
+let decide ~vref_pp ~vcm ~m ~offsets v =
+  let n = count ~m in
+  if Array.length offsets <> n then invalid_arg "Comparator.decide: offsets length";
+  (* ideal thresholds of the redundant flash: evenly spaced by
+     vref_pp / 2^m, centered on vcm *)
+  let step = vref_pp /. (2.0 ** float_of_int m) in
+  let thresholds =
+    Array.init n (fun i ->
+        let k = float_of_int i -. ((float_of_int n -. 1.0) /. 2.0) in
+        vcm +. (k *. step) +. offsets.(i))
+  in
+  let code = Array.fold_left (fun acc th -> if v > th then acc + 1 else acc) 0 thresholds in
+  { code; thresholds }

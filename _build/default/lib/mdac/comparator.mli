@@ -1,0 +1,40 @@
+(** Sub-ADC comparator model.
+
+    Each m-bit stage (one bit redundant) carries a flash sub-ADC of
+    [2^m - 2] comparators. Digital correction relaxes comparator offset
+    to about [vref_pp / 2^(m+1)], so a dynamic latch with a modest
+    preamplifier suffices; its power is mostly CV^2 f switching energy
+    plus a small static preamp bias whose accuracy requirement grows
+    with the needed offset precision. *)
+
+type model = {
+  c_latch : float;    (** switched capacitance per comparator, F *)
+  e_factor : float;   (** switching-energy multiplier (clock, latch, SR) *)
+  i_preamp_base : float;  (** static preamp bias at the loosest offset spec, A *)
+}
+
+val default_model : model
+
+val count : m:int -> int
+(** Number of comparators in an m-bit (redundancy-included) sub-ADC. *)
+
+val offset_budget : vref_pp:float -> m:int -> float
+(** Allowed comparator offset under 1-bit digital redundancy, V. *)
+
+val power_per_comparator :
+  ?model:model -> Adc_circuit.Process.t -> fs:float -> offset_budget:float -> float
+(** Power of one comparator at sampling rate [fs]: dynamic switching plus
+    a static preamp term that scales inversely with the offset budget
+    (tighter offsets need more preamp gm). *)
+
+val stage_power :
+  ?model:model -> Adc_circuit.Process.t -> fs:float -> vref_pp:float -> m:int -> float
+(** Total sub-ADC comparator power of an m-bit stage. *)
+
+type decision = { code : int; thresholds : float array }
+
+val decide :
+  vref_pp:float -> vcm:float -> m:int -> offsets:float array -> float -> decision
+(** Behavioral flash decision: input voltage -> sub-ADC code in
+    [0, 2^m - 2]; [offsets] perturb the ideal thresholds (length
+    [count ~m]). *)

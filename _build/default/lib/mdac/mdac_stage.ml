@@ -1,0 +1,150 @@
+module Process = Adc_circuit.Process
+
+type spec = {
+  m : int;
+  accuracy_bits : int;
+  fs : float;
+  vref_pp : float;
+  noise_fraction : float;
+  t_margin : float;
+  slew_fraction : float;
+  sr_step_fraction : float;
+}
+
+let default_spec ~m ~accuracy_bits ~fs =
+  if m < 2 then invalid_arg "Mdac_stage.default_spec: m < 2";
+  if accuracy_bits < 1 then invalid_arg "Mdac_stage.default_spec: accuracy_bits < 1";
+  if fs <= 0.0 then invalid_arg "Mdac_stage.default_spec: fs <= 0";
+  {
+    m;
+    accuracy_bits;
+    fs;
+    vref_pp = 1.0;
+    noise_fraction = 0.45;
+    t_margin = 0.85;
+    slew_fraction = 0.25;
+    sr_step_fraction = 0.5;
+  }
+
+type requirements = {
+  spec : spec;
+  caps : Caps.sizing;
+  c_load_ext : float;
+  c_load_eff : float;
+  a0_min : float;
+  gbw_min_hz : float;
+  sr_min : float;
+  pm_min_deg : float;
+  t_settle : float;
+  t_linear : float;
+  n_tau : float;
+  settle_tol : float;
+  swing_pp : float;
+}
+
+let requirements proc spec ~c_load_ext ~c_in_ratio =
+  (* [accuracy_bits] is the resolution still to be converted at the stage
+     INPUT (B_i = K - sum of earlier effective bits). Thermal noise is
+     sampled at the input, so the kT/C budget uses B_i; the settling /
+     static-gain error appears at the OUTPUT, whose residue only carries
+     the backend resolution B_i - (m - 1). *)
+  let caps =
+    Caps.size proc ~bits:spec.accuracy_bits ~m:spec.m ~vref_pp:spec.vref_pp
+      ~noise_fraction:spec.noise_fraction ~c_in_ratio
+  in
+  let settle_bits = Stdlib.max 1 (spec.accuracy_bits - (spec.m - 1)) in
+  let t_settle = spec.t_margin *. (0.5 /. spec.fs) in
+  let t_linear = (1.0 -. spec.slew_fraction) *. t_settle in
+  let t_slew = spec.slew_fraction *. t_settle in
+  let settle_tol = 2.0 ** float_of_int (-(settle_bits + 1)) in
+  let n_tau = log (1.0 /. settle_tol) in
+  (* the feedback network loads the output with Cf in series with the
+     summing-node capacitance: (1 - beta) * Cf *)
+  let c_load_eff = c_load_ext +. ((1.0 -. caps.Caps.beta) *. caps.Caps.c_feedback) in
+  (* closed-loop time constant tau = c_load_eff / (beta gm) must satisfy
+     n_tau * tau <= t_linear -> unity-gain radian freq of the loaded OTA *)
+  let omega_u = n_tau /. (t_linear *. caps.Caps.beta) in
+  let gbw_min_hz = omega_u /. (2.0 *. Float.pi) in
+  let a0_min = 2.0 /. (settle_tol *. caps.Caps.beta) in
+  (* the residue step that must be slewed is a fraction of full scale
+     (the linear part of the step is absorbed by the settling budget) *)
+  let sr_min = spec.sr_step_fraction *. spec.vref_pp /. t_slew in
+  { spec; caps; c_load_ext; c_load_eff; a0_min; gbw_min_hz; sr_min;
+    pm_min_deg = 55.0; t_settle; t_linear; n_tau; settle_tol;
+    swing_pp = spec.vref_pp }
+
+type power_breakdown = {
+  p_ota : float;
+  p_comparators : float;
+  p_total : float;
+  i_tail : float;
+  i_stage2 : float;
+  c_comp : float;
+  gm1 : float;
+  gm6 : float;
+}
+
+type power_model = {
+  vov1 : float;
+  vov6 : float;
+  cc_over_cl : float;
+  gm6_over_gm1 : float;
+  bias_overhead : float;
+  p_ota_floor : float;
+  comparator : Comparator.model;
+}
+
+let default_power_model =
+  {
+    vov1 = 0.38;
+    vov6 = 0.61;
+    cc_over_cl = 0.4;
+    gm6_over_gm1 = 6.0;
+    bias_overhead = 0.15;
+    p_ota_floor = 0.0;
+    comparator = Comparator.default_model;
+  }
+
+let equation_power ?(model = default_power_model) (proc : Process.t) req =
+  let cc = model.cc_over_cl *. req.c_load_eff in
+  let omega_u = 2.0 *. Float.pi *. req.gbw_min_hz in
+  let gm1 = omega_u *. cc in
+  let i_tail_gbw = gm1 *. model.vov1 in
+  (* internal slewing charges Cc from the tail current *)
+  let i_tail_sr = req.sr_min *. cc in
+  let i_tail = Float.max i_tail_gbw i_tail_sr in
+  let gm6 = model.gm6_over_gm1 *. gm1 in
+  let i6_gm = gm6 *. model.vov6 /. 2.0 in
+  let i6_sr = req.sr_min *. (req.c_load_eff +. cc) in
+  let i_stage2 = Float.max i6_gm i6_sr in
+  let i_total = (i_tail *. (1.0 +. model.bias_overhead)) +. i_stage2 in
+  (* even a minimal feasible amplifier at these clock rates burns a floor
+     current (headroom, bias branch, swing across the full scale); the
+     transistor-level synthesis shows the same floor *)
+  let p_ota = Float.max model.p_ota_floor (i_total *. proc.Process.vdd) in
+  let p_comparators =
+    Comparator.stage_power ~model:model.comparator proc ~fs:req.spec.fs
+      ~vref_pp:req.spec.vref_pp ~m:req.spec.m
+  in
+  {
+    p_ota;
+    p_comparators;
+    p_total = p_ota +. p_comparators;
+    i_tail;
+    i_stage2;
+    c_comp = cc;
+    gm1;
+    gm6;
+  }
+
+let input_sampling_cap req = req.caps.Caps.c_total
+
+let residue_ideal ~m ~vref_pp ~vcm ~code v =
+  let n = (1 lsl m) - 2 in
+  if code < 0 || code > n then invalid_arg "Mdac_stage.residue_ideal: code out of range";
+  let half_fs = vref_pp /. 2.0 in
+  let x = (v -. vcm) /. half_fs in
+  let gain = 2.0 ** float_of_int (m - 1) in
+  let dac = (float_of_int code -. (float_of_int n /. 2.0)) *. (2.0 ** float_of_int (1 - m)) in
+  let r = gain *. (x -. dac) in
+  vcm +. (r *. half_fs)

@@ -1,0 +1,85 @@
+(** MDAC stage model: block-spec translation and equation-based power.
+
+    This module is the designer-derived analytical layer that turns the
+    ADC system specification into block-level specs for one multiplying
+    DAC (Section 2 of the paper: "The MDAC block-level specifications can
+    be translated from the ADC system-level specifications and the value
+    m_i"). The numbers it produces are both the constraint targets handed
+    to the circuit synthesizer and the inputs of the fast equation-based
+    power estimate used for screening. *)
+
+type spec = {
+  m : int;             (** stage resolution (raw bits, incl. redundancy) *)
+  accuracy_bits : int; (** resolution remaining at the stage INPUT
+                           (B_i = K - earlier effective bits); the output
+                           settling accuracy is derived as
+                           [accuracy_bits - (m - 1)] *)
+  fs : float;          (** ADC sampling rate, Hz *)
+  vref_pp : float;     (** peak-to-peak reference / full-scale range, V *)
+  noise_fraction : float; (** thermal/quantization noise ratio budget *)
+  t_margin : float;    (** usable fraction of the half clock period *)
+  slew_fraction : float; (** fraction of the settling window for slewing *)
+  sr_step_fraction : float; (** worst slewed step as a fraction of full scale *)
+}
+
+val default_spec : m:int -> accuracy_bits:int -> fs:float -> spec
+(** 1 V full scale, 45% noise fraction, 85% usable half-period, 25%
+    slewing budget — representative 0.25 um pipeline numbers. *)
+
+type requirements = {
+  spec : spec;
+  caps : Caps.sizing;
+  c_load_ext : float;   (** external load: next block's sampling cap, F *)
+  c_load_eff : float;   (** OTA load during amplification, F *)
+  a0_min : float;       (** minimum open-loop DC gain *)
+  gbw_min_hz : float;   (** minimum OTA unity-gain bandwidth *)
+  sr_min : float;       (** minimum slew rate, V/s *)
+  pm_min_deg : float;   (** phase-margin target *)
+  t_settle : float;     (** total settling window, s *)
+  t_linear : float;     (** linear part of the window, s *)
+  n_tau : float;        (** time constants needed for the accuracy *)
+  settle_tol : float;   (** relative settling tolerance 2^-(N+1) *)
+  swing_pp : float;     (** required output swing, V *)
+}
+
+val requirements :
+  Adc_circuit.Process.t -> spec -> c_load_ext:float -> c_in_ratio:float -> requirements
+(** Translate the stage spec into OTA requirements given the load of the
+    following block and the OTA input capacitance (as a fraction of the
+    sampling array). *)
+
+type power_breakdown = {
+  p_ota : float;
+  p_comparators : float;
+  p_total : float;
+  i_tail : float;
+  i_stage2 : float;
+  c_comp : float;
+  gm1 : float;
+  gm6 : float;
+}
+
+type power_model = {
+  vov1 : float;           (** input-pair overdrive (gm/Id = 2/vov) *)
+  vov6 : float;           (** second-stage overdrive *)
+  cc_over_cl : float;     (** compensation ratio Cc/CL for the PM target *)
+  gm6_over_gm1 : float;
+  bias_overhead : float;  (** bias-branch current as a fraction of Itail *)
+  p_ota_floor : float;    (** minimum power of any feasible OTA, W *)
+  comparator : Comparator.model;
+}
+
+val default_power_model : power_model
+
+val equation_power :
+  ?model:power_model -> Adc_circuit.Process.t -> requirements -> power_breakdown
+(** Closed-form two-stage-Miller power meeting the requirements: the fast
+    "equation evaluation" leg of the paper's hybrid methodology. *)
+
+val input_sampling_cap : requirements -> float
+(** The load this stage presents to the previous block (its total
+    sampling capacitance). *)
+
+val residue_ideal : m:int -> vref_pp:float -> vcm:float -> code:int -> float -> float
+(** Ideal MDAC residue transfer: [2^(m-1) * (v - vcm) - (code - mid)*step
+    + vcm] — used by the behavioral pipeline simulator. *)

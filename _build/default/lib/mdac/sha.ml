@@ -1,0 +1,38 @@
+module Process = Adc_circuit.Process
+
+type requirements = {
+  c_sample : float;
+  gbw_min_hz : float;
+  a0_min : float;
+  sr_min : float;
+  t_settle : float;
+  settle_tol : float;
+}
+
+let requirements proc ~bits ~fs ~vref_pp ~noise_fraction =
+  if bits < 1 then invalid_arg "Sha.requirements: bits < 1";
+  let c_sample = Caps.c_total_for_noise proc ~vref_pp ~bits ~noise_fraction in
+  let t_settle = 0.85 *. (0.5 /. fs) in
+  let t_linear = 0.75 *. t_settle in
+  let settle_tol = 2.0 ** float_of_int (-(bits + 1)) in
+  let n_tau = log (1.0 /. settle_tol) in
+  let beta = 0.9 (* flip-around: Cf = Cs, loaded by parasitics only *) in
+  let gbw_min_hz = n_tau /. (t_linear *. beta) /. (2.0 *. Float.pi) in
+  let a0_min = 2.0 /. (settle_tol *. beta) in
+  let sr_min = vref_pp /. (0.25 *. t_settle) in
+  { c_sample; gbw_min_hz; a0_min; sr_min; t_settle; settle_tol }
+
+let equation_power ?(model = Mdac_stage.default_power_model) (proc : Process.t)
+    req ~c_load_ext =
+  let c_load_eff = c_load_ext +. (0.1 *. req.c_sample) in
+  let cc = model.Mdac_stage.cc_over_cl *. c_load_eff in
+  let gm1 = 2.0 *. Float.pi *. req.gbw_min_hz *. cc in
+  let i_tail =
+    Float.max (gm1 *. model.Mdac_stage.vov1) (req.sr_min *. cc)
+  in
+  let gm6 = model.Mdac_stage.gm6_over_gm1 *. gm1 in
+  let i_stage2 =
+    Float.max (gm6 *. model.Mdac_stage.vov6 /. 2.0)
+      (req.sr_min *. (c_load_eff +. cc))
+  in
+  ((i_tail *. (1.0 +. model.Mdac_stage.bias_overhead)) +. i_stage2) *. proc.Process.vdd

@@ -1,0 +1,27 @@
+(** Front-end sample-and-hold amplifier.
+
+    Modeled as a unity-gain flip-around switched-capacitor stage that
+    must preserve the full converter accuracy: kT/C-sized sampling
+    capacitor and an OTA settling to K-bit precision at a feedback
+    factor near one. The paper's figures exclude the S/H from the stage
+    power plots; this model supplies the number for completeness. *)
+
+type requirements = {
+  c_sample : float;
+  gbw_min_hz : float;
+  a0_min : float;
+  sr_min : float;
+  t_settle : float;
+  settle_tol : float;
+}
+
+val requirements :
+  Adc_circuit.Process.t ->
+  bits:int -> fs:float -> vref_pp:float -> noise_fraction:float ->
+  requirements
+
+val equation_power :
+  ?model:Mdac_stage.power_model ->
+  Adc_circuit.Process.t -> requirements -> c_load_ext:float -> float
+(** Two-stage-OTA power estimate for the S/H meeting the requirements
+    while driving the first pipeline stage's sampling network. *)

@@ -1,0 +1,1 @@
+lib/numerics/cxm.ml: Array Complex Float

@@ -1,0 +1,88 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* iterative Cooley-Tukey with bit-reversal permutation *)
+let transform ~sign x =
+  let n = Array.length x in
+  if not (is_power_of_two n) then invalid_arg "Fft: length must be a power of two";
+  let a = Array.copy x in
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wstep = { Complex.re = cos theta; im = sin theta } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wstep
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let forward x = transform ~sign:(-1.0) x
+
+let inverse x =
+  let n = Array.length x in
+  let y = transform ~sign:1.0 x in
+  let inv_n = 1.0 /. float_of_int n in
+  Array.map (fun (z : Complex.t) -> { Complex.re = z.re *. inv_n; im = z.im *. inv_n }) y
+
+let forward_real x = forward (Array.map (fun v -> { Complex.re = v; im = 0.0 }) x)
+
+let magnitude_spectrum x =
+  let spec = forward_real x in
+  let n = Array.length x in
+  Array.init ((n / 2) + 1) (fun k -> Complex.norm spec.(k))
+
+type window = Rectangular | Hann | Blackman_harris
+
+let window_coefficients w n =
+  let fn = float_of_int (n - 1) in
+  match w with
+  | Rectangular -> Array.make n 1.0
+  | Hann ->
+    Array.init n (fun i ->
+        0.5 *. (1.0 -. cos (2.0 *. Float.pi *. float_of_int i /. fn)))
+  | Blackman_harris ->
+    (* 4-term, -92 dB sidelobes *)
+    let a0 = 0.35875 and a1 = 0.48829 and a2 = 0.14128 and a3 = 0.01168 in
+    Array.init n (fun i ->
+        let t = 2.0 *. Float.pi *. float_of_int i /. fn in
+        a0 -. (a1 *. cos t) +. (a2 *. cos (2.0 *. t)) -. (a3 *. cos (3.0 *. t)))
+
+let apply_window w x =
+  let cs = window_coefficients w (Array.length x) in
+  Array.mapi (fun i v -> v *. cs.(i)) x
+
+let coherent_bin ~n ~fs ~f_target =
+  let ideal = f_target /. fs *. float_of_int n in
+  let k = int_of_float (Float.round ideal) in
+  let k = if k < 1 then 1 else if k > (n / 2) - 1 then (n / 2) - 1 else k in
+  if k mod 2 = 0 then (if k + 1 <= (n / 2) - 1 then k + 1 else k - 1) else k
+
+let power_db z =
+  let m = Complex.norm z in
+  if m <= 0.0 then -400.0 else 20.0 *. log10 m

@@ -1,0 +1,30 @@
+(** Radix-2 fast Fourier transform and spectral windows.
+
+    Used by the behavioral ADC metrics (SNDR/ENOB/SFDR) and the spectrum
+    checks in tests. Lengths must be powers of two. *)
+
+val is_power_of_two : int -> bool
+
+val forward : Complex.t array -> Complex.t array
+(** Out-of-place DFT, no normalization ([X_k = sum x_n e^{-2 pi i nk/N}]). *)
+
+val inverse : Complex.t array -> Complex.t array
+(** Inverse DFT including the [1/N] normalization, so
+    [inverse (forward x) = x]. *)
+
+val forward_real : float array -> Complex.t array
+(** Convenience: forward transform of a real signal. *)
+
+val magnitude_spectrum : float array -> float array
+(** One-sided magnitude spectrum (bins [0 .. N/2]) of a real signal. *)
+
+type window = Rectangular | Hann | Blackman_harris
+
+val window_coefficients : window -> int -> float array
+val apply_window : window -> float array -> float array
+
+val coherent_bin : n:int -> fs:float -> f_target:float -> int
+(** Closest odd (hence coherent-friendly) bin to [f_target] given [n]
+    samples at rate [fs]; used to pick test tones for spectral tests. *)
+
+val power_db : Complex.t -> float

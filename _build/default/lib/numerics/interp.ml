@@ -1,0 +1,48 @@
+type t = { xs : float array; ys : float array }
+
+let of_samples samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Interp.of_samples: empty";
+  let xs = Array.map fst samples and ys = Array.map snd samples in
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.of_samples: x not strictly increasing"
+  done;
+  { xs; ys }
+
+let eval { xs; ys } x =
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    let y0 = ys.(!lo) and y1 = ys.(!hi) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let crossings { xs; ys } level =
+  let acc = ref [] in
+  for i = 1 to Array.length xs - 1 do
+    let a = ys.(i - 1) -. level and b = ys.(i) -. level in
+    if a = 0.0 then acc := xs.(i - 1) :: !acc
+    else if a *. b < 0.0 then begin
+      let frac = a /. (a -. b) in
+      acc := (xs.(i - 1) +. (frac *. (xs.(i) -. xs.(i - 1)))) :: !acc
+    end
+  done;
+  Array.of_list (List.rev !acc)
+
+let last_time_outside { xs; ys } ~center ~tol =
+  let n = Array.length xs in
+  let rec go i =
+    if i < 0 then None
+    else if Float.abs (ys.(i) -. center) > tol then Some xs.(i)
+    else go (i - 1)
+  in
+  go (n - 1)

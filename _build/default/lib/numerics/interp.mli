@@ -1,0 +1,21 @@
+(** Piecewise-linear interpolation over sampled data (waveforms, sweep
+    post-processing, settling-time extraction). *)
+
+type t
+(** An immutable table of (x, y) samples with strictly increasing x. *)
+
+val of_samples : (float * float) array -> t
+(** Builds a table; raises [Invalid_argument] if x is not strictly
+    increasing or the table is empty. *)
+
+val eval : t -> float -> float
+(** Linear interpolation; clamps to the end values outside the range. *)
+
+val crossings : t -> float -> float array
+(** [crossings t level] returns the interpolated x positions where the
+    curve crosses [level]. *)
+
+val last_time_outside : t -> center:float -> tol:float -> float option
+(** [last_time_outside t ~center ~tol] is the largest x at which
+    [|y - center| > tol] — i.e. the settling instant is just after it.
+    [None] when the curve never leaves the band. *)

@@ -1,0 +1,127 @@
+type t = { r : int; c : int; a : float array }
+
+exception Singular
+
+let create r c = { r; c; a = Array.make (r * c) 0.0 }
+let init r c f = { r; c; a = Array.init (r * c) (fun k -> f (k / c) (k mod c)) }
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+let copy m = { m with a = Array.copy m.a }
+let rows m = m.r
+let cols m = m.c
+
+let get m i j = m.a.((i * m.c) + j)
+let set m i j v = m.a.((i * m.c) + j) <- v
+let add_to m i j v = m.a.((i * m.c) + j) <- m.a.((i * m.c) + j) +. v
+let fill m v = Array.fill m.a 0 (m.r * m.c) v
+
+let mul x y =
+  if x.c <> y.r then invalid_arg "Mat.mul: dimension mismatch";
+  let z = create x.r y.c in
+  for i = 0 to x.r - 1 do
+    for k = 0 to x.c - 1 do
+      let xik = get x i k in
+      if xik <> 0.0 then
+        for j = 0 to y.c - 1 do
+          add_to z i j (xik *. get y k j)
+        done
+    done
+  done;
+  z
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let transpose m = init m.c m.r (fun i j -> get m j i)
+
+type lu = { n : int; lu_a : float array; piv : int array }
+
+(* Doolittle LU with partial pivoting, in-place on a copy. *)
+let lu_factor m =
+  if m.r <> m.c then invalid_arg "Mat.lu_factor: not square";
+  let n = m.r in
+  let a = Array.copy m.a in
+  let piv = Array.init n (fun i -> i) in
+  let idx i j = (i * n) + j in
+  for k = 0 to n - 1 do
+    (* pivot search *)
+    let pmax = ref (Float.abs a.(idx k k)) in
+    let prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs a.(idx i k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax < 1e-300 then raise Singular;
+    if !prow <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = a.(idx k j) in
+        a.(idx k j) <- a.(idx !prow j);
+        a.(idx !prow j) <- tmp
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!prow);
+      piv.(!prow) <- tp
+    end;
+    let pivot = a.(idx k k) in
+    for i = k + 1 to n - 1 do
+      let f = a.(idx i k) /. pivot in
+      a.(idx i k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          a.(idx i j) <- a.(idx i j) -. (f *. a.(idx k j))
+        done
+    done
+  done;
+  { n; lu_a = a; piv }
+
+let lu_solve { n; lu_a = a; piv } b =
+  if Array.length b <> n then invalid_arg "Mat.lu_solve: dimension mismatch";
+  let idx i j = (i * n) + j in
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  (* forward substitution (L has unit diagonal) *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (a.(idx i j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (a.(idx i j) *. x.(j))
+    done;
+    x.(i) <- !acc /. a.(idx i i)
+  done;
+  x
+
+let solve m b = lu_solve (lu_factor m) b
+
+let norm_inf m =
+  let worst = ref 0.0 in
+  for i = 0 to m.r - 1 do
+    let row = ref 0.0 in
+    for j = 0 to m.c - 1 do
+      row := !row +. Float.abs (get m i j)
+    done;
+    worst := Float.max !worst !row
+  done;
+  !worst
+
+let pp ppf m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.c - 1 do
+      Format.fprintf ppf " %10.4g" (get m i j)
+    done;
+    Format.fprintf ppf " ]@\n"
+  done

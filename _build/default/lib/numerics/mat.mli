@@ -1,0 +1,46 @@
+(** Dense real matrices with LU factorization.
+
+    Row-major storage. Sized for the modest systems produced by modified
+    nodal analysis of cell-level circuits (tens of unknowns), so an O(n^3)
+    dense LU with partial pivoting is the right tool. *)
+
+type t
+
+exception Singular
+(** Raised by factorization/solve when the matrix is numerically singular. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val identity : int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val copy : t -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] performs [m.(i).(j) <- m.(i).(j) + v]; the natural
+    operation for MNA stamping. *)
+
+val fill : t -> float -> unit
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val transpose : t -> t
+
+type lu
+(** A factorization [P*A = L*U] reusable across right-hand sides. *)
+
+val lu_factor : t -> lu
+(** Factor a square matrix. Raises {!Singular} on zero pivot. *)
+
+val lu_solve : lu -> Vec.t -> Vec.t
+(** Solve [A x = b] given the factorization of [A]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** One-shot factor-and-solve. Raises {!Singular}. *)
+
+val norm_inf : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type t = float array
+(* invariant: empty (zero polynomial) or last element non-zero *)
+
+let trim c =
+  let n = ref (Array.length c) in
+  while !n > 0 && c.(!n - 1) = 0.0 do
+    decr n
+  done;
+  Array.sub c 0 !n
+
+let of_coeffs c = trim c
+let coeffs p = Array.copy p
+let degree p = Array.length p - 1
+let zero = [||]
+let one = [| 1.0 |]
+let constant v = if v = 0.0 then zero else [| v |]
+
+let monomial c k =
+  if c = 0.0 then zero
+  else Array.init (k + 1) (fun i -> if i = k then c else 0.0)
+
+let is_zero p = Array.length p = 0
+
+let equal ?(tol = 1e-12) a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  let coef p i = if i < Array.length p then p.(i) else 0.0 in
+  let rec go i =
+    if i >= n then true
+    else if Float.abs (coef a i -. coef b i) > tol then false
+    else go (i + 1)
+  in
+  go 0
+
+let add a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  let coef p i = if i < Array.length p then p.(i) else 0.0 in
+  trim (Array.init n (fun i -> coef a i +. coef b i))
+
+let scale s a = if s = 0.0 then zero else trim (Array.map (fun x -> s *. x) a)
+let sub a b = add a (scale (-1.0) b)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let r = Array.make (Array.length a + Array.length b - 1) 0.0 in
+    Array.iteri
+      (fun i ai ->
+        if ai <> 0.0 then
+          Array.iteri (fun j bj -> r.(i + j) <- r.(i + j) +. (ai *. bj)) b)
+      a;
+    trim r
+  end
+
+let pow p k =
+  assert (k >= 0);
+  let rec go acc base k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (mul acc base) (mul base base) (k lsr 1)
+    else go acc (mul base base) (k lsr 1)
+  in
+  go one p k
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else trim (Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1)))
+
+let eval p x =
+  let acc = ref 0.0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_complex p z =
+  let acc = ref Complex.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc z) { Complex.re = p.(i); im = 0.0 }
+  done;
+  !acc
+
+(* Aberth-Ehrlich: all roots simultaneously.
+
+   Transfer-function polynomials have coefficients spanning many decades
+   (powers of time constants), so we first scale the variable x = s*r with
+   r chosen from the coefficient magnitudes to bring the roots near the
+   unit circle, which keeps the iteration well conditioned. *)
+let roots ?(max_iter = 200) ?(tol = 1e-12) p =
+  let n = degree p in
+  if n < 1 then invalid_arg "Poly.roots: degree < 1";
+  (* variable scaling: r ~ geometric estimate of root magnitude *)
+  let a0 = Float.abs p.(0) and an = Float.abs p.(n) in
+  let r =
+    if a0 > 0.0 && an > 0.0 then (a0 /. an) ** (1.0 /. float_of_int n)
+    else 1.0
+  in
+  let r = if r > 0.0 && Float.is_finite r then r else 1.0 in
+  let q = Array.init (n + 1) (fun k -> p.(k) *. (r ** float_of_int k)) in
+  (* normalize to monic *)
+  let lead = q.(n) in
+  let q = Array.map (fun c -> c /. lead) q in
+  let qp = derivative q in
+  (* initial guesses on a circle with irrational angle step *)
+  let zs =
+    Array.init n (fun k ->
+        let theta = (2.0 *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4 in
+        { Complex.re = 0.9 *. cos theta; im = 0.9 *. sin theta })
+  in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let max_step = ref 0.0 in
+    for i = 0 to n - 1 do
+      let zi = zs.(i) in
+      let pv = eval_complex q zi in
+      let pdv = eval_complex qp zi in
+      if Complex.norm pv > 0.0 then begin
+        let newton =
+          if Complex.norm pdv < 1e-300 then { Complex.re = 1e-3; im = 1e-3 }
+          else Complex.div pv pdv
+        in
+        let repulse = ref Complex.zero in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let d = Complex.sub zi zs.(j) in
+            if Complex.norm d > 1e-300 then
+              repulse := Complex.add !repulse (Complex.div Complex.one d)
+          end
+        done;
+        let denom = Complex.sub Complex.one (Complex.mul newton !repulse) in
+        let step =
+          if Complex.norm denom < 1e-300 then newton
+          else Complex.div newton denom
+        in
+        zs.(i) <- Complex.sub zi step;
+        max_step := Float.max !max_step (Complex.norm step)
+      end
+    done;
+    if !max_step < tol then converged := true
+  done;
+  (* unscale and clean imaginary residue of real roots *)
+  Array.map
+    (fun z ->
+      let z = { Complex.re = z.Complex.re *. r; im = z.Complex.im *. r } in
+      if Float.abs z.Complex.im < 1e-9 *. (1.0 +. Float.abs z.Complex.re) then
+        { z with Complex.im = 0.0 }
+      else z)
+    zs
+
+let from_roots rs =
+  let p =
+    Array.fold_left
+      (fun acc (root : Complex.t) ->
+        (* multiply acc (complex) by (x - root) *)
+        let n = Array.length acc in
+        let next = Array.make (n + 1) Complex.zero in
+        Array.iteri
+          (fun i c ->
+            next.(i + 1) <- Complex.add next.(i + 1) c;
+            next.(i) <- Complex.sub next.(i) (Complex.mul c root))
+          acc;
+        next)
+      [| Complex.one |] rs
+  in
+  of_coeffs (Array.map (fun (z : Complex.t) -> z.Complex.re) p)
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if c <> 0.0 then begin
+          if not !first then Format.pp_print_string ppf " + ";
+          first := false;
+          if i = 0 then Format.fprintf ppf "%g" c
+          else if i = 1 then Format.fprintf ppf "%g*x" c
+          else Format.fprintf ppf "%g*x^%d" c i
+        end)
+      p
+  end

@@ -1,0 +1,45 @@
+(** Univariate polynomials with real coefficients.
+
+    Coefficients are stored lowest degree first: [c.(k)] multiplies [x^k].
+    Polynomials back the numeric transfer functions produced by Mason's
+    rule; their roots are the poles and zeros of the analyzed circuits. *)
+
+type t
+(** An immutable polynomial. The zero polynomial has degree -1. *)
+
+val of_coeffs : float array -> t
+(** [of_coeffs c] builds a polynomial from low-to-high coefficients,
+    trimming trailing (near-)zero leading terms. *)
+
+val coeffs : t -> float array
+val degree : t -> int
+val zero : t
+val one : t
+val constant : float -> t
+val monomial : float -> int -> t
+(** [monomial c k] is [c * x^k]. *)
+
+val is_zero : t -> bool
+val equal : ?tol:float -> t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val pow : t -> int -> t
+val derivative : t -> t
+
+val eval : t -> float -> float
+val eval_complex : t -> Complex.t -> Complex.t
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Complex.t array
+(** [roots p] computes all complex roots by the Aberth-Ehrlich
+    simultaneous iteration. Requires [degree p >= 1]. Real-axis roots are
+    snapped to the axis when their imaginary part is below the cleanup
+    threshold. *)
+
+val from_roots : Complex.t array -> t
+(** Monic real polynomial with the given roots; conjugate pairs must both
+    be present (the small imaginary residue of the product is dropped). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (optimizers, Monte-Carlo
+    mismatch, behavioral noise) draw from an explicit generator state so
+    that every experiment is reproducible from a seed. The generator is
+    xoshiro256** seeded through splitmix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream from [t], advancing
+    [t]. Used to give sub-components their own streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (for replaying a draw sequence). *)
+
+val uniform : t -> float
+(** [uniform t] draws from [0, 1). *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] draws uniformly from [lo, hi). Requires [lo <= hi]. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] draws uniformly from [0, n-1]. Requires [n > 0]. *)
+
+val gaussian : t -> float
+(** [gaussian t] draws from the standard normal distribution
+    (Box-Muller, one value per call). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+(** Normal draw with given mean and standard deviation. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,25 @@
+(** Scalar root finding and minimization helpers. *)
+
+exception No_bracket
+(** Raised when a bracketing method is given an interval whose endpoint
+    values do not straddle zero. *)
+
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [a, b]; requires
+    [f a] and [f b] of opposite signs, else raises {!No_bracket}. *)
+
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method (inverse quadratic / secant / bisection hybrid); same
+    contract as {!bisect} but much faster on smooth functions. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> float option
+(** Damped Newton from an initial guess; [None] if it fails to converge. *)
+
+val golden_min : ?tol:float -> (float -> float) -> float -> float -> float
+(** Golden-section minimizer of a unimodal function on [a, b]. *)
+
+val find_sign_change : (float -> float) -> float array -> (float * float) option
+(** Scan a grid of abscissae for the first adjacent pair with a sign
+    change; feeds {!brent}. *)

@@ -1,0 +1,55 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.of_int (int_of_float rank)) in
+  let lo = if lo < 0 then 0 else if lo > n - 1 then n - 1 else lo in
+  let hi = if lo + 1 > n - 1 then n - 1 else lo + 1 in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let histogram ~n_bins ~lo ~hi xs =
+  if n_bins <= 0 then invalid_arg "Stats.histogram: n_bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let bins = Array.make n_bins 0 in
+  let width = (hi -. lo) /. float_of_int n_bins in
+  Array.iter
+    (fun x ->
+      let k = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let k = if k < 0 then 0 else if k > n_bins - 1 then n_bins - 1 else k in
+      bins.(k) <- bins.(k) + 1)
+    xs;
+  bins
+
+let rms xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs /. float_of_int n)

@@ -1,0 +1,21 @@
+(** Small descriptive-statistics toolkit (optimizer telemetry, code-density
+    histograms, Monte-Carlo summaries). *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+val min_max : float array -> float * float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation between
+    order statistics. Requires a non-empty array. *)
+
+val median : float array -> float
+
+val histogram : n_bins:int -> lo:float -> hi:float -> float array -> int array
+(** Fixed-width histogram; samples outside [lo, hi) are clamped into the
+    first/last bin. *)
+
+val rms : float array -> float
+val sum : float array -> float

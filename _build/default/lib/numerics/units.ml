@@ -1,0 +1,36 @@
+let prefixes =
+  [ (1e15, "P"); (1e12, "T"); (1e9, "G"); (1e6, "M"); (1e3, "k"); (1.0, "");
+    (1e-3, "m"); (1e-6, "u"); (1e-9, "n"); (1e-12, "p"); (1e-15, "f");
+    (1e-18, "a") ]
+
+let format ?(digits = 3) v unit_name =
+  if v = 0.0 then Printf.sprintf "0 %s" unit_name
+  else if not (Float.is_finite v) then Printf.sprintf "%f %s" v unit_name
+  else begin
+    let mag = Float.abs v in
+    let scale, prefix =
+      let rec pick = function
+        | [] -> (1e-18, "a")
+        | (s, p) :: rest -> if mag >= s then (s, p) else pick rest
+      in
+      pick prefixes
+    in
+    let scaled = v /. scale in
+    (* choose decimals so total significant digits ~ [digits] *)
+    let int_digits =
+      if Float.abs scaled >= 100.0 then 3
+      else if Float.abs scaled >= 10.0 then 2
+      else 1
+    in
+    let decimals = Stdlib.max 0 (digits - int_digits) in
+    Printf.sprintf "%.*f %s%s" decimals scaled prefix unit_name
+  end
+
+let format_seconds v = format v "s"
+let format_power v = format v "W"
+let format_freq v = format v "Hz"
+let format_cap v = format v "F"
+let format_current v = format v "A"
+
+let db_of_ratio r = 20.0 *. log10 r
+let ratio_of_db db = 10.0 ** (db /. 20.0)

@@ -1,0 +1,17 @@
+(** SI-prefixed quantity formatting for reports and tables. *)
+
+val format : ?digits:int -> float -> string -> string
+(** [format v unit] renders [v] with an engineering prefix, e.g.
+    [format 3.2e-3 "W" = "3.2 mW"], [format 4e7 "Hz" = "40 MHz"].
+    [digits] controls significant digits (default 3). *)
+
+val format_seconds : float -> string
+val format_power : float -> string
+val format_freq : float -> string
+val format_cap : float -> string
+val format_current : float -> string
+
+val db_of_ratio : float -> float
+(** 20*log10 of a magnitude ratio. *)
+
+val ratio_of_db : float -> float

@@ -1,0 +1,57 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vec: dimension mismatch"
+
+let add a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_same_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_same_dim a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let map2 f a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let max_abs_diff a b =
+  check_same_dim a b;
+  let m = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let pp ppf a =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list a)

@@ -1,0 +1,29 @@
+(** Dense float vectors.
+
+    A thin layer over [float array] providing the operations used by the
+    solvers. All binary operations require equal lengths and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val max_abs_diff : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sfg/analysis.ml: Adc_numerics Array Complex Float List Ratfun

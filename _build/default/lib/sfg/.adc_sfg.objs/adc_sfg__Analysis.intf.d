@@ -1,0 +1,1 @@
+lib/sfg/analysis.mli: Complex Ratfun

@@ -1,0 +1,1 @@
+lib/sfg/dpi.ml: Adc_circuit Adc_numerics Array Complex Expr Float Hashtbl List Mason Printf Ratfun Sgraph String

@@ -1,0 +1,1 @@
+lib/sfg/dpi.mli: Adc_circuit Expr Ratfun Sgraph

@@ -1,0 +1,1 @@
+lib/sfg/expr.ml: Complex Format List Printf Stdlib String

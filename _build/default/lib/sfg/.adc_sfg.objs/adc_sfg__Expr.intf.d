@@ -1,0 +1,1 @@
+lib/sfg/expr.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/sfg/mason.ml: Expr List Sgraph

@@ -1,0 +1,1 @@
+lib/sfg/mason.mli: Expr Sgraph

@@ -1,0 +1,1 @@
+lib/sfg/ratfun.ml: Adc_numerics Array Complex Expr Float Format List

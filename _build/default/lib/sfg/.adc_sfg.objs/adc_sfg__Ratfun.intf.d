@@ -1,0 +1,1 @@
+lib/sfg/ratfun.mli: Adc_numerics Complex Expr Format

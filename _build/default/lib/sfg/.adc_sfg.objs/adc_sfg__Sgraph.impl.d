@@ -1,0 +1,1 @@
+lib/sfg/sgraph.ml: Array Expr Hashtbl List Printf

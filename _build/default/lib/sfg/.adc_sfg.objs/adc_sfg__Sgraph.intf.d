@@ -1,0 +1,1 @@
+lib/sfg/sgraph.mli: Expr

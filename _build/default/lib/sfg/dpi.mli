@@ -1,0 +1,63 @@
+(** Driving-point-impedance SFG construction.
+
+    Builds the signal-flow graph of a linear(ized) circuit directly from
+    its small-signal netlist, the way the paper's designers draw it by
+    hand: each circuit node contributes the relation
+    [V_i = (1/Y_ii) * (J_i - sum_{j<>i} Y_ij V_j)], where [Y_ii] is the
+    node's driving-point admittance and [Y_ij] the transfer admittances.
+    Mason's rule applied to the resulting graph yields the symbolic
+    transfer function.
+
+    Supported devices: resistors, capacitors, switches (state frozen at
+    a given time), MOSFETs (linearized via {!Adc_circuit.Smallsig}), and
+    independent sources. VCVS elements are rejected — the DPI form is
+    nodal, and the OTA netlists analyzed in this flow do not need them.
+
+    Symbolic variable naming: [g_<res>], [c_<cap>], [gsw_<switch>],
+    [gm_<mos>], [gds_<mos>], [gmb_<mos>], [cgs_<mos>], [cgd_<mos>],
+    [cgb_<mos>], [cdb_<mos>], [csb_<mos>]. *)
+
+type input =
+  | Auto  (** use the unique source with a non-zero [ac_mag] *)
+  | Current_source of string
+  | Voltage_node of Adc_circuit.Netlist.node
+
+type result = {
+  graph : Sgraph.t;
+  input_vertex : Sgraph.node_id;
+  env : string -> float;  (** binds every symbolic variable numerically *)
+  vertex_of_node : Adc_circuit.Netlist.node -> Sgraph.node_id option;
+      (** [None] for ground / AC-ground / input-driven nodes *)
+  numeric_tf : Adc_circuit.Netlist.node -> Ratfun.t;
+      (** stable numeric transfer function to a node: polynomial Cramer's
+          rule on the nodal system, sampled on a frequency-scaled circle
+          and recovered by inverse DFT — avoids the degree blow-up of
+          instantiating the un-cancelled Mason ratio (see dpi.ml). *)
+  numeric_tf_current :
+    src_pos:Adc_circuit.Netlist.node ->
+    src_neg:Adc_circuit.Netlist.node ->
+    out:Adc_circuit.Netlist.node ->
+    Ratfun.t;
+      (** transfer impedance from a unit current injected between two
+          circuit nodes to an output node voltage — the building block of
+          the device-noise analysis (each transistor's drain-current
+          noise is such an injection). *)
+}
+
+exception Unsupported of string
+
+val build :
+  ?input:input ->
+  ?switch_time:float ->
+  Adc_circuit.Netlist.t ->
+  Adc_circuit.Smallsig.t ->
+  result
+
+val transfer_to :
+  result -> Adc_circuit.Netlist.node -> Expr.t
+(** Symbolic transfer function from the input to a node voltage
+    (Mason's rule on the DPI graph). *)
+
+val numeric_transfer_to : result -> Adc_circuit.Netlist.node -> Ratfun.t
+(** The same transfer function instantiated with the extracted
+    small-signal values. *)

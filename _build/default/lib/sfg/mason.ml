@@ -1,0 +1,57 @@
+type loop_info = { gain : Expr.t; nodes : Sgraph.node_id list }
+
+let loop_infos graph =
+  List.map
+    (fun cycle -> { gain = Sgraph.path_gain cycle; nodes = Sgraph.path_nodes cycle })
+    (Sgraph.simple_cycles graph)
+
+let touches a_nodes b_nodes = List.exists (fun n -> List.mem n b_nodes) a_nodes
+
+(* Determinant over a list of loops:
+   1 - sum(L_i) + sum(L_i L_j non-touching) - ...
+   Backtracking over loops in order; [chosen_nodes] is the union of nodes
+   of loops already in the product. *)
+let determinant_of loops =
+  let rec expand remaining chosen_nodes sign acc_gain acc_terms =
+    match remaining with
+    | [] -> acc_terms
+    | l :: rest ->
+      (* terms that skip l *)
+      let acc_terms = expand rest chosen_nodes sign acc_gain acc_terms in
+      if touches l.nodes chosen_nodes then acc_terms
+      else begin
+        let sign' = -sign in
+        let gain' = Expr.(acc_gain * l.gain) in
+        let term = if sign' > 0 then gain' else Expr.neg gain' in
+        let acc_terms = term :: acc_terms in
+        expand rest (l.nodes @ chosen_nodes) sign' gain' acc_terms
+      end
+  in
+  let terms = expand loops [] 1 Expr.one [] in
+  Expr.sum (Expr.one :: terms)
+
+let determinant graph = determinant_of (loop_infos graph)
+
+let transfer graph ~src ~dst =
+  let loops = loop_infos graph in
+  let paths = Sgraph.simple_paths graph ~src ~dst in
+  let delta = determinant_of loops in
+  let numerator =
+    Expr.sum
+      (List.map
+         (fun path ->
+           let p_nodes = Sgraph.path_nodes path in
+           let untouched = List.filter (fun l -> not (touches l.nodes p_nodes)) loops in
+           Expr.(Sgraph.path_gain path * determinant_of untouched))
+         paths)
+  in
+  if paths = [] then Expr.zero else Expr.simplify (Expr.Div (numerator, delta))
+
+type report = { n_paths : int; n_loops : int; transfer : Expr.t }
+
+let transfer_report graph ~src ~dst =
+  {
+    n_paths = List.length (Sgraph.simple_paths graph ~src ~dst);
+    n_loops = List.length (Sgraph.simple_cycles graph);
+    transfer = transfer graph ~src ~dst;
+  }

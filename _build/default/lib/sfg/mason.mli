@@ -1,0 +1,27 @@
+(** Mason's gain rule.
+
+    Computes the transfer function of a signal-flow graph:
+    [T = sum_k P_k * Delta_k / Delta], where [Delta] is the graph
+    determinant (1 minus loop gains, plus products of pairs of
+    non-touching loops, minus triples, ...) and [Delta_k] is the same
+    determinant restricted to loops not touching forward path [k].
+
+    This is the symbolic-analysis step of the paper's block-level flow:
+    the result is an {!Expr.t} over small-signal parameter names and the
+    Laplace variable, instantiated later by {!Ratfun.of_expr}. *)
+
+type report = {
+  n_paths : int;
+  n_loops : int;
+  transfer : Expr.t;
+}
+
+val determinant : Sgraph.t -> Expr.t
+(** The graph determinant Delta. *)
+
+val transfer : Sgraph.t -> src:Sgraph.node_id -> dst:Sgraph.node_id -> Expr.t
+(** Symbolic transfer function from [src] to [dst]. Returns {!Expr.zero}
+    when no forward path exists. *)
+
+val transfer_report : Sgraph.t -> src:Sgraph.node_id -> dst:Sgraph.node_id -> report
+(** Same, plus the path/loop counts (useful in tests and logs). *)

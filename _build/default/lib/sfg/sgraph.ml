@@ -1,0 +1,96 @@
+type node_id = int
+
+type edge = { src : node_id; dst : node_id; gain : Expr.t }
+
+type t = {
+  names : (string, node_id) Hashtbl.t;
+  mutable rev_names : string list;
+  mutable next : int;
+  mutable edge_list : edge list; (* reversed insertion order *)
+}
+
+let create () =
+  { names = Hashtbl.create 16; rev_names = []; next = 0; edge_list = [] }
+
+let add_node t name =
+  match Hashtbl.find_opt t.names name with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.replace t.names name id;
+    t.rev_names <- name :: t.rev_names;
+    id
+
+let find_node t name = Hashtbl.find_opt t.names name
+
+let node_name t id =
+  let arr = Array.of_list (List.rev t.rev_names) in
+  if id >= 0 && id < Array.length arr then arr.(id) else Printf.sprintf "#%d" id
+
+let node_count t = t.next
+
+let add_edge t src dst gain =
+  let gain = Expr.simplify gain in
+  if gain = Expr.zero then ()
+  else begin
+    let merged = ref false in
+    let edge_list =
+      List.map
+        (fun e ->
+          if e.src = src && e.dst = dst && not !merged then begin
+            merged := true;
+            { e with gain = Expr.(e.gain + gain) }
+          end
+          else e)
+        t.edge_list
+    in
+    t.edge_list <- (if !merged then edge_list else { src; dst; gain } :: edge_list)
+  end
+
+let edges t = Array.of_list (List.rev t.edge_list)
+
+let out_edges t n = List.filter (fun e -> e.src = n) (List.rev t.edge_list)
+
+let simple_paths t ~src ~dst =
+  let result = ref [] in
+  (* DFS keeping the set of visited nodes; paths are node-simple *)
+  let rec dfs node visited acc =
+    if node = dst && acc <> [] then result := List.rev acc :: !result
+    else
+      List.iter
+        (fun e ->
+          if not (List.mem e.dst visited) then
+            if e.dst = dst then result := List.rev (e :: acc) :: !result
+            else dfs e.dst (e.dst :: visited) (e :: acc))
+        (out_edges t node)
+  in
+  if src = dst then []
+  else begin
+    dfs src [ src ] [];
+    !result
+  end
+
+(* Cycle enumeration: for each starting node v, search only through nodes
+   with id >= v and record closed walks back to v. Each simple cycle is
+   found exactly once, anchored at its minimum node. *)
+let simple_cycles t =
+  let result = ref [] in
+  let rec dfs v node visited acc =
+    List.iter
+      (fun e ->
+        if e.dst = v then result := List.rev (e :: acc) :: !result
+        else if e.dst > v && not (List.mem e.dst visited) then
+          dfs v e.dst (e.dst :: visited) (e :: acc))
+      (out_edges t node)
+  in
+  for v = 0 to t.next - 1 do
+    dfs v v [ v ] []
+  done;
+  !result
+
+let path_nodes path =
+  let nodes = List.concat_map (fun e -> [ e.src; e.dst ]) path in
+  List.sort_uniq compare nodes
+
+let path_gain path = Expr.product (List.map (fun e -> e.gain) path)

@@ -1,0 +1,34 @@
+(** Signal-flow graphs with symbolic edge gains. *)
+
+type node_id = int
+
+type edge = { src : node_id; dst : node_id; gain : Expr.t }
+
+type t
+
+val create : unit -> t
+val add_node : t -> string -> node_id
+(** Nodes are interned by name. *)
+
+val find_node : t -> string -> node_id option
+val node_name : t -> node_id -> string
+val node_count : t -> int
+
+val add_edge : t -> node_id -> node_id -> Expr.t -> unit
+(** Parallel edges between the same pair are merged by summing gains
+    (standard SFG identity). Zero-gain edges are dropped. *)
+
+val edges : t -> edge array
+val out_edges : t -> node_id -> edge list
+
+val simple_paths : t -> src:node_id -> dst:node_id -> edge list list
+(** All simple (node-disjoint) directed paths. A path from a node to
+    itself is not returned here (see {!simple_cycles}). *)
+
+val simple_cycles : t -> edge list list
+(** All simple directed cycles, each reported once. Self-loops included. *)
+
+val path_nodes : edge list -> node_id list
+(** Sorted, de-duplicated nodes touched by a path or cycle. *)
+
+val path_gain : edge list -> Expr.t

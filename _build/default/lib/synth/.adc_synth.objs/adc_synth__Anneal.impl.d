@@ -1,0 +1,1 @@
+lib/synth/anneal.ml: Adc_numerics Array Float Stdlib

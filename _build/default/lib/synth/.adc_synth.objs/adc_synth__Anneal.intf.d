@@ -1,0 +1,1 @@
+lib/synth/anneal.mli: Adc_numerics

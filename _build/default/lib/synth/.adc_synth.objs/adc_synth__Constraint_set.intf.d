@@ -1,0 +1,1 @@
+lib/synth/constraint_set.mli:

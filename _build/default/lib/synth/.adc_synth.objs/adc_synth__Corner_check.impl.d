@@ -1,0 +1,1 @@
+lib/synth/corner_check.ml: Adc_circuit Adc_mdac Adc_numerics Buffer Constraint_set Float List Printf Synthesizer

@@ -1,0 +1,1 @@
+lib/synth/corner_check.mli: Adc_circuit Adc_mdac

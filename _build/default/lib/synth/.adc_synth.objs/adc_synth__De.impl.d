@@ -1,0 +1,1 @@
+lib/synth/de.ml: Adc_numerics Array Stdlib

@@ -1,0 +1,1 @@
+lib/synth/de.mli: Adc_numerics

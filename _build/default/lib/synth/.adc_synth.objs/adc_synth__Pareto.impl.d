@@ -1,0 +1,1 @@
+lib/synth/pareto.ml: Adc_mdac Adc_numerics Buffer Float List Printf Synthesizer

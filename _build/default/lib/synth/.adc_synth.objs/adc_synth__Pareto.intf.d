@@ -1,0 +1,1 @@
+lib/synth/pareto.mli: Adc_circuit Adc_mdac Synthesizer

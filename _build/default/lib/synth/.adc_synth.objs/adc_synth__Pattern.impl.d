@@ -1,0 +1,1 @@
+lib/synth/pattern.ml: Array

@@ -1,0 +1,1 @@
+lib/synth/space.ml: Adc_numerics Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/synth/space.mli: Adc_numerics

@@ -1,0 +1,1 @@
+lib/synth/synthesizer.ml: Adc_circuit Adc_mdac Adc_numerics Anneal Array Constraint_set De Float Fun List Option Pattern Space Stdlib

@@ -1,0 +1,1 @@
+lib/synth/synthesizer.mli: Adc_circuit Adc_mdac Constraint_set Space

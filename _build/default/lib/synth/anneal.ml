@@ -1,0 +1,72 @@
+module Rng = Adc_numerics.Rng
+
+type config = {
+  iterations : int;
+  t_start : float;
+  t_end : float;
+  step_start : float;
+  step_min : float;
+}
+
+let default_config =
+  { iterations = 400; t_start = 1.0; t_end = 1e-3; step_start = 0.25; step_min = 0.01 }
+
+type outcome = {
+  best_x : float array;
+  best_cost : float;
+  evaluations : int;
+  accepted : int;
+}
+
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let minimize ?(config = default_config) rng ~dim ~x0 cost =
+  if Array.length x0 <> dim then invalid_arg "Anneal.minimize: x0 dimension";
+  let x = Array.map clamp01 (Array.copy x0) in
+  let cx = ref (cost x) in
+  let best_x = ref (Array.copy x) in
+  let best_cost = ref !cx in
+  let evals = ref 1 in
+  let accepted = ref 0 in
+  let step = ref config.step_start in
+  let cooling =
+    if config.iterations <= 1 then 1.0
+    else (config.t_end /. config.t_start) ** (1.0 /. float_of_int config.iterations)
+  in
+  let temp = ref config.t_start in
+  (* adapt the step every [window] moves toward ~40% acceptance *)
+  let window = 25 in
+  let window_accepts = ref 0 in
+  for it = 1 to config.iterations do
+    (* perturb a random subset (1-3 coordinates) *)
+    let candidate = Array.copy x in
+    let n_moves = 1 + Rng.int_below rng (Stdlib.min 3 dim) in
+    for _ = 1 to n_moves do
+      let k = Rng.int_below rng dim in
+      candidate.(k) <- clamp01 (candidate.(k) +. (Rng.gaussian rng *. !step))
+    done;
+    let cc = cost candidate in
+    incr evals;
+    let accept =
+      cc <= !cx
+      || Rng.uniform rng < exp ((!cx -. cc) /. Float.max !temp 1e-12)
+    in
+    if accept then begin
+      Array.blit candidate 0 x 0 dim;
+      cx := cc;
+      incr accepted;
+      incr window_accepts;
+      if cc < !best_cost then begin
+        best_cost := cc;
+        best_x := Array.copy candidate
+      end
+    end;
+    if it mod window = 0 then begin
+      let rate = float_of_int !window_accepts /. float_of_int window in
+      if rate > 0.5 then step := Float.min 0.5 (!step *. 1.3)
+      else if rate < 0.25 then step := Float.max config.step_min (!step /. 1.3);
+      window_accepts := 0
+    end;
+    temp := !temp *. cooling
+  done;
+  { best_x = !best_x; best_cost = !best_cost; evaluations = !evals; accepted = !accepted }

@@ -1,0 +1,32 @@
+(** Adaptive simulated annealing over the normalized design cube.
+
+    The global-search engine of the NeoCircuit-substitute synthesizer:
+    Gaussian coordinate moves with an acceptance-rate-adapted step size
+    and geometric cooling. Deterministic given the generator. *)
+
+type config = {
+  iterations : int;
+  t_start : float;   (** initial temperature, in cost units *)
+  t_end : float;
+  step_start : float; (** initial move sigma in normalized units *)
+  step_min : float;
+}
+
+val default_config : config
+
+type outcome = {
+  best_x : float array;   (** normalized coordinates *)
+  best_cost : float;
+  evaluations : int;
+  accepted : int;
+}
+
+val minimize :
+  ?config:config ->
+  Adc_numerics.Rng.t ->
+  dim:int ->
+  x0:float array ->
+  (float array -> float) ->
+  outcome
+(** Minimize a cost over [0,1]^dim starting from [x0]. The cost function
+    must be total (return a large finite value for broken points). *)

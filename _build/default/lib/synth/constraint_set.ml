@@ -1,0 +1,49 @@
+type sense = At_least | At_most
+
+type entry = {
+  metric : string;
+  sense : sense;
+  target : float;
+  weight : float;
+}
+
+type t = entry list
+
+let create entries =
+  List.iter
+    (fun e ->
+      if e.weight < 0.0 then invalid_arg "Constraint_set.create: negative weight")
+    entries;
+  entries
+
+let entries t = t
+
+let at_least ?(weight = 1.0) metric target = { metric; sense = At_least; target; weight }
+let at_most ?(weight = 1.0) metric target = { metric; sense = At_most; target; weight }
+
+let violation e value =
+  let scale = Float.max (Float.abs e.target) 1e-30 in
+  match e.sense with
+  | At_least -> Float.max 0.0 ((e.target -. value) /. scale)
+  | At_most -> Float.max 0.0 ((value -. e.target) /. scale)
+
+let total_violation t ~lookup =
+  List.fold_left
+    (fun acc e ->
+      let v =
+        match lookup e.metric with
+        | Some value when Float.is_finite value -> violation e value
+        | Some _ | None -> 1.0
+      in
+      acc +. (e.weight *. v))
+    0.0 t
+
+let is_feasible ?(tol = 1e-9) t ~lookup = total_violation t ~lookup <= tol
+
+let report t ~lookup =
+  List.map
+    (fun e ->
+      match lookup e.metric with
+      | Some value -> (e.metric, e.target, value, violation e value <= 1e-9)
+      | None -> (e.metric, e.target, Float.nan, false))
+    t

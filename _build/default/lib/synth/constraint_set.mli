@@ -1,0 +1,35 @@
+(** Specification constraints and penalty aggregation.
+
+    Each constraint compares a named circuit metric against a target;
+    violations are normalized to the target magnitude so that penalties
+    are comparable across quantities with wildly different units
+    (gain in V/V, GBW in Hz, margins in degrees). *)
+
+type sense = At_least | At_most
+
+type entry = {
+  metric : string;
+  sense : sense;
+  target : float;
+  weight : float;
+}
+
+type t
+
+val create : entry list -> t
+val entries : t -> entry list
+
+val at_least : ?weight:float -> string -> float -> entry
+val at_most : ?weight:float -> string -> float -> entry
+
+val violation : entry -> float -> float
+(** Normalized violation of one metric value (0 when satisfied). *)
+
+val total_violation : t -> lookup:(string -> float option) -> float
+(** Weighted sum of violations; a missing metric counts as a full
+    (1.0-normalized) violation of that entry. *)
+
+val is_feasible : ?tol:float -> t -> lookup:(string -> float option) -> bool
+
+val report : t -> lookup:(string -> float option) -> (string * float * float * bool) list
+(** [(metric, target, value-or-nan, ok)] rows for logs and tables. *)

@@ -1,0 +1,56 @@
+module Corners = Adc_circuit.Corners
+module Mdac_stage = Adc_mdac.Mdac_stage
+
+type corner_result = {
+  corner : Corners.corner;
+  temperature : float;
+  metrics : (string * float) list;
+  violation : float;
+  feasible : bool;
+}
+
+let check ?(corners = Corners.all) ?(temperatures = [ 300.0 ]) proc req sizing =
+  let constraints = Synthesizer.constraints_of req in
+  let pairs =
+    List.concat_map (fun c -> List.map (fun t -> (c, t)) temperatures) corners
+    @ (if List.mem 398.0 temperatures then [] else [ (Corners.TT, 398.0) ])
+  in
+  List.map
+    (fun (corner, temperature) ->
+      let proc' = Corners.apply ~temperature proc corner in
+      let metrics, _ =
+        Synthesizer.evaluate_sizing ~kind:Synthesizer.Hybrid proc' req sizing
+      in
+      let lookup name = List.assoc_opt name metrics in
+      let violation =
+        if metrics = [] then infinity
+        else Constraint_set.total_violation constraints ~lookup
+      in
+      { corner; temperature; metrics; violation; feasible = violation <= 0.02 })
+    pairs
+
+let worst results =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | None -> Some r
+      | Some best -> if r.violation > best.violation then Some r else acc)
+    None results
+
+let all_feasible results = List.for_all (fun r -> r.feasible) results
+
+let render results =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "corner  temp   power      a0        gbw       pm     status\n";
+  List.iter
+    (fun r ->
+      let get name = match List.assoc_opt name r.metrics with Some v -> v | None -> Float.nan in
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %4.0fK  %-9s %-9.3g %-9.3g %5.1f  %s\n"
+           (Corners.to_string r.corner) r.temperature
+           (Adc_numerics.Units.format_power (get "power"))
+           (get "a0") (get "gbw") (get "pm")
+           (if r.feasible then "ok"
+            else Printf.sprintf "violation %.3f" r.violation)))
+    results;
+  Buffer.contents buf

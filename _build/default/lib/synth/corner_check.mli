@@ -1,0 +1,30 @@
+(** Corner verification of a synthesized cell.
+
+    Re-runs the hybrid evaluation of a fixed sizing across process
+    corners and temperatures and grades each against the block
+    constraints — the sign-off step that follows nominal synthesis. *)
+
+type corner_result = {
+  corner : Adc_circuit.Corners.corner;
+  temperature : float;
+  metrics : (string * float) list;  (** empty if the corner fails to simulate *)
+  violation : float;
+  feasible : bool;
+}
+
+val check :
+  ?corners:Adc_circuit.Corners.corner list ->
+  ?temperatures:float list ->
+  Adc_circuit.Process.t ->
+  Adc_mdac.Mdac_stage.requirements ->
+  Adc_mdac.Ota.sizing ->
+  corner_result list
+(** Evaluate at every (corner, temperature) pair; defaults to the five
+    corners at 300 K plus TT at 398 K. *)
+
+val worst : corner_result list -> corner_result option
+(** The corner with the largest violation (None for an empty list). *)
+
+val all_feasible : corner_result list -> bool
+
+val render : corner_result list -> string

@@ -1,0 +1,67 @@
+module Rng = Adc_numerics.Rng
+
+type config = {
+  population : int;
+  generations : int;
+  f_weight : float;
+  crossover : float;
+}
+
+let default_config = { population = 24; generations = 30; f_weight = 0.7; crossover = 0.9 }
+
+type outcome = {
+  best_x : float array;
+  best_cost : float;
+  evaluations : int;
+}
+
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let minimize ?(config = default_config) rng ~dim ?seed_point cost =
+  let np = Stdlib.max 4 config.population in
+  let pop =
+    Array.init np (fun i ->
+        match seed_point with
+        | Some x0 when i = 0 -> Array.map clamp01 (Array.copy x0)
+        | Some _ | None -> Array.init dim (fun _ -> Rng.uniform rng))
+  in
+  let costs = Array.map cost pop in
+  let evals = ref np in
+  for _gen = 1 to config.generations do
+    for i = 0 to np - 1 do
+      (* pick three distinct other members *)
+      let pick () =
+        let rec go () =
+          let k = Rng.int_below rng np in
+          if k = i then go () else k
+        in
+        go ()
+      in
+      let a = pick () in
+      let b = ref (pick ()) in
+      while !b = a do
+        b := pick ()
+      done;
+      let c = ref (pick ()) in
+      while !c = a || !c = !b do
+        c := pick ()
+      done;
+      let forced = Rng.int_below rng dim in
+      let trial =
+        Array.init dim (fun j ->
+            if j = forced || Rng.uniform rng < config.crossover then
+              clamp01
+                (pop.(a).(j) +. (config.f_weight *. (pop.(!b).(j) -. pop.(!c).(j))))
+            else pop.(i).(j))
+      in
+      let ct = cost trial in
+      incr evals;
+      if ct <= costs.(i) then begin
+        pop.(i) <- trial;
+        costs.(i) <- ct
+      end
+    done
+  done;
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c < costs.(!best) then best := i) costs;
+  { best_x = Array.copy pop.(!best); best_cost = costs.(!best); evaluations = !evals }

@@ -1,0 +1,29 @@
+(** Differential evolution (rand/1/bin) over the normalized cube.
+
+    The alternative global optimizer, kept alongside simulated annealing
+    for the methodology-ablation experiments: the paper's claim is about
+    the evaluation hybrid, not the search kernel, so the repo lets both
+    kernels drive the same evaluator. *)
+
+type config = {
+  population : int;
+  generations : int;
+  f_weight : float;    (** differential weight, typically 0.5-0.9 *)
+  crossover : float;   (** crossover probability *)
+}
+
+val default_config : config
+
+type outcome = {
+  best_x : float array;
+  best_cost : float;
+  evaluations : int;
+}
+
+val minimize :
+  ?config:config ->
+  Adc_numerics.Rng.t ->
+  dim:int ->
+  ?seed_point:float array ->
+  (float array -> float) ->
+  outcome

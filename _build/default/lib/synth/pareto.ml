@@ -1,0 +1,58 @@
+module Mdac_stage = Adc_mdac.Mdac_stage
+
+type point = {
+  gbw_target_hz : float;
+  power : float;
+  feasible : bool;
+  sizing : Adc_mdac.Ota.sizing;
+}
+
+let sweep ?(kind = Synthesizer.Hybrid) ?budget ?(seed = 31) proc
+    (req : Mdac_stage.requirements) ~gbw_multipliers =
+  List.mapi
+    (fun i mult ->
+      if mult <= 0.0 then invalid_arg "Pareto.sweep: non-positive multiplier";
+      let req' = { req with Mdac_stage.gbw_min_hz = req.Mdac_stage.gbw_min_hz *. mult } in
+      match Synthesizer.synthesize ~kind ?budget ~seed:(seed + i) proc req' with
+      | Error _ ->
+        {
+          gbw_target_hz = req'.Mdac_stage.gbw_min_hz;
+          power = infinity;
+          feasible = false;
+          sizing = Synthesizer.initial_sizing proc req';
+        }
+      | Ok sol ->
+        {
+          gbw_target_hz = req'.Mdac_stage.gbw_min_hz;
+          power = sol.Synthesizer.power;
+          feasible = sol.Synthesizer.feasible;
+          sizing = sol.Synthesizer.sizing;
+        })
+    gbw_multipliers
+
+let front points =
+  let feasible = List.filter (fun p -> p.feasible) points in
+  let sorted = List.sort (fun a b -> compare a.gbw_target_hz b.gbw_target_hz) feasible in
+  (* scan ascending bandwidth; keep a point only if no cheaper point
+     exists at equal or higher bandwidth (power should rise with BW) *)
+  let rec keep = function
+    | [] -> []
+    | p :: rest ->
+      if List.exists (fun q -> q.power <= p.power) rest then keep rest
+      else p :: keep rest
+  in
+  keep sorted
+
+let render points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "  GBW target      min power\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %12s%s\n"
+           (Adc_numerics.Units.format_freq p.gbw_target_hz)
+           (if Float.is_finite p.power then Adc_numerics.Units.format_power p.power
+            else "-")
+           (if p.feasible then "" else "   (infeasible)")))
+    points;
+  Buffer.contents buf

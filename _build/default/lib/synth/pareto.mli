@@ -1,0 +1,33 @@
+(** Power/bandwidth Pareto fronts for one MDAC cell.
+
+    The paper's related work (Stehr/Graeb, De Smedt/Gielen, Rutenbar's
+    PLL study) parameterizes system models with per-block Pareto curves
+    instead of synthesizing on demand. This module generates such a
+    curve for an MDAC amplifier — minimum power as a function of the
+    bandwidth target — so the repo can compare "Pareto-parameterized"
+    system optimization against the paper's per-job synthesis. *)
+
+type point = {
+  gbw_target_hz : float;
+  power : float;
+  feasible : bool;
+  sizing : Adc_mdac.Ota.sizing;
+}
+
+val sweep :
+  ?kind:Synthesizer.evaluator_kind ->
+  ?budget:Synthesizer.budget ->
+  ?seed:int ->
+  Adc_circuit.Process.t ->
+  Adc_mdac.Mdac_stage.requirements ->
+  gbw_multipliers:float list ->
+  point list
+(** Re-synthesize the cell for each scaled bandwidth target (other specs
+    unchanged); returns points in sweep order. *)
+
+val front : point list -> point list
+(** The non-dominated subset (lower power, lower bandwidth target
+    removed), sorted by ascending bandwidth. Infeasible points are
+    dropped. *)
+
+val render : point list -> string

@@ -1,0 +1,57 @@
+type outcome = {
+  best_x : float array;
+  best_cost : float;
+  evaluations : int;
+}
+
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+(* Exploratory move around [base]: try +/- step on every coordinate,
+   keeping improvements greedily. *)
+let explore cost evals base base_cost step dim =
+  let x = Array.copy base in
+  let cx = ref base_cost in
+  for k = 0 to dim - 1 do
+    let orig = x.(k) in
+    let try_at v =
+      x.(k) <- clamp01 v;
+      let c = cost x in
+      incr evals;
+      if c < !cx then begin
+        cx := c;
+        true
+      end
+      else begin
+        x.(k) <- orig;
+        false
+      end
+    in
+    if not (try_at (orig +. step)) then ignore (try_at (orig -. step))
+  done;
+  (x, !cx)
+
+let minimize ?(max_evals = 600) ?(step0 = 0.08) ?(step_tol = 1e-4) ~dim ~x0 cost =
+  if Array.length x0 <> dim then invalid_arg "Pattern.minimize: x0 dimension";
+  let evals = ref 1 in
+  let base = ref (Array.map clamp01 (Array.copy x0)) in
+  let base_cost = ref (cost !base) in
+  let step = ref step0 in
+  while !step > step_tol && !evals < max_evals do
+    let x', c' = explore cost evals !base !base_cost !step dim in
+    if c' < !base_cost then begin
+      (* pattern move: leap along the improvement direction *)
+      let leap = Array.mapi (fun i v -> clamp01 (v +. (v -. !base.(i)))) x' in
+      let cl = cost leap in
+      incr evals;
+      if cl < c' then begin
+        base := leap;
+        base_cost := cl
+      end
+      else begin
+        base := x';
+        base_cost := c'
+      end
+    end
+    else step := !step /. 2.0
+  done;
+  { best_x = !base; best_cost = !base_cost; evaluations = !evals }

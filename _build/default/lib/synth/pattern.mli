@@ -1,0 +1,17 @@
+(** Hooke-Jeeves pattern search: derivative-free local refinement run
+    after the annealing phase on the normalized cube. *)
+
+type outcome = {
+  best_x : float array;
+  best_cost : float;
+  evaluations : int;
+}
+
+val minimize :
+  ?max_evals:int ->
+  ?step0:float ->
+  ?step_tol:float ->
+  dim:int ->
+  x0:float array ->
+  (float array -> float) ->
+  outcome

@@ -1,0 +1,70 @@
+module Rng = Adc_numerics.Rng
+
+type scale = Linear | Log
+
+type variable = { name : string; lo : float; hi : float; scale : scale }
+
+type t = variable array
+
+let create vars =
+  List.iter
+    (fun v ->
+      if v.lo >= v.hi then
+        invalid_arg (Printf.sprintf "Space.create: %s: lo >= hi" v.name);
+      match v.scale with
+      | Log when v.lo <= 0.0 ->
+        invalid_arg (Printf.sprintf "Space.create: %s: log scale needs positive bounds" v.name)
+      | Log | Linear -> ())
+    vars;
+  Array.of_list vars
+
+let dim = Array.length
+let variables t = Array.copy t
+
+let clamp01 x = Array.map (fun v -> if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v) x
+
+let denorm_one v u =
+  match v.scale with
+  | Linear -> v.lo +. (u *. (v.hi -. v.lo))
+  | Log -> v.lo *. ((v.hi /. v.lo) ** u)
+
+let norm_one v x =
+  let u =
+    match v.scale with
+    | Linear -> (x -. v.lo) /. (v.hi -. v.lo)
+    | Log ->
+      if x <= 0.0 then 0.0 else log (x /. v.lo) /. log (v.hi /. v.lo)
+  in
+  if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u
+
+let denormalize t u =
+  if Array.length u <> Array.length t then invalid_arg "Space.denormalize: dimension";
+  let u = clamp01 u in
+  Array.mapi (fun i v -> denorm_one v u.(i)) t
+
+let normalize t x =
+  if Array.length x <> Array.length t then invalid_arg "Space.normalize: dimension";
+  Array.mapi (fun i v -> norm_one v x.(i)) t
+
+let center t = Array.make (Array.length t) 0.5
+
+let random_point rng t = Array.init (Array.length t) (fun _ -> Rng.uniform rng)
+
+let shrink_around t x ~factor =
+  if factor <= 0.0 || factor > 1.0 then invalid_arg "Space.shrink_around: factor";
+  Array.mapi
+    (fun i v ->
+      let u = norm_one v x.(i) in
+      let half = 0.5 *. factor in
+      let lo_u = Float.max 0.0 (u -. half) and hi_u = Float.min 1.0 (u +. half) in
+      let lo_u, hi_u = if hi_u -. lo_u < 1e-6 then (Float.max 0.0 (u -. 1e-3), Float.min 1.0 (u +. 1e-3)) else (lo_u, hi_u) in
+      { v with lo = denorm_one v lo_u; hi = denorm_one v hi_u })
+    t
+
+let value_of t x name =
+  let rec find i =
+    if i >= Array.length t then raise Not_found
+    else if String.equal t.(i).name name then x.(i)
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,40 @@
+(** Design-variable spaces.
+
+    The optimizers work on normalized coordinates in [0,1]^n; this module
+    maps them to physical values with linear or logarithmic scaling
+    (device sizes and currents span decades, so log scaling is the
+    default for them). *)
+
+type scale = Linear | Log
+
+type variable = { name : string; lo : float; hi : float; scale : scale }
+
+type t
+
+val create : variable list -> t
+(** Validates bounds ([lo < hi], positive bounds for [Log]). *)
+
+val dim : t -> int
+val variables : t -> variable array
+
+val denormalize : t -> float array -> float array
+(** [0,1]^n point -> physical values (clamping into bounds first). *)
+
+val normalize : t -> float array -> float array
+(** Physical values -> [0,1]^n (clamped). *)
+
+val clamp01 : float array -> float array
+
+val center : t -> float array
+(** The normalized center point (0.5, ..., 0.5). *)
+
+val random_point : Adc_numerics.Rng.t -> t -> float array
+
+val shrink_around : t -> float array -> factor:float -> t
+(** Design-space reduction: new bounds spanning [factor] of each
+    variable's (scaled) range, centered on the given physical point —
+    used for warm-start retargeting and after symbolic screening. *)
+
+val value_of : t -> float array -> string -> float
+(** Look up one physical variable by name in a denormalized vector.
+    Raises [Not_found]. *)

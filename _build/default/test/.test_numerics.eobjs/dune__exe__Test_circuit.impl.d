@@ -1,0 +1,1 @@
+test/test_circuit.ml: Adc_circuit Adc_numerics Alcotest Array Complex Float Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adc_circuit Adc_mdac Adc_pipeline Adc_synth Alcotest Float List Printf String

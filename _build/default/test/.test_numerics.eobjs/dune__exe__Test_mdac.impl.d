@@ -1,0 +1,1 @@
+test/test_mdac.ml: Adc_circuit Adc_mdac Adc_numerics Adc_sfg Alcotest Array Float List Printf QCheck2 QCheck_alcotest

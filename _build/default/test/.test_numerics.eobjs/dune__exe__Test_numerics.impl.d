@@ -1,0 +1,1 @@
+test/test_numerics.ml: Adc_numerics Alcotest Array Complex Float QCheck2 QCheck_alcotest String

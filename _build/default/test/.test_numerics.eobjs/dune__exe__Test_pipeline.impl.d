@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Adc_baseline Adc_mdac Adc_numerics Adc_pipeline Adc_synth Alcotest Float List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sfg.ml: Adc_circuit Adc_numerics Adc_sfg Alcotest Array Complex Float List Printf QCheck2 QCheck_alcotest String

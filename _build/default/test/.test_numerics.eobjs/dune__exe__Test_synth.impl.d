@@ -1,0 +1,1 @@
+test/test_synth.ml: Adc_circuit Adc_mdac Adc_numerics Adc_synth Alcotest Array Float List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,308 @@
+(* Tests for the ADC block models: capacitor sizing, comparators, MDAC
+   spec translation, S/H, and the OTA generator with its hybrid
+   evaluation. *)
+
+module Rng = Adc_numerics.Rng
+module Process = Adc_circuit.Process
+module Caps = Adc_mdac.Caps
+module Comparator = Adc_mdac.Comparator
+module Mdac_stage = Adc_mdac.Mdac_stage
+module Sha = Adc_mdac.Sha
+module Ota = Adc_mdac.Ota
+module Expr = Adc_sfg.Expr
+
+let proc = Process.c025
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Caps *)
+
+let test_caps_noise_scaling () =
+  (* kT/C capacitance grows 4x per bit of accuracy *)
+  let c b = Caps.c_total_for_noise proc ~vref_pp:2.0 ~bits:b ~noise_fraction:0.1 in
+  check_close ~eps:1e-9 "4x per bit" 4.0 (c 11 /. c 10);
+  check_close ~eps:1e-9 "16x per 2 bits" 16.0 (c 12 /. c 10)
+
+let test_caps_matching_floor () =
+  let cu = Caps.c_unit_for_matching proc ~bits:4 ~m:2 in
+  check_close ~eps:1e-12 "floor at low accuracy" proc.Process.c_unit_min cu;
+  let cu13 = Caps.c_unit_for_matching proc ~bits:13 ~m:2 in
+  Alcotest.(check bool) "13-bit unit above floor" true (cu13 > proc.Process.c_unit_min)
+
+let test_caps_sizing_structure () =
+  let s = Caps.size proc ~bits:12 ~m:3 ~vref_pp:2.0 ~noise_fraction:0.1 ~c_in_ratio:0.15 in
+  Alcotest.(check int) "4 units for m=3" 4 s.Caps.n_units;
+  check_close ~eps:1e-9 "gain 4" 4.0 s.Caps.gain;
+  check_close ~eps:1e-9 "cs = 3 cf" 3.0 (s.Caps.c_sample /. s.Caps.c_feedback);
+  check_close ~eps:1e-9 "total = cs + cf" s.Caps.c_total (s.Caps.c_sample +. s.Caps.c_feedback);
+  (* beta = 1 / (gain * (1 + ratio)) in the scale-invariant model *)
+  check_close ~eps:1e-9 "beta" (1.0 /. (4.0 *. 1.15)) s.Caps.beta
+
+let prop_caps_invariants =
+  QCheck2.Test.make ~name:"cap sizing invariants" ~count:100
+    QCheck2.Gen.(pair (int_range 6 14) (int_range 2 4))
+    (fun (bits, m) ->
+      let s = Caps.size proc ~bits ~m ~vref_pp:2.0 ~noise_fraction:0.1 ~c_in_ratio:0.15 in
+      s.Caps.n_units = 1 lsl (m - 1)
+      && s.Caps.c_unit >= proc.Process.c_unit_min
+      && s.Caps.beta > 0.0
+      && s.Caps.beta < 1.0
+      && Float.abs (s.Caps.c_total -. (float_of_int s.Caps.n_units *. s.Caps.c_unit)) < 1e-18)
+
+(* ------------------------------------------------------------------ *)
+(* Comparator *)
+
+let test_comparator_count () =
+  Alcotest.(check int) "1.5-bit stage has 2" 2 (Comparator.count ~m:2);
+  Alcotest.(check int) "2.5-bit stage has 6" 6 (Comparator.count ~m:3);
+  Alcotest.(check int) "3.5-bit stage has 14" 14 (Comparator.count ~m:4)
+
+let test_comparator_offset_budget () =
+  (* one redundant bit relaxes offsets to vref/2^(m+1) *)
+  check_close "m=2 budget" 0.25 (Comparator.offset_budget ~vref_pp:2.0 ~m:2);
+  check_close "m=4 budget" 0.0625 (Comparator.offset_budget ~vref_pp:2.0 ~m:4)
+
+let test_comparator_power_monotone_m () =
+  let p m = Comparator.stage_power proc ~fs:40e6 ~vref_pp:2.0 ~m in
+  Alcotest.(check bool) "more bits cost more" true (p 2 < p 3 && p 3 < p 4)
+
+let test_comparator_power_scales_with_fs () =
+  let p fs = Comparator.power_per_comparator proc ~fs ~offset_budget:0.25 in
+  Alcotest.(check bool) "dynamic part grows with fs" true (p 80e6 > p 40e6)
+
+let test_comparator_decide_known () =
+  let d = Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m:2 ~offsets:[| 0.0; 0.0 |] in
+  (* 1.5-bit thresholds at -0.25 and +0.25 *)
+  Alcotest.(check int) "low" 0 (d (-0.5)).Comparator.code;
+  Alcotest.(check int) "mid" 1 (d 0.0).Comparator.code;
+  Alcotest.(check int) "high" 2 (d 0.5).Comparator.code
+
+let prop_comparator_decide_monotone =
+  QCheck2.Test.make ~name:"flash code monotone in input" ~count:100
+    QCheck2.Gen.(pair (int_range 2 4) (pair (float_range (-1.0) 1.0) (float_range (-1.0) 1.0)))
+    (fun (m, (v1, v2)) ->
+      let offsets = Array.make (Comparator.count ~m) 0.0 in
+      let code v = (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m ~offsets v).Comparator.code in
+      if v1 <= v2 then code v1 <= code v2 else code v1 >= code v2)
+
+(* ------------------------------------------------------------------ *)
+(* Mdac_stage *)
+
+let spec_of m bits = Mdac_stage.default_spec ~m ~accuracy_bits:bits ~fs:40e6
+
+let test_requirements_structure () =
+  let req = Mdac_stage.requirements proc (spec_of 3 12) ~c_load_ext:1e-12 ~c_in_ratio:0.15 in
+  (* settling accuracy is the backend resolution: 12 - 2 = 10 bits *)
+  check_close ~eps:1e-12 "settle tolerance" (2.0 ** -11.0) req.Mdac_stage.settle_tol;
+  Alcotest.(check bool) "gain spec positive" true (req.Mdac_stage.a0_min > 1000.0);
+  Alcotest.(check bool) "load includes feedback cap" true
+    (req.Mdac_stage.c_load_eff > req.Mdac_stage.c_load_ext)
+
+let test_requirements_monotone_bits () =
+  let gbw bits =
+    (Mdac_stage.requirements proc (spec_of 3 bits) ~c_load_ext:1e-12 ~c_in_ratio:0.15)
+      .Mdac_stage.gbw_min_hz
+  in
+  Alcotest.(check bool) "more accuracy needs more bandwidth" true (gbw 13 > gbw 9)
+
+let test_requirements_monotone_fs () =
+  let gbw fs =
+    let spec = { (spec_of 3 12) with Mdac_stage.fs } in
+    (Mdac_stage.requirements proc spec ~c_load_ext:1e-12 ~c_in_ratio:0.15)
+      .Mdac_stage.gbw_min_hz
+  in
+  Alcotest.(check bool) "faster clock needs more bandwidth" true (gbw 80e6 > gbw 40e6)
+
+let test_equation_power_positive_and_monotone () =
+  let p bits =
+    let req = Mdac_stage.requirements proc (spec_of 3 bits) ~c_load_ext:1e-12 ~c_in_ratio:0.15 in
+    (Mdac_stage.equation_power proc req).Mdac_stage.p_total
+  in
+  Alcotest.(check bool) "positive" true (p 10 > 0.0);
+  Alcotest.(check bool) "monotone in accuracy" true (p 13 > p 10)
+
+let test_residue_known_values () =
+  (* 1.5-bit stage, code 1 (middle): residue = 2x *)
+  let r = Mdac_stage.residue_ideal ~m:2 ~vref_pp:2.0 ~vcm:0.0 ~code:1 0.1 in
+  check_close ~eps:1e-12 "mid segment doubles" 0.2 r;
+  (* code 2 subtracts half the reference after gain *)
+  let r = Mdac_stage.residue_ideal ~m:2 ~vref_pp:2.0 ~vcm:0.0 ~code:2 0.5 in
+  check_close ~eps:1e-12 "top segment" 0.0 r
+
+let prop_residue_bounded =
+  QCheck2.Test.make ~name:"residue stays in range for correct codes" ~count:200
+    QCheck2.Gen.(pair (int_range 2 4) (float_range (-0.999) 0.999))
+    (fun (m, x) ->
+      let v = x *. 1.0 in
+      let offsets = Array.make (Comparator.count ~m) 0.0 in
+      let code = (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m ~offsets v).Comparator.code in
+      let r = Mdac_stage.residue_ideal ~m ~vref_pp:2.0 ~vcm:0.0 ~code v in
+      (* with ideal thresholds the residue never exceeds half scale + one
+         sub-DAC step *)
+      Float.abs r <= 1.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Sha *)
+
+let test_sha_requirements () =
+  let req = Sha.requirements proc ~bits:13 ~fs:40e6 ~vref_pp:2.0 ~noise_fraction:0.1 in
+  Alcotest.(check bool) "cap positive" true (req.Sha.c_sample > 0.0);
+  Alcotest.(check bool) "gain spec" true (req.Sha.a0_min > 10000.0);
+  let p = Sha.equation_power proc req ~c_load_ext:2e-12 in
+  Alcotest.(check bool) "power positive" true (p > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ota *)
+
+let test_ota_netlist_valid () =
+  List.iter
+    (fun topology ->
+      let z = { Ota.default_sizing with Ota.topology } in
+      let p = Ota.build proc z in
+      match Adc_circuit.Netlist.validate p.Ota.nl with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid netlist: %s" e)
+    [ Ota.Miller_simple; Ota.Miller_cascode ]
+
+let test_ota_simple_evaluates () =
+  match Ota.evaluate proc Ota.default_sizing with
+  | Error e -> Alcotest.failf "evaluate failed: %s" e
+  | Ok perf ->
+    Alcotest.(check bool) "gain above 60 dB" true (perf.Ota.dc_gain > 1000.0);
+    Alcotest.(check bool) "devices saturated" true perf.Ota.all_saturated;
+    Alcotest.(check bool) "positive power" true (perf.Ota.power > 0.0);
+    Alcotest.(check bool) "has unity-gain freq" true (perf.Ota.gbw_hz <> None);
+    Alcotest.(check bool) "swing window sane" true
+      (perf.Ota.swing_high > perf.Ota.swing_low)
+
+let test_ota_cascode_has_more_gain () =
+  let simple = { Ota.default_sizing with Ota.topology = Ota.Miller_simple } in
+  let cascode = { Ota.default_sizing with Ota.topology = Ota.Miller_cascode; v_casc = 1.3 } in
+  match (Ota.evaluate proc simple, Ota.evaluate proc cascode) with
+  | Ok s, Ok c ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cascode gain (%.0f) > simple gain (%.0f)" c.Ota.dc_gain s.Ota.dc_gain)
+      true (c.Ota.dc_gain > s.Ota.dc_gain)
+  | Error e, _ | _, Error e -> Alcotest.failf "evaluate failed: %s" e
+
+let test_ota_settling_bench_accuracy () =
+  match
+    Ota.settling_bench proc Ota.default_sizing ~gain:2.0 ~c_feedback:0.5e-12
+      ~c_load:1e-12 ~v_step:0.2 ~t_window:60e-9 ~tol:0.001
+  with
+  | Error e -> Alcotest.failf "settling bench failed: %s" e
+  | Ok s ->
+    Alcotest.(check bool) "settles" true (s.Ota.settle_time <> None);
+    Alcotest.(check bool)
+      (Printf.sprintf "small static error (%.2e)" s.Ota.static_error)
+      true
+      (s.Ota.static_error < 0.01);
+    check_close ~eps:0.02 "final matches charge conservation" s.Ota.ideal_value s.Ota.final_value
+
+let test_ota_symbolic_transfer_mentions_devices () =
+  match Ota.symbolic_transfer proc Ota.default_sizing with
+  | Error e -> Alcotest.failf "symbolic transfer failed: %s" e
+  | Ok expr ->
+    let vs = Expr.vars expr in
+    Alcotest.(check bool) "mentions gm of the input pair" true (List.mem "gm_m2" vs);
+    Alcotest.(check bool) "mentions the Laplace variable" true (List.mem "s" vs)
+
+let test_ota_power_tracks_bias () =
+  let low = { Ota.default_sizing with Ota.i_bias = 50e-6 } in
+  let high = { Ota.default_sizing with Ota.i_bias = 200e-6 } in
+  match (Ota.evaluate proc low, Ota.evaluate proc high) with
+  | Ok l, Ok h -> Alcotest.(check bool) "power follows bias" true (h.Ota.power > l.Ota.power)
+  | Error e, _ | _, Error e -> Alcotest.failf "evaluate failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Switched-capacitor MDAC transient bench *)
+
+module Sc_mdac = Adc_mdac.Sc_mdac
+
+let test_sc_mdac_residue_all_codes () =
+  (* the full switched-capacitor signal path (sampling, DAC switching,
+     flip-around amplification) must land on the ideal 1.5-bit residue *)
+  List.iter
+    (fun (v_in, code) ->
+      match
+        Sc_mdac.residue_bench proc Ota.default_sizing ~v_in ~code ~vref_pp:2.0
+          ~fs:10e6
+      with
+      | Error e -> Alcotest.failf "bench failed: %s" e
+      | Ok r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "settled (vin %+.2f, d=%d)" v_in code)
+          true r.Sc_mdac.settled;
+        Alcotest.(check bool)
+          (Printf.sprintf "residue error %.4f below 0.5%% (vin %+.2f, d=%d)"
+             r.Sc_mdac.error_rel v_in code)
+          true
+          (r.Sc_mdac.error_rel < 0.005))
+    [ (0.1, 1); (0.3, 2); (-0.3, 0); (-0.1, 1) ]
+
+let prop_sc_mdac_matches_ideal =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sc mdac tracks the ideal residue" ~count:8
+       QCheck2.Gen.(float_range (-0.45) 0.45)
+       (fun v_in ->
+         (* the code is what the stage's own flash would decide, so the
+            residue stays on-range (mismatched pairs would rail the OTA) *)
+         let code =
+           (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m:2 ~offsets:[| 0.0; 0.0 |] v_in)
+             .Comparator.code
+         in
+         match
+           Sc_mdac.residue_bench proc Ota.default_sizing ~v_in ~code ~vref_pp:2.0
+             ~fs:10e6
+         with
+         | Error _ -> false
+         | Ok r -> r.Sc_mdac.error_rel < 0.01))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "mdac"
+    [
+      ( "caps",
+        [
+          quick "noise scaling" test_caps_noise_scaling;
+          quick "matching floor" test_caps_matching_floor;
+          quick "sizing structure" test_caps_sizing_structure;
+          QCheck_alcotest.to_alcotest prop_caps_invariants;
+        ] );
+      ( "comparator",
+        [
+          quick "count" test_comparator_count;
+          quick "offset budget" test_comparator_offset_budget;
+          quick "power monotone in m" test_comparator_power_monotone_m;
+          quick "power scales with fs" test_comparator_power_scales_with_fs;
+          quick "decide known codes" test_comparator_decide_known;
+          QCheck_alcotest.to_alcotest prop_comparator_decide_monotone;
+        ] );
+      ( "mdac_stage",
+        [
+          quick "requirements structure" test_requirements_structure;
+          quick "monotone in bits" test_requirements_monotone_bits;
+          quick "monotone in fs" test_requirements_monotone_fs;
+          quick "equation power" test_equation_power_positive_and_monotone;
+          quick "residue known values" test_residue_known_values;
+          QCheck_alcotest.to_alcotest prop_residue_bounded;
+        ] );
+      ("sha", [ quick "requirements and power" test_sha_requirements ]);
+      ( "sc-mdac",
+        [
+          Alcotest.test_case "residue all codes" `Slow test_sc_mdac_residue_all_codes;
+          prop_sc_mdac_matches_ideal;
+        ] );
+      ( "ota",
+        [
+          quick "netlists valid" test_ota_netlist_valid;
+          quick "simple evaluates" test_ota_simple_evaluates;
+          quick "cascode gain" test_ota_cascode_has_more_gain;
+          quick "settling bench" test_ota_settling_bench_accuracy;
+          quick "symbolic transfer" test_ota_symbolic_transfer_mentions_devices;
+          quick "power tracks bias" test_ota_power_tracks_bias;
+        ] );
+    ]

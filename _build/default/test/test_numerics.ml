@@ -1,0 +1,508 @@
+(* Unit and property tests for the numeric substrate. *)
+
+module Vec = Adc_numerics.Vec
+module Mat = Adc_numerics.Mat
+module Cxm = Adc_numerics.Cxm
+module Poly = Adc_numerics.Poly
+module Fft = Adc_numerics.Fft
+module Rootfind = Adc_numerics.Rootfind
+module Stats = Adc_numerics.Stats
+module Rng = Adc_numerics.Rng
+module Interp = Adc_numerics.Interp
+module Units = Adc_numerics.Units
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_close "dot" 32.0 (Vec.dot a b);
+  check_close "norm2" (sqrt 14.0) (Vec.norm2 a);
+  check_close "norm_inf" 3.0 (Vec.norm_inf a);
+  let c = Vec.add a b in
+  check_close "add" 9.0 c.(2);
+  let d = Vec.sub b a in
+  check_close "sub" 3.0 d.(0);
+  let y = Vec.copy b in
+  Vec.axpy 2.0 a y;
+  check_close "axpy" 6.0 y.(0);
+  check_close "max_abs_diff" 3.0 (Vec.max_abs_diff a b)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec: dimension mismatch")
+    (fun () -> ignore (Vec.add [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Mat *)
+
+let test_lu_known_system () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let m = Mat.init 2 2 (fun i j -> [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |].(i).(j)) in
+  let x = Mat.solve m [| 5.0; 10.0 |] in
+  check_close "x" 1.0 x.(0);
+  check_close "y" 3.0 x.(1)
+
+let test_lu_pivoting () =
+  (* zero leading pivot forces a row swap *)
+  let m = Mat.init 2 2 (fun i j -> [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |].(i).(j)) in
+  let x = Mat.solve m [| 2.0; 7.0 |] in
+  check_close "x" 7.0 x.(0);
+  check_close "y" 2.0 x.(1)
+
+let test_lu_singular () =
+  let m = Mat.init 2 2 (fun i j -> [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |].(i).(j)) in
+  Alcotest.check_raises "singular" Mat.Singular (fun () -> ignore (Mat.solve m [| 1.0; 1.0 |]))
+
+let test_mat_mul_identity () =
+  let rng = Rng.create 7 in
+  let a = Mat.init 4 4 (fun _ _ -> Rng.uniform_in rng (-1.0) 1.0) in
+  let i4 = Mat.identity 4 in
+  let p = Mat.mul a i4 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      check_close "a*I" (Mat.get a i j) (Mat.get p i j)
+    done
+  done
+
+let test_mat_transpose () =
+  let a = Mat.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  check_close "t(2,1)" (Mat.get a 1 2) (Mat.get t 2 1)
+
+let prop_lu_solve_residual =
+  QCheck2.Test.make ~name:"lu solve has small residual" ~count:100
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int_below rng 8 in
+      (* diagonally dominant -> well conditioned *)
+      let m =
+        Mat.init n n (fun i j ->
+            if i = j then 10.0 +. Rng.uniform rng else Rng.uniform_in rng (-1.0) 1.0)
+      in
+      let b = Array.init n (fun _ -> Rng.uniform_in rng (-5.0) 5.0) in
+      let x = Mat.solve m b in
+      let r = Vec.sub (Mat.mul_vec m x) b in
+      Vec.norm_inf r < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cxm *)
+
+let test_cxm_solve () =
+  (* (1+i) x = 2 -> x = 1 - i *)
+  let m = Cxm.create 1 in
+  Cxm.set m 0 0 (Cxm.c 1.0 1.0);
+  let x = Cxm.solve m [| Cxm.c 2.0 0.0 |] in
+  check_close "re" 1.0 (Cxm.re x.(0));
+  check_close "im" (-1.0) (Cxm.im x.(0))
+
+let test_cxm_2x2 () =
+  let m = Cxm.create 2 in
+  Cxm.set m 0 0 (Cxm.c 2.0 0.0);
+  Cxm.set m 0 1 (Cxm.c 0.0 1.0);
+  Cxm.set m 1 0 (Cxm.c 0.0 (-1.0));
+  Cxm.set m 1 1 (Cxm.c 3.0 0.0);
+  let b = [| Cxm.c 1.0 0.0; Cxm.c 0.0 0.0 |] in
+  let x = Cxm.solve m b in
+  (* verify residual instead of hand-solving *)
+  let mul i =
+    Complex.add
+      (Complex.mul (Cxm.get m i 0) x.(0))
+      (Complex.mul (Cxm.get m i 1) x.(1))
+  in
+  Alcotest.(check bool) "row0" true (Cxm.approx_equal (mul 0) b.(0));
+  Alcotest.(check bool) "row1" true (Cxm.approx_equal (mul 1) b.(1))
+
+let test_cxm_db_phase () =
+  check_close "db of 10" 20.0 (Cxm.db (Cxm.c 10.0 0.0));
+  check_close "phase of i" 90.0 (Cxm.phase_deg (Cxm.c 0.0 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Poly *)
+
+let test_poly_arith () =
+  let p = Poly.of_coeffs [| 1.0; 2.0 |] in
+  (* (1 + 2x) *)
+  let q = Poly.of_coeffs [| 3.0; 0.0; 1.0 |] in
+  (* (3 + x^2) *)
+  let s = Poly.mul p q in
+  (* 3 + 6x + x^2 + 2x^3 *)
+  Alcotest.(check int) "degree" 3 (Poly.degree s);
+  check_close "c0" 3.0 (Poly.coeffs s).(0);
+  check_close "c1" 6.0 (Poly.coeffs s).(1);
+  check_close "c2" 1.0 (Poly.coeffs s).(2);
+  check_close "c3" 2.0 (Poly.coeffs s).(3);
+  check_close "eval" (Poly.eval p 2.0 *. Poly.eval q 2.0) (Poly.eval s 2.0)
+
+let test_poly_derivative () =
+  let p = Poly.of_coeffs [| 1.0; 2.0; 3.0 |] in
+  let d = Poly.derivative p in
+  check_close "d/dx" (2.0 +. (6.0 *. 1.5)) (Poly.eval d 1.5)
+
+let test_poly_roots_quadratic () =
+  (* roots of x^2 - 3x + 2 are 1 and 2 *)
+  let p = Poly.of_coeffs [| 2.0; -3.0; 1.0 |] in
+  let rs = Poly.roots p in
+  let reals = Array.map (fun (z : Complex.t) -> z.re) rs in
+  Array.sort compare reals;
+  check_close ~eps:1e-6 "root 1" 1.0 reals.(0);
+  check_close ~eps:1e-6 "root 2" 2.0 reals.(1)
+
+let test_poly_roots_complex_pair () =
+  (* x^2 + 1 -> +-i *)
+  let p = Poly.of_coeffs [| 1.0; 0.0; 1.0 |] in
+  let rs = Poly.roots p in
+  Array.iter
+    (fun (z : Complex.t) ->
+      check_close ~eps:1e-6 "re" 0.0 z.re;
+      check_close ~eps:1e-6 "im magnitude" 1.0 (Float.abs z.im))
+    rs
+
+let test_poly_roots_wide_magnitudes () =
+  (* transfer-function-like: poles at -1e3 and -1e9 *)
+  let p = Poly.mul (Poly.of_coeffs [| 1e3; 1.0 |]) (Poly.of_coeffs [| 1e9; 1.0 |]) in
+  let rs = Poly.roots p in
+  let mags = Array.map (fun (z : Complex.t) -> Float.abs z.re) rs in
+  Array.sort compare mags;
+  check_close ~eps:1e-4 "small pole" 1e3 mags.(0);
+  check_close ~eps:1e-4 "large pole" 1e9 mags.(1)
+
+let prop_poly_from_roots_round_trip =
+  QCheck2.Test.make ~name:"poly roots/from_roots round trip" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int_below rng 5 in
+      let roots =
+        Array.init n (fun _ -> { Complex.re = Rng.uniform_in rng (-3.0) (-0.5); im = 0.0 })
+      in
+      let p = Poly.from_roots roots in
+      let found = Poly.roots p in
+      let sorted a =
+        let c = Array.map (fun (z : Complex.t) -> z.re) a in
+        Array.sort compare c;
+        c
+      in
+      let want = sorted roots and got = sorted found in
+      let ok = ref true in
+      Array.iteri
+        (fun i w -> if Float.abs (w -. got.(i)) > 1e-5 *. (1.0 +. Float.abs w) then ok := false)
+        want;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* FFT *)
+
+let test_fft_impulse () =
+  let x = Array.make 8 Complex.zero in
+  x.(0) <- Complex.one;
+  let y = Fft.forward x in
+  Array.iter (fun (z : Complex.t) -> check_close "flat spectrum" 1.0 z.re) y
+
+let test_fft_single_tone () =
+  let n = 64 in
+  let k = 5 in
+  let x =
+    Array.init n (fun i ->
+        sin (2.0 *. Float.pi *. float_of_int k *. float_of_int i /. float_of_int n))
+  in
+  let spec = Fft.magnitude_spectrum x in
+  (* bin k should hold n/2 of amplitude *)
+  check_close ~eps:1e-6 "tone bin" (float_of_int n /. 2.0) spec.(k);
+  check_close ~eps:1e-6 "dc bin" 0.0 spec.(0)
+
+let test_fft_round_trip () =
+  let rng = Rng.create 42 in
+  let x = Array.init 32 (fun _ -> Cxm.c (Rng.uniform rng) (Rng.uniform rng)) in
+  let y = Fft.inverse (Fft.forward x) in
+  Array.iteri
+    (fun i (z : Complex.t) ->
+      check_close ~eps:1e-9 "re" x.(i).re z.re;
+      check_close ~eps:1e-9 "im" x.(i).im z.im)
+    y
+
+let prop_fft_parseval =
+  QCheck2.Test.make ~name:"fft parseval" ~count:50
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 lsl (3 + Rng.int_below rng 4) in
+      let x = Array.init n (fun _ -> Rng.uniform_in rng (-1.0) 1.0) in
+      let time_energy = Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x in
+      let spec = Fft.forward_real x in
+      let freq_energy =
+        (* Complex.norm2 is the squared magnitude *)
+        Array.fold_left (fun a (z : Complex.t) -> a +. Complex.norm2 z) 0.0 spec
+        /. float_of_int n
+      in
+      Float.abs (time_energy -. freq_energy) < 1e-6 *. (1.0 +. time_energy))
+
+let test_fft_window_gain () =
+  let w = Fft.window_coefficients Fft.Hann 128 in
+  (* Hann coherent gain is 0.5 *)
+  check_close ~eps:1e-2 "hann coherent gain" 0.5 (Stats.mean w)
+
+let test_fft_rejects_non_power_of_two () =
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Fft: length must be a power of two") (fun () ->
+      ignore (Fft.forward (Array.make 12 Complex.zero)))
+
+(* ------------------------------------------------------------------ *)
+(* Rootfind *)
+
+let test_brent_cos () =
+  let r = Rootfind.brent cos 1.0 2.0 in
+  check_close ~eps:1e-10 "cos root" (Float.pi /. 2.0) r
+
+let test_bisect_poly () =
+  let f x = (x *. x) -. 2.0 in
+  check_close ~eps:1e-9 "sqrt2" (sqrt 2.0) (Rootfind.bisect f 0.0 2.0)
+
+let test_brent_no_bracket () =
+  Alcotest.check_raises "no bracket" Rootfind.No_bracket (fun () ->
+      ignore (Rootfind.brent (fun x -> (x *. x) +. 1.0) (-1.0) 1.0))
+
+let test_newton_converges () =
+  match Rootfind.newton ~f:(fun x -> (x *. x) -. 9.0) ~df:(fun x -> 2.0 *. x) 5.0 with
+  | Some r -> check_close ~eps:1e-9 "newton sqrt9" 3.0 r
+  | None -> Alcotest.fail "newton failed"
+
+let test_golden_min () =
+  let f x = (x -. 1.3) *. (x -. 1.3) in
+  check_close ~eps:1e-6 "golden min" 1.3 (Rootfind.golden_min f 0.0 4.0)
+
+let test_find_sign_change () =
+  let xs = Array.init 11 (fun i -> float_of_int i) in
+  match Rootfind.find_sign_change (fun x -> x -. 4.5) xs with
+  | Some (a, b) ->
+    check_close "lo" 4.0 a;
+    check_close "hi" 5.0 b
+  | None -> Alcotest.fail "expected sign change"
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close "mean" 2.5 (Stats.mean xs);
+  check_close "variance" (5.0 /. 3.0) (Stats.variance xs);
+  check_close "median" 2.5 (Stats.median xs);
+  let lo, hi = Stats.min_max xs in
+  check_close "min" 1.0 lo;
+  check_close "max" 4.0 hi;
+  check_close "rms" (sqrt 7.5) (Stats.rms xs)
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_close "p0" 10.0 (Stats.percentile xs 0.0);
+  check_close "p100" 50.0 (Stats.percentile xs 100.0);
+  check_close "p25" 20.0 (Stats.percentile xs 25.0)
+
+let test_stats_histogram () =
+  let xs = [| 0.1; 0.2; 0.6; 0.9; 1.5; -0.3 |] in
+  let h = Stats.histogram ~n_bins:2 ~lo:0.0 ~hi:1.0 xs in
+  Alcotest.(check int) "low bin" 3 h.(0);
+  (* 0.1 0.2 and clamped -0.3 *)
+  Alcotest.(check int) "high bin" 3 h.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 10 do
+    check_close "same stream" (Rng.uniform a) (Rng.uniform b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0);
+    let k = Rng.int_below rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (k >= 0 && k < 7)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 99 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng) in
+  check_close ~eps:0.05 "mean ~ 0" 0.0 (Stats.mean xs);
+  check_close ~eps:0.05 "sigma ~ 1" 1.0 (Stats.stddev xs)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Array.iteri (fun i v -> Alcotest.(check int) "permutation" i v) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Interp *)
+
+let test_interp_eval () =
+  let t = Interp.of_samples [| (0.0, 0.0); (1.0, 10.0); (2.0, 0.0) |] in
+  check_close "mid" 5.0 (Interp.eval t 0.5);
+  check_close "clamp low" 0.0 (Interp.eval t (-1.0));
+  check_close "clamp high" 0.0 (Interp.eval t 5.0)
+
+let test_interp_crossings () =
+  let t = Interp.of_samples [| (0.0, 0.0); (1.0, 10.0); (2.0, 0.0) |] in
+  let xs = Interp.crossings t 5.0 in
+  Alcotest.(check int) "two crossings" 2 (Array.length xs);
+  check_close "first" 0.5 xs.(0);
+  check_close "second" 1.5 xs.(1)
+
+let test_interp_settling () =
+  let t =
+    Interp.of_samples
+      [| (0.0, 0.0); (1.0, 0.8); (2.0, 1.05); (3.0, 0.99); (4.0, 1.0) |]
+  in
+  match Interp.last_time_outside t ~center:1.0 ~tol:0.02 with
+  | Some x -> check_close "settles after overshoot" 2.0 x
+  | None -> Alcotest.fail "expected settling instant"
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_format () =
+  Alcotest.(check string) "mW" "3.20 mW" (Units.format 3.2e-3 "W");
+  Alcotest.(check string) "MHz" "40.0 MHz" (Units.format 40e6 "Hz");
+  Alcotest.(check string) "fF" "250 fF" (Units.format 250e-15 "F");
+  Alcotest.(check string) "zero" "0 W" (Units.format 0.0 "W")
+
+let test_units_db () =
+  check_close "db" 40.0 (Units.db_of_ratio 100.0);
+  check_close "ratio" 100.0 (Units.ratio_of_db 40.0)
+
+(* ------------------------------------------------------------------ *)
+(* additional edges *)
+
+let test_units_negative_and_tiny () =
+  Alcotest.(check string) "negative" "-1.50 mW" (Units.format (-1.5e-3) "W");
+  Alcotest.(check bool) "attofarad floor" true
+    (String.length (Units.format 1e-19 "F") > 0)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xa = Rng.uniform a and xb = Rng.uniform b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb);
+  let a2 = Rng.create 5 in
+  let _ = Rng.split a2 in
+  check_close "parent stream deterministic after split" xa (Rng.uniform a2)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 9 in
+  let c = Rng.copy a in
+  check_close "copy replays" (Rng.uniform a) (Rng.uniform c)
+
+let test_interp_rejects_bad_x () =
+  Alcotest.(check bool) "non-increasing rejected" true
+    (try
+       ignore (Interp.of_samples [| (0.0, 0.0); (0.0, 1.0) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mat_norm_inf () =
+  let m = Mat.init 2 2 (fun i j -> [| [| 1.0; -4.0 |]; [| 2.0; 2.0 |] |].(i).(j)) in
+  check_close "max row sum" 5.0 (Mat.norm_inf m)
+
+let test_poly_monomial_and_pow () =
+  let p = Poly.monomial 2.0 3 in
+  check_close "2x^3 at 2" 16.0 (Poly.eval p 2.0);
+  let q = Poly.pow (Poly.of_coeffs [| 1.0; 1.0 |]) 3 in
+  (* (1+x)^3 at x=1 -> 8 *)
+  check_close "binomial cube" 8.0 (Poly.eval q 1.0);
+  Alcotest.(check int) "degree 3" 3 (Poly.degree q)
+
+let test_fft_coherent_bin_is_odd () =
+  let k = Fft.coherent_bin ~n:4096 ~fs:40e6 ~f_target:4.1e6 in
+  Alcotest.(check bool) "odd bin" true (k mod 2 = 1);
+  Alcotest.(check bool) "near the target" true
+    (Float.abs ((float_of_int k *. 40e6 /. 4096.0) -. 4.1e6) < 0.1e6)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "numerics"
+    [
+      ( "vec",
+        [ quick "basic ops" test_vec_basic; quick "dim mismatch" test_vec_dim_mismatch ] );
+      ( "mat",
+        [
+          quick "known 2x2" test_lu_known_system;
+          quick "pivoting" test_lu_pivoting;
+          quick "singular" test_lu_singular;
+          quick "mul identity" test_mat_mul_identity;
+          quick "transpose" test_mat_transpose;
+          QCheck_alcotest.to_alcotest prop_lu_solve_residual;
+        ] );
+      ( "cxm",
+        [
+          quick "1x1 complex" test_cxm_solve;
+          quick "2x2 residual" test_cxm_2x2;
+          quick "db/phase" test_cxm_db_phase;
+        ] );
+      ( "poly",
+        [
+          quick "arith" test_poly_arith;
+          quick "derivative" test_poly_derivative;
+          quick "roots quadratic" test_poly_roots_quadratic;
+          quick "roots complex" test_poly_roots_complex_pair;
+          quick "roots wide magnitudes" test_poly_roots_wide_magnitudes;
+          QCheck_alcotest.to_alcotest prop_poly_from_roots_round_trip;
+        ] );
+      ( "fft",
+        [
+          quick "impulse" test_fft_impulse;
+          quick "single tone" test_fft_single_tone;
+          quick "round trip" test_fft_round_trip;
+          quick "window gain" test_fft_window_gain;
+          quick "rejects bad length" test_fft_rejects_non_power_of_two;
+          QCheck_alcotest.to_alcotest prop_fft_parseval;
+        ] );
+      ( "rootfind",
+        [
+          quick "brent cos" test_brent_cos;
+          quick "bisect" test_bisect_poly;
+          quick "no bracket" test_brent_no_bracket;
+          quick "newton" test_newton_converges;
+          quick "golden" test_golden_min;
+          quick "sign change" test_find_sign_change;
+        ] );
+      ( "stats",
+        [
+          quick "basic" test_stats_basic;
+          quick "percentile" test_stats_percentile;
+          quick "histogram" test_stats_histogram;
+        ] );
+      ( "rng",
+        [
+          quick "deterministic" test_rng_deterministic;
+          quick "bounds" test_rng_bounds;
+          quick "gaussian moments" test_rng_gaussian_moments;
+          quick "shuffle" test_rng_shuffle_permutes;
+        ] );
+      ( "interp",
+        [
+          quick "eval" test_interp_eval;
+          quick "crossings" test_interp_crossings;
+          quick "settling" test_interp_settling;
+        ] );
+      ("units", [ quick "format" test_units_format; quick "db" test_units_db ]);
+      ( "edges",
+        [
+          quick "units negative/tiny" test_units_negative_and_tiny;
+          quick "rng split" test_rng_split_independent;
+          quick "rng copy" test_rng_copy_replays;
+          quick "interp bad x" test_interp_rejects_bad_x;
+          quick "mat norm_inf" test_mat_norm_inf;
+          quick "poly monomial/pow" test_poly_monomial_and_pow;
+          quick "fft coherent bin" test_fft_coherent_bin_is_odd;
+        ] );
+    ]

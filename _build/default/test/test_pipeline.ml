@@ -1,0 +1,529 @@
+(* Tests for the paper's core contribution: candidate enumeration, spec
+   translation, power ranking, the topology optimizer, decision rules,
+   and the behavioral converter with digital correction. *)
+
+module Rng = Adc_numerics.Rng
+module Config = Adc_pipeline.Config
+module Spec = Adc_pipeline.Spec
+module Power_model = Adc_pipeline.Power_model
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Behavioral = Adc_pipeline.Behavioral
+module Metrics = Adc_pipeline.Metrics
+module Report = Adc_pipeline.Report
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+
+(* ------------------------------------------------------------------ *)
+(* Config: the paper's Section 2 enumeration *)
+
+let test_enumeration_13bit_is_papers_seven () =
+  let cands = Config.enumerate_leading ~k:13 ~backend_bits:7 in
+  let strings = List.map Config.to_string cands in
+  Alcotest.(check int) "exactly seven candidates" 7 (List.length cands);
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " enumerated") true (List.mem expected strings))
+    [ "4-4"; "4-3-2"; "4-2-2-2"; "3-3-3"; "3-3-2-2"; "3-2-2-2-2"; "2-2-2-2-2-2" ]
+
+let test_enumeration_counts_10_to_12 () =
+  let count k = List.length (Config.enumerate_leading ~k ~backend_bits:7) in
+  Alcotest.(check int) "10-bit: 3 candidates" 3 (count 10);
+  Alcotest.(check int) "11-bit: 4 candidates" 4 (count 11);
+  Alcotest.(check int) "12-bit: 5 candidates" 5 (count 12)
+
+let prop_enumeration_invariants =
+  QCheck2.Test.make ~name:"enumeration invariants" ~count:50
+    QCheck2.Gen.(int_range 8 15)
+    (fun k ->
+      let cands = Config.enumerate_leading ~k ~backend_bits:7 in
+      cands <> []
+      && List.for_all
+           (fun c ->
+             Config.is_valid c
+             && Config.effective_bits c = k - 7
+             && List.for_all (fun m -> m >= 2 && m <= 4) c)
+           cands
+      (* no duplicates *)
+      && List.length (List.sort_uniq compare cands) = List.length cands)
+
+let test_config_string_round_trip () =
+  let c = [ 4; 3; 2 ] in
+  Alcotest.(check string) "to_string" "4-3-2" (Config.to_string c);
+  Alcotest.(check bool) "round trip" true (Config.of_string "4-3-2" = c);
+  Alcotest.(check bool) "bad input rejected" true
+    (try
+       ignore (Config.of_string "4-x-2");
+       false
+     with Invalid_argument _ -> true)
+
+let test_config_extend_with_twos () =
+  let full = Config.extend_with_twos ~k:13 [ 4; 3; 2 ] in
+  Alcotest.(check int) "full pipeline resolves 13 bits" 13 (Config.effective_bits full);
+  Alcotest.(check string) "backend is all 1.5-bit stages" "4-3-2-2-2-2-2-2-2-2"
+    (Config.to_string full)
+
+let test_config_stage_input_bits () =
+  let jobs = Config.stage_input_bits ~k:13 [ 4; 3; 2 ] in
+  Alcotest.(check (list (pair int int))) "accuracy chain"
+    [ (4, 13); (3, 10); (2, 8) ] jobs
+
+let test_config_is_valid () =
+  Alcotest.(check bool) "non-increasing ok" true (Config.is_valid [ 4; 3; 2 ]);
+  Alcotest.(check bool) "increasing rejected" false (Config.is_valid [ 2; 3 ]);
+  Alcotest.(check bool) "out of range rejected" false (Config.is_valid [ 5; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Spec: job sharing *)
+
+let test_distinct_jobs_13bit () =
+  let spec = Spec.paper_case ~k:13 in
+  let cands = Config.enumerate_leading ~k:13 ~backend_bits:7 in
+  let jobs = Spec.distinct_jobs spec cands in
+  (* the paper reports 11 shared MDACs; our sharing rule (m, input bits)
+     yields 12 — see DESIGN.md *)
+  Alcotest.(check int) "12 distinct jobs" 12 (List.length jobs);
+  Alcotest.(check bool) "m4@13 present" true
+    (List.exists (fun j -> j.Spec.m = 4 && j.Spec.input_bits = 13) jobs)
+
+let test_job_requirements_sane () =
+  let spec = Spec.paper_case ~k:13 in
+  let req = Spec.stage_requirements spec { Spec.m = 4; input_bits = 13 } in
+  Alcotest.(check bool) "gbw around a GHz" true
+    (req.Adc_mdac.Mdac_stage.gbw_min_hz > 0.5e9
+    && req.Adc_mdac.Mdac_stage.gbw_min_hz < 2.5e9);
+  Alcotest.(check bool) "front array above 5 pF" true
+    (req.Adc_mdac.Mdac_stage.caps.Adc_mdac.Caps.c_total > 5e-12)
+
+let test_load_cap_decreases_with_backend () =
+  let spec = Spec.paper_case ~k:13 in
+  Alcotest.(check bool) "lighter load at lower accuracy" true
+    (Spec.load_cap_of_bits spec 8 < Spec.load_cap_of_bits spec 11)
+
+(* ------------------------------------------------------------------ *)
+(* Power model + equation-mode optimizer: the paper's headline numbers *)
+
+let test_equation_optimum_4_3_2_at_13bit () =
+  let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  Alcotest.(check string) "Fig. 2: 4-3-2 optimal at 13 bits" "4-3-2"
+    (Config.to_string (Optimize.optimum_config run))
+
+let test_equation_optima_match_paper_all_resolutions () =
+  List.iter
+    (fun (k, expected) ->
+      let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k) in
+      Alcotest.(check string)
+        (Printf.sprintf "paper optimum at %d bits" k)
+        expected
+        (Config.to_string (Optimize.optimum_config run)))
+    [ (10, "3-2"); (11, "4-2"); (12, "4-2-2"); (13, "4-3-2") ]
+
+let test_stage1_power_mostly_independent_of_m1 () =
+  (* the paper's Fig. 1 observation *)
+  let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  let stage1_powers =
+    List.filter_map
+      (fun (cr : Optimize.config_result) ->
+        match cr.Optimize.stages with s1 :: _ -> Some s1.Optimize.p_stage | [] -> None)
+      run.Optimize.candidates
+  in
+  let lo = List.fold_left Float.min infinity stage1_powers in
+  let hi = List.fold_left Float.max 0.0 stage1_powers in
+  Alcotest.(check bool)
+    (Printf.sprintf "stage-1 spread %.0f%% below 35%%" (100.0 *. ((hi /. lo) -. 1.0)))
+    true
+    (hi /. lo < 1.35)
+
+let test_classical_1p5bit_is_worst_at_13bit () =
+  let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  let last = List.nth run.Optimize.candidates (List.length run.Optimize.candidates - 1) in
+  Alcotest.(check string) "2-2-2-2-2-2 costs the most" "2-2-2-2-2-2"
+    (Config.to_string last.Optimize.config)
+
+let test_last_stage_two_bits_at_all_resolutions () =
+  List.iter
+    (fun k ->
+      let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k) in
+      let c = Optimize.optimum_config run in
+      Alcotest.(check int)
+        (Printf.sprintf "2-bit last stage at %d bits" k)
+        2
+        (List.nth c (List.length c - 1)))
+    [ 11; 12; 13 ]
+
+let prop_power_monotone_in_resolution =
+  QCheck2.Test.make ~name:"optimal power grows with resolution" ~count:8
+    QCheck2.Gen.(int_range 9 12)
+    (fun k ->
+      let p k = (Optimize.run ~mode:`Equation (Spec.paper_case ~k)).Optimize.optimum.Optimize.p_total in
+      p (k + 1) > p k)
+
+let test_full_converter_budget () =
+  let spec = Spec.paper_case ~k:13 in
+  let f = Power_model.full_converter spec (Config.of_string "4-3-2") in
+  Alcotest.(check bool) "sha positive" true (f.Power_model.p_sha > 0.0);
+  Alcotest.(check int) "three front stages" 3 (List.length f.Power_model.front);
+  (* the backend resolves the remaining 7 bits with 2-bit stages *)
+  Alcotest.(check int) "seven backend stages" 7 (List.length f.Power_model.backend);
+  let front_sum =
+    List.fold_left (fun a (s : Power_model.stage_power) -> a +. s.Power_model.p_stage)
+      0.0 f.Power_model.front
+  in
+  Alcotest.(check bool) "full exceeds front" true (f.Power_model.p_full > front_sum);
+  (* the S/H and the leading stages carry the budget; the 7-bit backend
+     is marginal (the paper's reason for enumerating only the front) *)
+  let backend_sum =
+    List.fold_left (fun a (s : Power_model.stage_power) -> a +. s.Power_model.p_stage)
+      0.0 f.Power_model.backend
+  in
+  Alcotest.(check bool) "backend is marginal" true
+    (backend_sum < 0.1 *. f.Power_model.p_full)
+
+let test_power_model_rank_is_sorted () =
+  let spec = Spec.paper_case ~k:13 in
+  let ranked = Power_model.rank spec (Config.enumerate_leading ~k:13 ~backend_bits:7) in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a.Power_model.p_total <= b.Power_model.p_total && sorted rest
+  in
+  Alcotest.(check bool) "ascending" true (sorted ranked)
+
+let test_hybrid_mode_smoke () =
+  (* smallest hybrid run: an 8-bit converter has a single 2-bit leading
+     stage, so the whole synthesis loop runs once *)
+  let run =
+    Optimize.run ~mode:`Hybrid ~seed:3 ~attempts:1
+      ~budget:{ Adc_synth.Synthesizer.sa_iterations = 40; pattern_evals = 60; space_factor = 1.0 }
+      (Spec.paper_case ~k:8)
+  in
+  Alcotest.(check string) "single candidate" "2" (Config.to_string (Optimize.optimum_config run));
+  Alcotest.(check bool) "synthesis ran" true (run.Optimize.synthesis_evaluations > 50);
+  match run.Optimize.optimum.Optimize.stages with
+  | [ s ] ->
+    Alcotest.(check bool) "solution attached" true (s.Optimize.solution <> None);
+    Alcotest.(check bool) "stage power positive" true (s.Optimize.p_stage > 0.0)
+  | _ -> Alcotest.fail "expected exactly one stage"
+
+(* ------------------------------------------------------------------ *)
+(* Rules: Fig. 3 *)
+
+let test_rules_sweep () =
+  let chart =
+    Rules.sweep ~mode:`Equation ~k_values:[ 10; 11; 12; 13 ] (fun ~k -> Spec.paper_case ~k)
+  in
+  Alcotest.(check bool) "last stage rule" true chart.Rules.last_stage_always_two;
+  Alcotest.(check bool) "monotone rule" true chart.Rules.monotone_non_increasing;
+  Alcotest.(check (list (pair int int))) "first-stage resolutions"
+    [ (10, 3); (11, 4); (12, 4); (13, 4) ]
+    chart.Rules.first_stage_rule;
+  let rendered = Rules.render chart in
+  Alcotest.(check bool) "render mentions the 4-bit rule" true
+    (contains rendered "4-bit first stage")
+
+(* ------------------------------------------------------------------ *)
+(* Behavioral converter + digital correction *)
+
+let ideal_adc k config = Behavioral.ideal (Spec.paper_case ~k) config
+
+let test_behavioral_full_scale_codes () =
+  let adc = ideal_adc 10 [ 4; 3; 2 ] in
+  Alcotest.(check int) "bottom code" 0 (Behavioral.convert adc (-1.0));
+  Alcotest.(check int) "top code" 1023 (Behavioral.convert adc 1.0);
+  let mid = Behavioral.convert adc 0.0 in
+  Alcotest.(check bool) "mid code near half scale" true (abs (mid - 512) <= 1)
+
+let prop_behavioral_monotone =
+  QCheck2.Test.make ~name:"ideal converter is monotone" ~count:200
+    QCheck2.Gen.(pair (float_range (-0.99) 0.99) (float_range (-0.99) 0.99))
+    (fun (v1, v2) ->
+      let adc = ideal_adc 10 [ 3; 2 ] in
+      let c1 = Behavioral.convert adc v1 and c2 = Behavioral.convert adc v2 in
+      if v1 <= v2 then c1 <= c2 else c1 >= c2)
+
+let prop_behavioral_code_error_below_lsb =
+  QCheck2.Test.make ~name:"ideal converter quantizes within 1 LSB" ~count:300
+    QCheck2.Gen.(float_range (-0.98) 0.98)
+    (fun v ->
+      let k = 12 in
+      let adc = ideal_adc k [ 4; 3; 2 ] in
+      let code = Behavioral.convert adc v in
+      let lsb = 2.0 /. float_of_int (1 lsl k) in
+      let v_code = (((float_of_int code +. 0.5) *. lsb) -. 1.0) in
+      Float.abs (v_code -. v) <= lsb)
+
+let test_behavioral_raw_codes_sane () =
+  let adc = ideal_adc 13 [ 4; 3; 2 ] in
+  let codes = Behavioral.raw_codes adc 0.3 in
+  Alcotest.(check int) "three leading stages" 3 (List.length codes);
+  List.iteri
+    (fun i code ->
+      let m = List.nth [ 4; 3; 2 ] i in
+      Alcotest.(check bool) "code in range" true (code >= 0 && code <= (1 lsl m) - 2))
+    codes
+
+let test_digital_correction_absorbs_offsets () =
+  (* comparator offsets inside the redundancy budget must not degrade
+     static accuracy: that is the entire point of the 1-bit redundancy *)
+  let spec = Spec.paper_case ~k:10 in
+  let config = [ 3; 2 ] in
+  let ideal = Behavioral.ideal spec config in
+  let rng = Rng.create 77 in
+  let budget = Adc_mdac.Comparator.offset_budget ~vref_pp:2.0 ~m:3 in
+  let offset_adc = Behavioral.with_random_offsets rng ~sigma:(budget /. 4.0) ideal in
+  let rng2 = Rng.create 5 in
+  let worst = ref 0 in
+  for _ = 1 to 500 do
+    let v = Rng.uniform_in rng2 (-0.9) 0.9 in
+    let d = abs (Behavioral.convert ideal v - Behavioral.convert offset_adc v) in
+    if d > !worst then worst := d
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "worst code difference %d <= 1 LSB" !worst)
+    true (!worst <= 1)
+
+let test_gain_error_degrades_linearity () =
+  let spec = Spec.paper_case ~k:12 in
+  let config = [ 4; 3; 2 ] in
+  let bad =
+    Behavioral.create spec config
+      (List.map
+         (fun m ->
+           { (Behavioral.ideal_impairment ~m) with Behavioral.gain_error = -0.01 })
+         config)
+  in
+  let ideal = Behavioral.ideal spec config in
+  let r_bad = Metrics.static_linearity ~oversample:8 bad in
+  let r_ideal = Metrics.static_linearity ~oversample:8 ideal in
+  Alcotest.(check bool)
+    (Printf.sprintf "INL grows (%.2f -> %.2f LSB)" r_ideal.Metrics.inl_max r_bad.Metrics.inl_max)
+    true
+    (r_bad.Metrics.inl_max > r_ideal.Metrics.inl_max +. 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Digital correction adder vs arithmetic reconstruction *)
+
+module Correction = Adc_pipeline.Correction
+
+let test_correction_weights () =
+  let c = Correction.create ~k:13 ~config:[ 4; 3; 2 ] ~backend_bits:7 in
+  (* stage weights: 2^(B_(i+1)-1) for B = 10, 8, 7 *)
+  Alcotest.(check (list int)) "shift weights" [ 512; 128; 64 ]
+    (Correction.stage_weights c)
+
+let test_correction_rejects_bad_budget () =
+  Alcotest.(check bool) "inconsistent bits rejected" true
+    (try
+       ignore (Correction.create ~k:13 ~config:[ 4; 3; 2 ] ~backend_bits:6);
+       false
+     with Invalid_argument _ -> true)
+
+let test_correction_code_range_checked () =
+  let c = Correction.create ~k:10 ~config:[ 3; 2 ] ~backend_bits:7 in
+  Alcotest.(check bool) "overlarge stage code rejected" true
+    (try
+       ignore (Correction.combine c ~stage_codes:[ 7; 1 ] ~backend_code:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_correction_equals_arithmetic_reconstruction =
+  QCheck2.Test.make
+    ~name:"hardware align-and-add equals arithmetic reconstruction" ~count:300
+    QCheck2.Gen.(pair (float_range (-0.99) 0.99) (int_range 0 2))
+    (fun (v, which) ->
+      let k, config = List.nth [ (13, [ 4; 3; 2 ]); (10, [ 3; 2 ]); (12, [ 4; 2; 2 ]) ] which in
+      let spec = Spec.paper_case ~k in
+      (* include a mild gain impairment: the adder must match the
+         reconstruction for whatever codes the pipeline produces *)
+      let adc =
+        Behavioral.create spec config
+          (List.map
+             (fun m ->
+               { (Behavioral.ideal_impairment ~m) with Behavioral.gain_error = -1e-4 })
+             config)
+      in
+      let stage_codes, backend_code = Behavioral.raw_conversion adc v in
+      let c = Correction.create ~k ~config ~backend_bits:(k - Config.effective_bits config) in
+      Correction.combine c ~stage_codes ~backend_code = Behavioral.convert adc v)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_static_linearity_ideal () =
+  let adc = ideal_adc 10 [ 3; 2 ] in
+  let r = Metrics.static_linearity adc in
+  Alcotest.(check int) "no missing codes" 0 r.Metrics.missing_codes;
+  Alcotest.(check bool)
+    (Printf.sprintf "DNL %.3f below 0.2 LSB" r.Metrics.dnl_max)
+    true
+    (Float.abs r.Metrics.dnl_max < 0.2);
+  Alcotest.(check bool)
+    (Printf.sprintf "INL %.3f below 0.2 LSB" r.Metrics.inl_max)
+    true (r.Metrics.inl_max < 0.2)
+
+let test_dynamic_enob_ideal_near_k () =
+  let k = 10 in
+  let adc = ideal_adc k [ 3; 2 ] in
+  let r = Metrics.dynamic_performance ~n_fft:2048 adc ~fs:40e6 ~f_in:2.1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ENOB %.2f within 1 bit of %d" r.Metrics.enob k)
+    true
+    (r.Metrics.enob > float_of_int k -. 1.0);
+  Alcotest.(check bool) "SFDR above 60 dB" true (r.Metrics.sfdr_db > 60.0)
+
+let test_dynamic_enob_with_noise_lower () =
+  let k = 10 in
+  let spec = Spec.paper_case ~k in
+  let config = [ 3; 2 ] in
+  let noisy =
+    Behavioral.create spec config
+      (List.map
+         (fun m ->
+           { (Behavioral.ideal_impairment ~m) with Behavioral.noise_rms = 3e-3 })
+         config)
+  in
+  let rng = Rng.create 3 in
+  let r_noisy = Metrics.dynamic_performance ~n_fft:2048 ~rng noisy ~fs:40e6 ~f_in:2.1e6 in
+  let r_ideal =
+    Metrics.dynamic_performance ~n_fft:2048 (Behavioral.ideal spec config) ~fs:40e6 ~f_in:2.1e6
+  in
+  Alcotest.(check bool) "noise lowers ENOB" true
+    (r_noisy.Metrics.enob < r_ideal.Metrics.enob -. 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines *)
+
+module Classic = Adc_baseline.Classic
+module Gp_model = Adc_baseline.Gp_model
+
+let test_classic_config_shape () =
+  let c = Classic.config ~k:13 ~backend_bits:7 in
+  Alcotest.(check string) "all 1.5-bit stages" "2-2-2-2-2-2" (Config.to_string c)
+
+let test_classic_savings_positive () =
+  List.iter
+    (fun k ->
+      let s = Classic.savings_vs_optimal (Spec.paper_case ~k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "positive savings at %d bits (%.0f%%)" k (100.0 *. s))
+        true
+        (s > 0.05 && s < 0.9))
+    [ 11; 12; 13 ]
+
+let test_gp_baseline_audit () =
+  (* the equation-only design must simulate, and the audit must expose a
+     nonzero prediction gap on at least one metric *)
+  let spec = Spec.paper_case ~k:13 in
+  let req = Spec.stage_requirements spec { Spec.m = 3; input_bits = 11 } in
+  match Gp_model.design spec.Spec.process req with
+  | Error e -> Alcotest.failf "gp design failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "simulated power positive" true (r.Gp_model.simulated_power > 0.0);
+    let gaps = Gp_model.accuracy_gap r in
+    Alcotest.(check bool) "gap rows present" true (List.length gaps >= 4);
+    Alcotest.(check bool) "at least one 10%+ prediction error" true
+      (List.exists
+         (fun (_, p, s) ->
+           Float.abs (p -. s) > 0.1 *. Float.max (Float.abs p) (Float.abs s))
+         gaps)
+
+(* ------------------------------------------------------------------ *)
+(* Config completeness *)
+
+let test_enumerate_full_properties () =
+  let full = Config.enumerate_full ~k:6 in
+  Alcotest.(check bool) "non-empty" true (full <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "resolves all bits" 6 (Config.effective_bits c);
+      Alcotest.(check bool) "valid" true (Config.is_valid c))
+    full;
+  (* partitions of 6 into parts {1,2,3}, non-increasing: 7 of them *)
+  Alcotest.(check int) "count matches partition count" 7 (List.length full)
+
+let test_backend_bits_after () =
+  Alcotest.(check int) "4-3-2 leaves 7" 7 (Config.backend_bits_after ~k:13 [ 4; 3; 2 ]);
+  Alcotest.(check int) "empty leaves k" 13 (Config.backend_bits_after ~k:13 [])
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering *)
+
+let test_report_tables_render () =
+  let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  let fig1 = Report.fig1_table run in
+  Alcotest.(check bool) "fig1 mentions 4-3-2" true (contains fig1 "4-3-2");
+  let summary = Report.candidate_summary run in
+  Alcotest.(check bool) "summary mentions optimum" true (contains summary "optimum")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "pipeline"
+    [
+      ( "config",
+        [
+          quick "paper's seven at 13 bits" test_enumeration_13bit_is_papers_seven;
+          quick "counts at 10-12 bits" test_enumeration_counts_10_to_12;
+          quick "string round trip" test_config_string_round_trip;
+          quick "extend with twos" test_config_extend_with_twos;
+          quick "stage input bits" test_config_stage_input_bits;
+          quick "validity" test_config_is_valid;
+          QCheck_alcotest.to_alcotest prop_enumeration_invariants;
+        ] );
+      ( "spec",
+        [
+          quick "distinct jobs" test_distinct_jobs_13bit;
+          quick "job requirements" test_job_requirements_sane;
+          quick "load cap ordering" test_load_cap_decreases_with_backend;
+        ] );
+      ( "optimize-equation",
+        [
+          quick "4-3-2 optimal at 13 bits" test_equation_optimum_4_3_2_at_13bit;
+          quick "paper optima 10-13 bits" test_equation_optima_match_paper_all_resolutions;
+          quick "flat stage-1 power" test_stage1_power_mostly_independent_of_m1;
+          quick "classical is worst" test_classical_1p5bit_is_worst_at_13bit;
+          quick "2-bit last stage" test_last_stage_two_bits_at_all_resolutions;
+          quick "rank sorted" test_power_model_rank_is_sorted;
+          quick "full converter budget" test_full_converter_budget;
+          QCheck_alcotest.to_alcotest prop_power_monotone_in_resolution;
+        ] );
+      ("optimize-hybrid", [ slow "smoke" test_hybrid_mode_smoke ]);
+      ("rules", [ quick "fig3 sweep" test_rules_sweep ]);
+      ( "behavioral",
+        [
+          quick "full-scale codes" test_behavioral_full_scale_codes;
+          quick "raw codes" test_behavioral_raw_codes_sane;
+          quick "digital correction absorbs offsets" test_digital_correction_absorbs_offsets;
+          slow "gain error degrades linearity" test_gain_error_degrades_linearity;
+          QCheck_alcotest.to_alcotest prop_behavioral_monotone;
+          QCheck_alcotest.to_alcotest prop_behavioral_code_error_below_lsb;
+        ] );
+      ( "baseline",
+        [
+          quick "classic shape" test_classic_config_shape;
+          quick "classic savings" test_classic_savings_positive;
+          slow "gp audit" test_gp_baseline_audit;
+        ] );
+      ( "config-extra",
+        [
+          quick "enumerate full" test_enumerate_full_properties;
+          quick "backend bits after" test_backend_bits_after;
+        ] );
+      ( "correction",
+        [
+          quick "weights" test_correction_weights;
+          quick "bad budget rejected" test_correction_rejects_bad_budget;
+          quick "code range checked" test_correction_code_range_checked;
+          QCheck_alcotest.to_alcotest prop_correction_equals_arithmetic_reconstruction;
+        ] );
+      ( "metrics",
+        [
+          quick "static linearity ideal" test_static_linearity_ideal;
+          quick "dynamic enob ideal" test_dynamic_enob_ideal_near_k;
+          quick "noise lowers enob" test_dynamic_enob_with_noise_lower;
+        ] );
+      ("report", [ quick "tables render" test_report_tables_render ]);
+    ]

@@ -1,0 +1,437 @@
+(* Tests for the symbolic DPI/SFG layer. The strongest checks cross-validate
+   Mason's rule on DPI-derived graphs against the independent complex-MNA AC
+   engine on the same netlist. *)
+
+module Expr = Adc_sfg.Expr
+module Ratfun = Adc_sfg.Ratfun
+module Sgraph = Adc_sfg.Sgraph
+module Mason = Adc_sfg.Mason
+module Dpi = Adc_sfg.Dpi
+module Analysis = Adc_sfg.Analysis
+module Poly = Adc_numerics.Poly
+module Process = Adc_circuit.Process
+module Netlist = Adc_circuit.Netlist
+module Stimulus = Adc_circuit.Stimulus
+module Dc = Adc_circuit.Dc
+module Smallsig = Adc_circuit.Smallsig
+module Ac = Adc_circuit.Ac
+
+let proc = Process.c025
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Expr *)
+
+let test_expr_simplify () =
+  let e = Expr.(var "a" + const 0.0) in
+  Alcotest.(check bool) "x+0 = x" true (Expr.equal e (Expr.var "a"));
+  let e = Expr.(const 2.0 * const 3.0) in
+  Alcotest.(check bool) "const fold" true (Expr.equal e (Expr.const 6.0));
+  let e = Expr.(var "a" * const 0.0) in
+  Alcotest.(check bool) "x*0 = 0" true (Expr.equal e Expr.zero);
+  let e = Expr.(neg (neg (var "a"))) in
+  Alcotest.(check bool) "--x = x" true (Expr.equal e (Expr.var "a"))
+
+let test_expr_eval () =
+  let env = function "a" -> 2.0 | "b" -> 3.0 | _ -> raise Not_found in
+  let e = Expr.(var "a" * (var "b" + const 1.0)) in
+  check_close "2*(3+1)" 8.0 (Expr.eval e env);
+  let e = Expr.(pow (var "a") 3 / var "b") in
+  check_close "8/3" (8.0 /. 3.0) (Expr.eval e env)
+
+let test_expr_vars () =
+  let e = Expr.(var "gm" * var "ro" / (var "gm" + s)) in
+  Alcotest.(check (list string)) "vars" [ "gm"; "ro"; "s" ] (Expr.vars e)
+
+let test_expr_to_string_round () =
+  let e = Expr.(var "gm" / (var "g" + (s * var "c"))) in
+  let str = Expr.to_string e in
+  Alcotest.(check bool) "mentions gm" true
+    (String.length str > 0 && String.length str < 200)
+
+(* ------------------------------------------------------------------ *)
+(* Ratfun *)
+
+let test_ratfun_arith () =
+  (* 1/(s+1) + 1/(s+2) = (2s+3)/((s+1)(s+2)) *)
+  let a = Ratfun.make Poly.one (Poly.of_coeffs [| 1.0; 1.0 |]) in
+  let b = Ratfun.make Poly.one (Poly.of_coeffs [| 2.0; 1.0 |]) in
+  let sum = Ratfun.add a b in
+  let z = Ratfun.eval sum { Complex.re = 1.0; im = 0.0 } in
+  check_close "value at s=1" ((1.0 /. 2.0) +. (1.0 /. 3.0)) z.Complex.re
+
+let test_ratfun_reduce () =
+  (* (s+1)(s+2) / (s+1)(s+3) reduces to (s+2)/(s+3) *)
+  let num = Poly.mul (Poly.of_coeffs [| 1.0; 1.0 |]) (Poly.of_coeffs [| 2.0; 1.0 |]) in
+  let den = Poly.mul (Poly.of_coeffs [| 1.0; 1.0 |]) (Poly.of_coeffs [| 3.0; 1.0 |]) in
+  let r = Ratfun.reduce (Ratfun.make num den) in
+  Alcotest.(check int) "num degree" 1 (Poly.degree r.Ratfun.num);
+  Alcotest.(check int) "den degree" 1 (Poly.degree r.Ratfun.den);
+  check_close ~eps:1e-6 "dc gain preserved" (2.0 /. 3.0) (Ratfun.dc_gain r)
+
+let test_ratfun_of_expr () =
+  (* gm/(g + s c): dc gain gm/g, pole at -g/c *)
+  let e = Expr.(var "gm" / (var "g" + (s * var "c"))) in
+  let env = function
+    | "gm" -> 1e-3
+    | "g" -> 1e-4
+    | "c" -> 1e-12
+    | _ -> raise Not_found
+  in
+  let r = Ratfun.of_expr e ~env in
+  check_close ~eps:1e-9 "dc gain" 10.0 (Ratfun.dc_gain r);
+  let poles = Ratfun.poles r in
+  Alcotest.(check int) "one pole" 1 (Array.length poles);
+  check_close ~eps:1e-6 "pole location" (-1e8) poles.(0).Complex.re
+
+let test_ratfun_eval_jw () =
+  let r = Ratfun.make Poly.one (Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi) |]) in
+  (* pole at f = 1 Hz *)
+  check_close ~eps:1e-9 "half-power at pole" (1.0 /. sqrt 2.0)
+    (Complex.norm (Ratfun.eval_jw r 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Mason *)
+
+let test_mason_single_loop () =
+  (* x -G-> y with feedback y -(-H)-> x : T = G/(1+GH) *)
+  let g = Sgraph.create () in
+  let x = Sgraph.add_node g "x" and y = Sgraph.add_node g "y" in
+  Sgraph.add_edge g x y (Expr.var "G");
+  Sgraph.add_edge g y x (Expr.neg (Expr.var "H"));
+  let t = Mason.transfer g ~src:x ~dst:y in
+  let env = function "G" -> 10.0 | "H" -> 0.4 | _ -> raise Not_found in
+  check_close ~eps:1e-12 "feedback gain" (10.0 /. 5.0) (Expr.eval t env)
+
+let test_mason_cascade () =
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" and c = Sgraph.add_node g "c" in
+  Sgraph.add_edge g a b (Expr.const 3.0);
+  Sgraph.add_edge g b c (Expr.const 4.0);
+  let t = Mason.transfer g ~src:a ~dst:c in
+  check_close "cascade 3*4" 12.0 (Expr.eval t (fun _ -> raise Not_found))
+
+let test_mason_two_nontouching_loops () =
+  (* path a->b->c->d with self-loops on b and d:
+     Delta = 1 - (L1 + L2) + L1 L2; the path touches both loops so the
+     cofactor is 1: T = P / Delta *)
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  let c = Sgraph.add_node g "c" and d = Sgraph.add_node g "d" in
+  Sgraph.add_edge g a b (Expr.const 2.0);
+  Sgraph.add_edge g b c (Expr.const 3.0);
+  Sgraph.add_edge g c d (Expr.const 5.0);
+  Sgraph.add_edge g b b (Expr.var "L1");
+  Sgraph.add_edge g d d (Expr.var "L2");
+  let t = Mason.transfer g ~src:a ~dst:d in
+  let env = function "L1" -> 0.25 | "L2" -> 0.5 | _ -> raise Not_found in
+  let delta = 1.0 -. (0.25 +. 0.5) +. (0.25 *. 0.5) in
+  check_close ~eps:1e-12 "two-loop mason" (30.0 /. delta) (Expr.eval t env)
+
+let test_mason_cofactor () =
+  (* two parallel paths a->b->d (through a loop-free branch) and a->c->d
+     where c has a self-loop not touching path 1:
+     T = P1*(1 - L) / (1 - L) + P2 * 1 / (1 - L) -- computed explicitly *)
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  let c = Sgraph.add_node g "c" and d = Sgraph.add_node g "d" in
+  Sgraph.add_edge g a b (Expr.const 2.0);
+  Sgraph.add_edge g b d (Expr.const 3.0);
+  Sgraph.add_edge g a c (Expr.const 5.0);
+  Sgraph.add_edge g c d (Expr.const 7.0);
+  Sgraph.add_edge g c c (Expr.var "L");
+  let t = Mason.transfer g ~src:a ~dst:d in
+  let l = 0.2 in
+  let env = function "L" -> l | _ -> raise Not_found in
+  (* path a-b-d does not touch loop at c: cofactor (1-L); path a-c-d touches it *)
+  let expected = ((6.0 *. (1.0 -. l)) +. 35.0) /. (1.0 -. l) in
+  check_close ~eps:1e-12 "cofactor" expected (Expr.eval t env)
+
+let test_mason_no_path () =
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  Sgraph.add_edge g b a (Expr.const 1.0);
+  let t = Mason.transfer g ~src:a ~dst:b in
+  Alcotest.(check bool) "zero transfer" true (Expr.equal t Expr.zero)
+
+let test_mason_report_counts () =
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  Sgraph.add_edge g a b (Expr.const 1.0);
+  Sgraph.add_edge g b b (Expr.const 0.5);
+  let r = Mason.transfer_report g ~src:a ~dst:b in
+  Alcotest.(check int) "paths" 1 r.Mason.n_paths;
+  Alcotest.(check int) "loops" 1 r.Mason.n_loops
+
+let test_sgraph_parallel_edges_merge () =
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  Sgraph.add_edge g a b (Expr.const 2.0);
+  Sgraph.add_edge g a b (Expr.const 3.0);
+  Alcotest.(check int) "merged into one edge" 1 (Array.length (Sgraph.edges g));
+  let t = Mason.transfer g ~src:a ~dst:b in
+  check_close "summed gain" 5.0 (Expr.eval t (fun _ -> raise Not_found))
+
+(* ------------------------------------------------------------------ *)
+(* DPI vs analytic and vs the AC engine *)
+
+let rc_netlist () =
+  let nl = Netlist.create proc in
+  let vin = Netlist.node nl "in" and out = Netlist.node nl "out" in
+  Netlist.vsource nl ~ac_mag:1.0 "vs" vin Netlist.ground (Stimulus.Dc 0.0);
+  Netlist.resistor nl "r" vin out 1000.0;
+  Netlist.capacitor nl "c" out Netlist.ground 1e-9;
+  (nl, vin, out)
+
+let test_dpi_rc_lowpass () =
+  let nl, _vin, out = rc_netlist () in
+  let dc = match Dc.solve nl with Ok r -> r | Error e -> Alcotest.failf "dc: %s" e in
+  let ss = Smallsig.extract nl dc in
+  let dpi = Dpi.build nl ss in
+  let h = Dpi.numeric_transfer_to dpi out in
+  let fc = 1.0 /. (2.0 *. Float.pi *. 1000.0 *. 1e-9) in
+  check_close ~eps:1e-9 "dc gain 1" 1.0 (Ratfun.dc_gain h);
+  check_close ~eps:1e-9 "-3dB at fc" (1.0 /. sqrt 2.0) (Complex.norm (Ratfun.eval_jw h fc))
+
+let test_dpi_symbolic_form () =
+  let nl, _vin, out = rc_netlist () in
+  let dc = match Dc.solve nl with Ok r -> r | Error e -> Alcotest.failf "dc: %s" e in
+  let ss = Smallsig.extract nl dc in
+  let dpi = Dpi.build nl ss in
+  let t = Dpi.transfer_to dpi out in
+  (* symbolic TF references the resistor conductance and the capacitor *)
+  let vs = Expr.vars t in
+  Alcotest.(check bool) "references g_r" true (List.mem "g_r" vs);
+  Alcotest.(check bool) "references c_c" true (List.mem "c_c" vs);
+  Alcotest.(check bool) "references s" true (List.mem "s" vs)
+
+let common_source () =
+  let nl = Netlist.create proc in
+  let vdd = Netlist.node nl "vdd" and out = Netlist.node nl "out" and g = Netlist.node nl "g" in
+  Netlist.vsource nl "vdd_src" vdd Netlist.ground (Stimulus.Dc 3.3);
+  Netlist.vsource nl ~ac_mag:1.0 "vg" g Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.resistor nl "rd" vdd out 5000.0;
+  Netlist.capacitor nl "cl" out Netlist.ground 1e-12;
+  Netlist.mosfet nl "m1" ~d:out ~g ~s:Netlist.ground ~b:Netlist.ground Process.Nmos
+    ~w:10e-6 ~l:1e-6 ();
+  (nl, out)
+
+let test_dpi_matches_ac_engine () =
+  let nl, out = common_source () in
+  let dc = match Dc.solve nl with Ok r -> r | Error e -> Alcotest.failf "dc: %s" e in
+  let ss = Smallsig.extract nl dc in
+  let dpi = Dpi.build nl ss in
+  let h = Dpi.numeric_transfer_to dpi out in
+  let freqs = [| 1e3; 1e6; 1e8; 1e9 |] in
+  let pts = Ac.run nl ss ~freqs in
+  Array.iteri
+    (fun i f ->
+      let via_ac = Ac.voltage pts.(i) out in
+      let via_dpi = Ratfun.eval_jw h f in
+      check_close ~eps:1e-3
+        (Printf.sprintf "magnitude at %.0g Hz" f)
+        (Complex.norm via_ac) (Complex.norm via_dpi);
+      check_close ~eps:1e-2
+        (Printf.sprintf "phase at %.0g Hz" f)
+        (Complex.arg via_ac) (Complex.arg via_dpi))
+    freqs
+
+let test_dpi_rejects_vcvs () =
+  let nl = Netlist.create proc in
+  let a = Netlist.node nl "a" and b = Netlist.node nl "b" in
+  Netlist.vsource nl ~ac_mag:1.0 "vs" a Netlist.ground (Stimulus.Dc 0.0);
+  Netlist.vcvs nl "e1" ~p:b ~n:Netlist.ground ~cp:a ~cn:Netlist.ground ~gain:2.0;
+  Netlist.resistor nl "r" a b 100.0;
+  let dc = match Dc.solve nl with Ok r -> r | Error e -> Alcotest.failf "dc: %s" e in
+  let ss = Smallsig.extract nl dc in
+  Alcotest.(check bool) "unsupported" true
+    (try
+       ignore (Dpi.build nl ss);
+       false
+     with Dpi.Unsupported _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let single_pole ~gain ~pole_hz =
+  (* H(s) = gain / (1 + s/(2 pi fp)) *)
+  Ratfun.make (Poly.constant gain)
+    (Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi *. pole_hz) |])
+
+let test_analysis_single_pole () =
+  let h = single_pole ~gain:1000.0 ~pole_hz:1e3 in
+  let spec = Analysis.characterize h in
+  check_close ~eps:1e-9 "dc gain" 1000.0 spec.Analysis.dc_gain;
+  Alcotest.(check int) "one pole" 1 (Array.length spec.Analysis.poles);
+  check_close ~eps:1e-6 "pole magnitude" (2.0 *. Float.pi *. 1e3)
+    (Complex.norm spec.Analysis.poles.(0));
+  (match spec.Analysis.unity_gain_hz with
+  | Some fu -> check_close ~eps:1e-3 "unity gain ~ gain*fp" 1e6 fu
+  | None -> Alcotest.fail "expected unity crossing");
+  (match spec.Analysis.phase_margin_deg with
+  | Some pm -> check_close ~eps:2e-2 "pm ~ 90" 90.0 pm
+  | None -> Alcotest.fail "expected pm");
+  (match spec.Analysis.bandwidth_3db_hz with
+  | Some bw -> check_close ~eps:1e-3 "bandwidth" 1e3 bw
+  | None -> Alcotest.fail "expected bandwidth");
+  Alcotest.(check bool) "stable" true (Analysis.is_stable spec)
+
+let test_analysis_two_pole_pm () =
+  (* poles at 1 kHz and 1 MHz with dc gain 1000: unity crossing near 1 MHz
+     where the second pole contributes ~45 degrees of phase lag *)
+  let p1 = Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi *. 1e3) |] in
+  let p2 = Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi *. 1e6) |] in
+  let h = Ratfun.make (Poly.constant 1000.0) (Poly.mul p1 p2) in
+  let spec = Analysis.characterize h in
+  match spec.Analysis.phase_margin_deg with
+  | Some pm ->
+    Alcotest.(check bool) "pm between 30 and 60" true (pm > 30.0 && pm < 60.0)
+  | None -> Alcotest.fail "expected pm"
+
+let test_analysis_step_response () =
+  let tau = 1.0 /. (2.0 *. Float.pi *. 1e3) in
+  let h = single_pole ~gain:2.0 ~pole_hz:1e3 in
+  check_close ~eps:1e-6 "step at tau" (2.0 *. (1.0 -. exp (-1.0)))
+    (Analysis.step_response h ~t:tau);
+  check_close ~eps:1e-6 "step at 5 tau" (2.0 *. (1.0 -. exp (-5.0)))
+    (Analysis.step_response h ~t:(5.0 *. tau))
+
+let test_analysis_settling () =
+  let tau = 1.0 /. (2.0 *. Float.pi *. 1e3) in
+  let h = single_pole ~gain:1.0 ~pole_hz:1e3 in
+  match Analysis.linear_settling_time h ~tol:0.01 with
+  | Some t -> check_close ~eps:0.05 "1% settling = 4.6 tau" (4.6 *. tau) t
+  | None -> Alcotest.fail "expected settling"
+
+let test_analysis_unstable () =
+  (* right-half-plane pole *)
+  let h = Ratfun.make Poly.one (Poly.of_coeffs [| -1.0; 1.0 |]) in
+  let spec = Analysis.characterize h in
+  Alcotest.(check bool) "unstable" false (Analysis.is_stable spec);
+  Alcotest.(check bool) "no settling" true
+    (Analysis.linear_settling_time h ~tol:0.01 = None)
+
+(* ------------------------------------------------------------------ *)
+(* additional structural coverage *)
+
+let test_sgraph_cycle_enumeration () =
+  (* triangle a->b->c->a plus self-loop on b: two simple cycles *)
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" and c = Sgraph.add_node g "c" in
+  Sgraph.add_edge g a b (Expr.const 1.0);
+  Sgraph.add_edge g b c (Expr.const 1.0);
+  Sgraph.add_edge g c a (Expr.const 1.0);
+  Sgraph.add_edge g b b (Expr.const 0.5);
+  Alcotest.(check int) "two cycles" 2 (List.length (Sgraph.simple_cycles g))
+
+let test_sgraph_paths_multiple () =
+  (* two disjoint routes a->d *)
+  let g = Sgraph.create () in
+  let a = Sgraph.add_node g "a" and b = Sgraph.add_node g "b" in
+  let c = Sgraph.add_node g "c" and d = Sgraph.add_node g "d" in
+  Sgraph.add_edge g a b (Expr.const 1.0);
+  Sgraph.add_edge g b d (Expr.const 1.0);
+  Sgraph.add_edge g a c (Expr.const 1.0);
+  Sgraph.add_edge g c d (Expr.const 1.0);
+  Alcotest.(check int) "two forward paths" 2
+    (List.length (Sgraph.simple_paths g ~src:a ~dst:d))
+
+let test_analysis_second_order_step () =
+  (* critically-ish damped two-pole: step response must be monotone-ish
+     and reach the DC gain *)
+  let p1 = Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi *. 1e4) |] in
+  let p2 = Poly.of_coeffs [| 1.0; 1.0 /. (2.0 *. Float.pi *. 3e4) |] in
+  let h = Ratfun.make (Poly.constant 5.0) (Poly.mul p1 p2) in
+  check_close ~eps:1e-3 "asymptote is the dc gain" 5.0
+    (Analysis.step_response h ~t:1e-2);
+  Alcotest.(check bool) "starts near zero" true
+    (Float.abs (Analysis.step_response h ~t:1e-9) < 0.05);
+  (match Analysis.linear_settling_time h ~tol:0.01 with
+  | Some t -> Alcotest.(check bool) "settles in finite time" true (t > 0.0 && t < 1e-2)
+  | None -> Alcotest.fail "expected settling")
+
+let test_ratfun_scale_and_neg () =
+  let h = Ratfun.make (Poly.constant 2.0) (Poly.of_coeffs [| 1.0; 1.0 |]) in
+  check_close "scale" 6.0 (Ratfun.dc_gain (Ratfun.scale 3.0 h));
+  check_close "neg" (-2.0) (Ratfun.dc_gain (Ratfun.neg h));
+  check_close "sub self is zero" 0.0 (Ratfun.dc_gain (Ratfun.sub h h))
+
+let test_expr_pow_and_division_by_zero () =
+  let env = function "x" -> 2.0 | _ -> raise Not_found in
+  check_close "pow" 8.0 (Expr.eval (Expr.pow (Expr.var "x") 3) env);
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (Expr.eval Expr.(var "x" / const 0.0) env))
+
+let prop_mason_cascade_of_random_gains =
+  QCheck2.Test.make ~name:"mason on a loop-free cascade multiplies gains" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 6) (float_range 0.5 2.0))
+    (fun gains ->
+      let g = Sgraph.create () in
+      let nodes =
+        List.mapi (fun i _ -> Sgraph.add_node g (Printf.sprintf "n%d" i)) (() :: List.map ignore gains)
+      in
+      List.iteri
+        (fun i gain ->
+          Sgraph.add_edge g (List.nth nodes i) (List.nth nodes (i + 1)) (Expr.const gain))
+        gains;
+      let t = Mason.transfer g ~src:(List.hd nodes) ~dst:(List.nth nodes (List.length gains)) in
+      let expected = List.fold_left ( *. ) 1.0 gains in
+      Float.abs (Expr.eval t (fun _ -> raise Not_found) -. expected)
+      < 1e-9 *. (1.0 +. expected))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sfg"
+    [
+      ( "expr",
+        [
+          quick "simplify" test_expr_simplify;
+          quick "eval" test_expr_eval;
+          quick "vars" test_expr_vars;
+          quick "to_string" test_expr_to_string_round;
+        ] );
+      ( "ratfun",
+        [
+          quick "arith" test_ratfun_arith;
+          quick "reduce" test_ratfun_reduce;
+          quick "of_expr" test_ratfun_of_expr;
+          quick "eval_jw" test_ratfun_eval_jw;
+        ] );
+      ( "mason",
+        [
+          quick "single loop" test_mason_single_loop;
+          quick "cascade" test_mason_cascade;
+          quick "non-touching loops" test_mason_two_nontouching_loops;
+          quick "cofactor" test_mason_cofactor;
+          quick "no path" test_mason_no_path;
+          quick "report counts" test_mason_report_counts;
+          quick "parallel edge merge" test_sgraph_parallel_edges_merge;
+        ] );
+      ( "dpi",
+        [
+          quick "rc lowpass" test_dpi_rc_lowpass;
+          quick "symbolic form" test_dpi_symbolic_form;
+          quick "matches ac engine" test_dpi_matches_ac_engine;
+          quick "rejects vcvs" test_dpi_rejects_vcvs;
+        ] );
+      ( "structure",
+        [
+          quick "cycle enumeration" test_sgraph_cycle_enumeration;
+          quick "multiple paths" test_sgraph_paths_multiple;
+          quick "second-order step" test_analysis_second_order_step;
+          quick "ratfun scale/neg" test_ratfun_scale_and_neg;
+          quick "expr pow and div0" test_expr_pow_and_division_by_zero;
+          QCheck_alcotest.to_alcotest prop_mason_cascade_of_random_gains;
+        ] );
+      ( "analysis",
+        [
+          quick "single pole" test_analysis_single_pole;
+          quick "two pole pm" test_analysis_two_pole_pm;
+          quick "step response" test_analysis_step_response;
+          quick "settling" test_analysis_settling;
+          quick "unstable" test_analysis_unstable;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the NeoCircuit-substitute synthesis engine: design spaces,
+   constraints, the three optimizer kernels, and the OTA synthesis flow. *)
+
+module Rng = Adc_numerics.Rng
+module Space = Adc_synth.Space
+module Constraint_set = Adc_synth.Constraint_set
+module Anneal = Adc_synth.Anneal
+module Pattern = Adc_synth.Pattern
+module De = Adc_synth.De
+module Synthesizer = Adc_synth.Synthesizer
+module Mdac_stage = Adc_mdac.Mdac_stage
+module Ota = Adc_mdac.Ota
+module Process = Adc_circuit.Process
+
+let proc = Process.c025
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1.0 +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Space *)
+
+let demo_space () =
+  Space.create
+    [
+      { Space.name = "w"; lo = 1e-6; hi = 1e-4; scale = Space.Log };
+      { Space.name = "v"; lo = 0.0; hi = 3.3; scale = Space.Linear };
+    ]
+
+let test_space_denormalize () =
+  let sp = demo_space () in
+  let x = Space.denormalize sp [| 0.5; 0.5 |] in
+  check_close ~eps:1e-9 "log midpoint is geometric mean" 1e-5 x.(0);
+  check_close ~eps:1e-9 "linear midpoint" 1.65 x.(1)
+
+let test_space_bounds_clamped () =
+  let sp = demo_space () in
+  let x = Space.denormalize sp [| -1.0; 2.0 |] in
+  check_close "clamped low" 1e-6 x.(0);
+  check_close "clamped high" 3.3 x.(1)
+
+let prop_space_round_trip =
+  QCheck2.Test.make ~name:"normalize/denormalize round trip" ~count:200
+    QCheck2.Gen.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (u1, u2) ->
+      let sp = demo_space () in
+      let u = [| u1; u2 |] in
+      let x = Space.denormalize sp u in
+      let u' = Space.normalize sp x in
+      Float.abs (u.(0) -. u'.(0)) < 1e-9 && Float.abs (u.(1) -. u'.(1)) < 1e-9)
+
+let test_space_shrink () =
+  let sp = demo_space () in
+  let sp' = Space.shrink_around sp [| 1e-5; 1.65 |] ~factor:0.2 in
+  let vars = Space.variables sp' in
+  Alcotest.(check bool) "shrunken log range" true
+    (vars.(0).Space.lo > 1e-6 && vars.(0).Space.hi < 1e-4);
+  Alcotest.(check bool) "center still inside" true
+    (vars.(0).Space.lo < 1e-5 && 1e-5 < vars.(0).Space.hi)
+
+let test_space_value_of () =
+  let sp = demo_space () in
+  check_close "lookup by name" 2.0 (Space.value_of sp [| 1e-5; 2.0 |] "v");
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Space.value_of sp [| 1e-5; 2.0 |] "nope"))
+
+let test_space_rejects_bad_bounds () =
+  Alcotest.(check bool) "lo >= hi rejected" true
+    (try
+       ignore (Space.create [ { Space.name = "x"; lo = 2.0; hi = 1.0; scale = Space.Linear } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint_set *)
+
+let test_constraints_violation () =
+  let c = Constraint_set.at_least "gain" 100.0 in
+  check_close "satisfied" 0.0 (Constraint_set.violation c 150.0);
+  check_close "half short" 0.5 (Constraint_set.violation c 50.0);
+  let c = Constraint_set.at_most "power" 1.0 in
+  check_close "over budget" 0.5 (Constraint_set.violation c 1.5)
+
+let test_constraints_total_and_report () =
+  let cs =
+    Constraint_set.create
+      [ Constraint_set.at_least "a" 10.0; Constraint_set.at_most ~weight:2.0 "b" 1.0 ]
+  in
+  let lookup = function "a" -> Some 5.0 | "b" -> Some 2.0 | _ -> None in
+  check_close "weighted total" (0.5 +. (2.0 *. 1.0)) (Constraint_set.total_violation cs ~lookup);
+  Alcotest.(check bool) "infeasible" false (Constraint_set.is_feasible cs ~lookup);
+  let report = Constraint_set.report cs ~lookup in
+  Alcotest.(check int) "two rows" 2 (List.length report)
+
+let test_constraints_missing_metric () =
+  let cs = Constraint_set.create [ Constraint_set.at_least "missing" 1.0 ] in
+  check_close "missing counts as full violation" 1.0
+    (Constraint_set.total_violation cs ~lookup:(fun _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer kernels on analytic test functions *)
+
+let sphere target x =
+  Array.fold_left ( +. ) 0.0 (Array.mapi (fun i v -> (v -. target.(i)) ** 2.0) x)
+
+let test_anneal_minimizes_sphere () =
+  let target = [| 0.3; 0.7; 0.5 |] in
+  let rng = Rng.create 42 in
+  let r =
+    Anneal.minimize ~config:{ Anneal.default_config with iterations = 2000 } rng ~dim:3
+      ~x0:[| 0.9; 0.1; 0.9 |] (sphere target)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "near optimum (cost %.4f)" r.Anneal.best_cost)
+    true (r.Anneal.best_cost < 0.01)
+
+let test_anneal_deterministic () =
+  let f = sphere [| 0.5; 0.5 |] in
+  let run () =
+    let rng = Rng.create 7 in
+    (Anneal.minimize rng ~dim:2 ~x0:[| 0.1; 0.9 |] f).Anneal.best_cost
+  in
+  check_close "same seed same result" (run ()) (run ())
+
+let test_pattern_converges_quadratic () =
+  let target = [| 0.25; 0.75 |] in
+  let r = Pattern.minimize ~dim:2 ~x0:[| 0.9; 0.1 |] (sphere target) in
+  Alcotest.(check bool) "tight convergence" true (r.Pattern.best_cost < 1e-6);
+  check_close ~eps:1e-3 "x0 found" 0.25 r.Pattern.best_x.(0);
+  check_close ~eps:1e-3 "x1 found" 0.75 r.Pattern.best_x.(1)
+
+let test_pattern_respects_eval_budget () =
+  let count = ref 0 in
+  let f x =
+    incr count;
+    sphere [| 0.5 |] x
+  in
+  ignore (Pattern.minimize ~max_evals:50 ~dim:1 ~x0:[| 0.0 |] f);
+  Alcotest.(check bool) "bounded evals" true (!count <= 60)
+
+let test_de_minimizes_shifted_bowl () =
+  let rng = Rng.create 9 in
+  let r = De.minimize rng ~dim:2 (sphere [| 0.4; 0.6 |]) in
+  Alcotest.(check bool) "near optimum" true (r.De.best_cost < 0.01)
+
+let test_de_uses_seed_point () =
+  let rng = Rng.create 9 in
+  let r =
+    De.minimize
+      ~config:{ De.default_config with generations = 0 }
+      rng ~dim:2 ~seed_point:[| 0.4; 0.6 |] (sphere [| 0.4; 0.6 |])
+  in
+  (* generation 0: best of the initial population, which contains the seed *)
+  check_close ~eps:1e-12 "seed point retained" 0.0 r.De.best_cost
+
+(* ------------------------------------------------------------------ *)
+(* Synthesizer *)
+
+let easy_requirements () =
+  let spec = Mdac_stage.default_spec ~m:2 ~accuracy_bits:8 ~fs:40e6 in
+  Mdac_stage.requirements proc spec ~c_load_ext:0.2e-12 ~c_in_ratio:0.15
+
+let test_initial_sizing_reasonable () =
+  let req = easy_requirements () in
+  let z = Synthesizer.initial_sizing proc req in
+  Alcotest.(check bool) "positive widths" true (z.Ota.w_pair > 0.0 && z.Ota.w_cs > 0.0);
+  Alcotest.(check bool) "positive bias" true (z.Ota.i_bias > 0.0);
+  Alcotest.(check bool) "low-accuracy job picks the simple topology" true
+    (z.Ota.topology = Ota.Miller_simple)
+
+let test_initial_sizing_topology_switch () =
+  let spec = Mdac_stage.default_spec ~m:3 ~accuracy_bits:13 ~fs:40e6 in
+  let req = Mdac_stage.requirements proc spec ~c_load_ext:1e-12 ~c_in_ratio:0.15 in
+  let z = Synthesizer.initial_sizing proc req in
+  Alcotest.(check bool) "high-accuracy job uses the cascode" true
+    (z.Ota.topology = Ota.Miller_cascode)
+
+let test_constraints_of_covers_specs () =
+  let req = easy_requirements () in
+  let metrics =
+    List.map (fun e -> e.Constraint_set.metric)
+      (Constraint_set.entries (Synthesizer.constraints_of req))
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) (m ^ " constrained") true (List.mem m metrics))
+    [ "a0"; "gbw"; "pm"; "sr"; "swing"; "saturated" ]
+
+let test_equation_evaluator_runs () =
+  let req = easy_requirements () in
+  let z = Synthesizer.initial_sizing proc req in
+  let metrics, perf = Synthesizer.evaluate_sizing ~kind:Synthesizer.Equation_only proc req z in
+  Alcotest.(check bool) "metrics present" true (List.mem_assoc "power" metrics);
+  Alcotest.(check bool) "no simulation performance" true (perf = None)
+
+let test_hybrid_evaluator_runs () =
+  let req = easy_requirements () in
+  let z = Synthesizer.initial_sizing proc req in
+  let metrics, perf = Synthesizer.evaluate_sizing ~kind:Synthesizer.Hybrid proc req z in
+  Alcotest.(check bool) "metrics present" true (List.mem_assoc "a0" metrics);
+  Alcotest.(check bool) "simulated performance attached" true (perf <> None)
+
+let test_synthesize_small_budget () =
+  let req = easy_requirements () in
+  match
+    Synthesizer.synthesize
+      ~budget:{ Synthesizer.sa_iterations = 40; pattern_evals = 60; space_factor = 1.0 }
+      ~seed:3 proc req
+  with
+  | Error e -> Alcotest.failf "synthesize failed: %s" e
+  | Ok sol ->
+    Alcotest.(check bool) "power positive" true (sol.Synthesizer.power > 0.0);
+    Alcotest.(check bool) "counted evaluations" true (sol.Synthesizer.evaluations > 50);
+    Alcotest.(check bool) "metrics recorded" true (sol.Synthesizer.metrics <> [])
+
+let test_synthesize_deterministic_pattern_only () =
+  let req = easy_requirements () in
+  let run () =
+    match
+      Synthesizer.synthesize
+        ~budget:{ Synthesizer.sa_iterations = 0; pattern_evals = 120; space_factor = 1.0 }
+        ~seed:1 proc req
+    with
+    | Ok sol -> sol.Synthesizer.power
+    | Error e -> Alcotest.failf "synthesize failed: %s" e
+  in
+  check_close "pattern-only is reproducible" (run ()) (run ())
+
+let test_warm_start_uses_fewer_evals () =
+  let req = easy_requirements () in
+  match Synthesizer.synthesize ~seed:3 proc req with
+  | Error e -> Alcotest.failf "cold failed: %s" e
+  | Ok cold -> begin
+    match Synthesizer.synthesize ~seed:4 ~warm_start:cold.Synthesizer.sizing proc req with
+    | Error e -> Alcotest.failf "warm failed: %s" e
+    | Ok warm ->
+      Alcotest.(check bool)
+        (Printf.sprintf "warm (%d) cheaper than cold (%d)" warm.Synthesizer.evaluations
+           cold.Synthesizer.evaluations)
+        true
+        (warm.Synthesizer.evaluations < cold.Synthesizer.evaluations)
+  end
+
+let test_verified_settling () =
+  (* the Hybrid_verified evaluator appends the transient settling check:
+     the synthesized cell must actually settle to its tolerance in the
+     simulated switched-cap bench *)
+  let req = easy_requirements () in
+  match
+    Synthesizer.synthesize ~kind:Synthesizer.Hybrid_verified
+      ~budget:{ Synthesizer.sa_iterations = 0; pattern_evals = 150; space_factor = 1.0 }
+      ~seed:5 proc req
+  with
+  | Error e -> Alcotest.failf "synthesize failed: %s" e
+  | Ok sol -> begin
+    match sol.Synthesizer.settling with
+    | None -> Alcotest.fail "expected a settling verification record"
+    | Some st ->
+      Alcotest.(check bool) "settled in the window" true (st.Ota.settle_time <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "static error %.2e below 1%%" st.Ota.static_error)
+        true
+        (st.Ota.static_error < 0.01)
+  end
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "synth"
+    [
+      ( "space",
+        [
+          quick "denormalize" test_space_denormalize;
+          quick "bounds clamped" test_space_bounds_clamped;
+          quick "shrink" test_space_shrink;
+          quick "value_of" test_space_value_of;
+          quick "bad bounds" test_space_rejects_bad_bounds;
+          QCheck_alcotest.to_alcotest prop_space_round_trip;
+        ] );
+      ( "constraints",
+        [
+          quick "violation" test_constraints_violation;
+          quick "total and report" test_constraints_total_and_report;
+          quick "missing metric" test_constraints_missing_metric;
+        ] );
+      ( "kernels",
+        [
+          quick "anneal sphere" test_anneal_minimizes_sphere;
+          quick "anneal deterministic" test_anneal_deterministic;
+          quick "pattern quadratic" test_pattern_converges_quadratic;
+          quick "pattern budget" test_pattern_respects_eval_budget;
+          quick "de bowl" test_de_minimizes_shifted_bowl;
+          quick "de seed point" test_de_uses_seed_point;
+        ] );
+      ( "synthesizer",
+        [
+          quick "initial sizing" test_initial_sizing_reasonable;
+          quick "topology switch" test_initial_sizing_topology_switch;
+          quick "constraint coverage" test_constraints_of_covers_specs;
+          quick "equation evaluator" test_equation_evaluator_runs;
+          quick "hybrid evaluator" test_hybrid_evaluator_runs;
+          slow "small synthesis" test_synthesize_small_budget;
+          slow "deterministic pattern" test_synthesize_deterministic_pattern_only;
+          slow "warm start" test_warm_start_uses_fewer_evals;
+          slow "verified settling" test_verified_settling;
+        ] );
+    ]
