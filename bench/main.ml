@@ -31,6 +31,47 @@ let line = String.make 72 '-'
 let header title = Printf.printf "%s\n%s\n%s\n" line title line
 
 (* ------------------------------------------------------------------ *)
+(* run summary: every optimizer run is recorded and dumped to
+   BENCH_SUMMARY.json on exit, so speedups across -j values are
+   comparable from the artifacts alone *)
+
+let jobs_requested = ref (Adc_exec.Pool.recommended_size ())
+let run_records : string list ref = ref []
+
+let record_run label (r : Optimize.run) =
+  let mode =
+    match r.Optimize.mode with
+    | `Equation -> "equation"
+    | `Hybrid -> "hybrid"
+    | `Hybrid_verified -> "hybrid_verified"
+  in
+  let json =
+    Printf.sprintf
+      "  {\"label\": %S, \"k\": %d, \"mode\": %S, \"domains\": %d, \
+       \"wall_s\": %.3f, \"evaluator_calls\": %d, \"distinct_jobs\": %d, \
+       \"cold_jobs\": %d, \"warm_jobs\": %d, \"optimum\": %S, \
+       \"p_total_w\": %.6g}"
+      label r.Optimize.spec.Spec.k mode r.Optimize.domains
+      r.Optimize.wall_time_s r.Optimize.synthesis_evaluations
+      (List.length r.Optimize.distinct_jobs)
+      r.Optimize.cold_jobs r.Optimize.warm_jobs
+      (Config.to_string (Optimize.optimum_config r))
+      r.Optimize.optimum.Optimize.p_total
+  in
+  run_records := json :: !run_records
+
+let write_summary () =
+  match List.rev !run_records with
+  | [] -> ()
+  | records ->
+    let oc = open_out "BENCH_SUMMARY.json" in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" records);
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "[run summary written to BENCH_SUMMARY.json]\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* shared hybrid sweep (used by fig1/fig2/fig3 in hybrid mode) *)
 
 let hybrid_runs : (int, Optimize.run) Hashtbl.t = Hashtbl.create 4
@@ -39,21 +80,30 @@ let hybrid_run k =
   match Hashtbl.find_opt hybrid_runs k with
   | Some r -> r
   | None ->
-    let t0 = Unix.gettimeofday () in
-    let r = Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 (Spec.paper_case ~k) in
-    Printf.printf "[hybrid %d-bit: %d distinct MDACs, %d evaluations, %.0f s]\n%!" k
+    let r =
+      Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 ~jobs:!jobs_requested
+        (Spec.paper_case ~k)
+    in
+    Printf.printf
+      "[hybrid %d-bit: %d distinct MDACs, %d evaluations, %.0f s on %d domain(s)]\n%!"
+      k
       (List.length r.Optimize.distinct_jobs)
-      r.Optimize.synthesis_evaluations
-      (Unix.gettimeofday () -. t0);
+      r.Optimize.synthesis_evaluations r.Optimize.wall_time_s r.Optimize.domains;
+    record_run (Printf.sprintf "hybrid-%dbit" k) r;
     Hashtbl.replace hybrid_runs k r;
     r
+
+let equation_run k =
+  let r = Optimize.run ~mode:`Equation (Spec.paper_case ~k) in
+  record_run (Printf.sprintf "equation-%dbit" k) r;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* figures *)
 
 let fig1 ~hybrid () =
   header "Fig. 1 - stage power for the 13-bit ADC configurations";
-  let run_eq = Optimize.run ~mode:`Equation (Spec.paper_case ~k:13) in
+  let run_eq = equation_run 13 in
   print_string (Report.job_table run_eq);
   Printf.printf "\n[equation evaluation]\n";
   print_string (Report.fig1_table run_eq);
@@ -68,7 +118,7 @@ let fig2 ~hybrid () =
   header "Fig. 2 - total power of the leading stages, 10..13 bits";
   let ks = [ 10; 11; 12; 13 ] in
   Printf.printf "[equation evaluation]\n";
-  let runs_eq = List.map (fun k -> Optimize.run ~mode:`Equation (Spec.paper_case ~k)) ks in
+  let runs_eq = List.map equation_run ks in
   print_string (Report.fig2_table runs_eq);
   Printf.printf
     "paper optima: 3-2 (10b), 4-2 (11b), 4-2-2 (12b), 4-3-2 (13b); 2-bit last stage\n";
@@ -332,7 +382,22 @@ let micro () =
 (* entry point *)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* argv: [target] [-j N | --jobs N], in any order *)
+  let target = ref None in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "-j" | "--jobs" when i + 1 < Array.length Sys.argv ->
+        jobs_requested := Stdlib.max 1 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | arg ->
+        target := Some arg;
+        parse (i + 1))
+    end
+  in
+  parse 1;
+  at_exit write_summary;
+  let what = Option.value !target ~default:"all" in
   match what with
   | "fig1" -> fig1 ~hybrid:true ()
   | "fig2" -> fig2 ~hybrid:true ()

@@ -14,6 +14,7 @@ module Behavioral = Adc_pipeline.Behavioral
 module Metrics = Adc_pipeline.Metrics
 module Synthesizer = Adc_synth.Synthesizer
 module Units = Adc_numerics.Units
+module Pool = Adc_exec.Pool
 
 open Cmdliner
 
@@ -47,6 +48,17 @@ let attempts_arg =
   let doc = "Independent searches per distinct MDAC job (best kept)." in
   Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains for the synthesis phase: $(b,0) (default) uses one per \
+     available core, $(b,1) forces the sequential path. Results are \
+     identical for every value; only the wall-clock time changes."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* 0 = auto-detect; the pool itself clamps to >= 1 *)
+let resolve_jobs n = if n <= 0 then Pool.recommended_size () else n
+
 let spec_of k fs = Spec.make ~k ~fs:(fs *. 1e6) ()
 
 (* ------------------------------------------------------------------ *)
@@ -69,16 +81,18 @@ let enumerate_cmd =
 (* ------------------------------------------------------------------ *)
 (* optimize *)
 
-let optimize k fs mode seed attempts =
+let optimize k fs mode seed attempts jobs =
   let spec = spec_of k fs in
-  let run = Optimize.run ~mode ~seed ~attempts spec in
+  let run = Optimize.run ~mode ~seed ~attempts ~jobs:(resolve_jobs jobs) spec in
   print_string (Report.candidate_summary run);
   print_string (Report.fig1_table run);
   (match mode with
   | `Equation -> ()
   | `Hybrid | `Hybrid_verified ->
-    Printf.printf "synthesis: %d evaluator calls, %d cold / %d warm jobs\n"
-      run.Optimize.synthesis_evaluations run.Optimize.cold_jobs run.Optimize.warm_jobs);
+    Printf.printf
+      "synthesis: %d evaluator calls, %d cold / %d warm jobs, %.1f s on %d domain(s)\n"
+      run.Optimize.synthesis_evaluations run.Optimize.cold_jobs
+      run.Optimize.warm_jobs run.Optimize.wall_time_s run.Optimize.domains);
   Printf.printf "optimum: %s at %s\n"
     (Config.to_string (Optimize.optimum_config run))
     (Units.format_power run.Optimize.optimum.Optimize.p_total);
@@ -94,17 +108,31 @@ let optimize k fs mode seed attempts =
 let optimize_cmd =
   let doc = "Run the topology optimization for one converter spec." in
   Cmd.v (Cmd.info "optimize" ~doc)
-    Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg)
+    Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep k_lo k_hi fs mode seed attempts =
+let sweep k_lo k_hi fs mode seed attempts jobs =
+  let jobs = resolve_jobs jobs in
   let ks = List.init (k_hi - k_lo + 1) (fun i -> k_lo + i) in
-  let runs = List.map (fun k -> Optimize.run ~mode ~seed ~attempts (spec_of k fs)) ks in
+  let runs =
+    List.map (fun k -> Optimize.run ~mode ~seed ~attempts ~jobs (spec_of k fs)) ks
+  in
   print_string (Report.fig2_table runs);
+  (match mode with
+  | `Equation -> ()
+  | `Hybrid | `Hybrid_verified ->
+    List.iter
+      (fun (r : Optimize.run) ->
+        Printf.printf
+          "  %2d-bit synthesis: %d evaluator calls, %.1f s on %d domain(s)\n"
+          r.Optimize.spec.Spec.k r.Optimize.synthesis_evaluations
+          r.Optimize.wall_time_s r.Optimize.domains)
+      runs);
   let chart =
-    Rules.sweep ~mode ~seed ~k_values:ks (fun ~k -> spec_of k fs)
+    Rules.sweep ~mode ~seed ~jobs ~k_values:ks (fun ~k -> spec_of k fs)
   in
   print_string (Rules.render chart)
 
@@ -117,12 +145,13 @@ let k_hi_arg =
 let sweep_cmd =
   let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg)
+    Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg
+          $ attempts_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth: one MDAC job *)
 
-let synth m bits fs seed =
+let synth m bits fs seed attempts jobs =
   let spec = spec_of 13 fs in
   let job = { Spec.m; input_bits = bits } in
   let req = Spec.stage_requirements spec job in
@@ -136,14 +165,42 @@ let synth m bits fs seed =
     (Units.format_freq req.Adc_mdac.Mdac_stage.gbw_min_hz);
   Printf.printf "  slew rate            >= %.0f V/us\n"
     (req.Adc_mdac.Mdac_stage.sr_min /. 1e6);
-  match Synthesizer.synthesize ~seed spec.Spec.process req with
-  | Error e -> Printf.eprintf "synthesis failed: %s\n" e
-  | Ok sol ->
-    Printf.printf "synthesized cell: %s, %s, %d evaluations\n"
+  (* best-of-N independent restarts, fanned out over the domain pool;
+     per-attempt seeds derive from the attempt index, so the winner is
+     the same for every --jobs value *)
+  let t0 = Unix.gettimeofday () in
+  let restarts =
+    Pool.with_pool ~size:(resolve_jobs jobs) (fun pool ->
+        Pool.map_ordered pool
+          (fun a ->
+            Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a)
+              spec.Spec.process req)
+          (List.init (Stdlib.max 1 attempts) Fun.id))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let evaluations =
+    List.fold_left
+      (fun acc -> function Ok s -> acc + s.Synthesizer.evaluations | Error _ -> acc)
+      0 restarts
+  in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, Ok s -> Some s
+        | Some b, Ok s -> Some (Optimize.better b s)
+        | _, Error _ -> acc)
+      None restarts
+  in
+  match best with
+  | None -> Printf.eprintf "synthesis failed on all %d attempts\n" attempts
+  | Some sol ->
+    Printf.printf
+      "synthesized cell: %s, %s, best of %d attempts, %d evaluations, %.1f s\n"
       (Units.format_power sol.Synthesizer.power)
       (if sol.Synthesizer.feasible then "all specs met"
        else Printf.sprintf "violation %.3f" sol.Synthesizer.violation)
-      sol.Synthesizer.evaluations;
+      attempts evaluations elapsed;
     List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics
 
 let m_arg =
@@ -154,7 +211,9 @@ let bits_arg =
 
 let synth_cmd =
   let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
-  Cmd.v (Cmd.info "synth" ~doc) Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg)
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg $ attempts_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* behavioral *)

@@ -1,4 +1,8 @@
 module Synthesizer = Adc_synth.Synthesizer
+module Pool = Adc_exec.Pool
+module Memo = Adc_exec.Memo
+module Future = Adc_exec.Future
+module Rng = Adc_numerics.Rng
 
 type mode = [ `Equation | `Hybrid | `Hybrid_verified ]
 
@@ -27,25 +31,9 @@ type run = {
   synthesis_evaluations : int;
   cold_jobs : int;
   warm_jobs : int;
+  domains : int;
+  wall_time_s : float;
 }
-
-(* warm-start donor: an already-synthesized job with the same stage
-   resolution and an accuracy within one bit — further away, the power
-   scale changes by ~4x per bit and the shrunken warm space cannot reach
-   the new optimum, so a cold equation-seeded start does better *)
-let find_donor cache (job : Spec.job) =
-  Hashtbl.fold
-    (fun (key : Spec.job) (sol : Synthesizer.solution) best ->
-      if key.Spec.m <> job.Spec.m then best
-      else begin
-        let dist = abs (key.Spec.input_bits - job.Spec.input_bits) in
-        if dist > 1 then best
-        else
-          match best with
-          | Some (best_dist, _) when best_dist <= dist -> best
-          | Some _ | None -> Some (dist, sol)
-      end)
-    cache None
 
 (* prefer feasible solutions, then lowest power; among infeasible ones,
    lowest violation *)
@@ -56,86 +44,181 @@ let better (a : Synthesizer.solution) (b : Synthesizer.solution) =
   | true, true -> if a.Synthesizer.power <= b.Synthesizer.power then a else b
   | false, false -> if a.Synthesizer.violation <= b.Synthesizer.violation then a else b
 
-let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget jobs =
+(* per-job seed salt: a function of the job identity alone, so a job's
+   search trajectory does not depend on which candidate set requested it
+   or on its position in the work list — the precondition for jobs=N and
+   jobs=1 runs drawing identical streams *)
+let job_salt (job : Spec.job) = (job.Spec.m * 131) + job.Spec.input_bits
+
+(* the high-accuracy jobs (the GHz-class front stages) have the most
+   rugged landscapes, so they get proportionally more restarts *)
+let attempts_for ~attempts (job : Spec.job) =
+  attempts + (2 * Stdlib.max 0 (job.Spec.input_bits - 11))
+
+(* warm-start donor preference: among jobs scheduled *earlier* in the
+   hardest-first order, those with the same stage resolution and an
+   accuracy within one bit, nearest accuracy first (position breaks
+   ties). Further away, the power scale changes by ~4x per bit and the
+   shrunken warm space cannot reach the new optimum, so a cold
+   equation-seeded start does better. The preference list is a pure
+   function of the schedule — never of completion order — which keeps
+   parallel runs deterministic: a worker synthesizing job J blocks on the
+   promise of its donor, not on "whatever finished first". *)
+let donor_preferences jobs =
+  let arr = Array.of_list jobs in
+  List.mapi
+    (fun i (job : Spec.job) ->
+      let prefs = ref [] in
+      for earlier = i - 1 downto 0 do
+        let k = arr.(earlier) in
+        if k.Spec.m = job.Spec.m then begin
+          let dist = abs (k.Spec.input_bits - job.Spec.input_bits) in
+          if dist <= 1 then prefs := (dist, earlier, k) :: !prefs
+        end
+      done;
+      let ordered =
+        List.sort
+          (fun (d1, i1, _) (d2, i2, _) -> compare (d1, i1) (d2, i2))
+          !prefs
+      in
+      (job, List.map (fun (_, _, k) -> k) ordered))
+    jobs
+
+(* best-of-N searches for one job: attempt 0 is a deterministic pattern
+   descent from the analytic seed (smooth across jobs), later attempts
+   add annealing exploration; candidate margins in the figures are a few
+   percent, so a single stochastic run is too noisy. Returns the best
+   solution (None if every attempt failed) and the evaluator calls
+   consumed. *)
+let synthesize_one (spec : Spec.t) ~kind ~seed ~attempts ~budget ~warm_start
+    (job : Spec.job) =
+  let req = Spec.stage_requirements spec job in
+  let job_seed = Rng.mix seed (job_salt job) in
+  let attempts = attempts_for ~attempts job in
+  let runs =
+    List.init attempts (fun a ->
+        let s = Rng.mix job_seed a in
+        if a = 0 then
+          (* deterministic descent: no annealing, pattern search only.
+             An explicit budget override (tests, CI) caps this attempt
+             too; the default is a deep 500-evaluation descent *)
+          let det_budget =
+            match budget with
+            | Some b -> { b with Synthesizer.sa_iterations = 0 }
+            | None ->
+              { Synthesizer.sa_iterations = 0; pattern_evals = 500;
+                space_factor = 1.0 }
+          in
+          Synthesizer.synthesize ~kind ~budget:det_budget ~seed:s
+            spec.Spec.process req
+        else
+          let sa_budget =
+            match budget with
+            | Some b -> b
+            | None ->
+              (* anneal longer on the GHz-class jobs: their good basins
+                 are rare *)
+              let depth = 400 + (250 * Stdlib.max 0 (job.Spec.input_bits - 11)) in
+              { Synthesizer.sa_iterations = depth; pattern_evals = 200;
+                space_factor = 1.0 }
+          in
+          Synthesizer.synthesize ~kind ~budget:sa_budget ~seed:s ?warm_start
+            spec.Spec.process req)
+  in
+  let evals = ref 0 in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Error _ -> acc
+        | Ok sol ->
+          evals := !evals + sol.Synthesizer.evaluations;
+          (match acc with None -> Some sol | Some b -> Some (better b sol)))
+      None runs
+  in
+  (best, !evals)
+
+(* one entry per distinct job: solution (None = all attempts failed),
+   evaluator calls, whether a warm-start donor was available *)
+type job_outcome = {
+  solution : Synthesizer.solution option;
+  evaluations : int;
+  warm : bool;
+}
+
+let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool jobs =
   let kind =
     match mode with
     | `Equation -> Synthesizer.Equation_only
     | `Hybrid -> Synthesizer.Hybrid
     | `Hybrid_verified -> Synthesizer.Hybrid_verified
   in
+  let memo : (Spec.job, job_outcome) Memo.t = Memo.create () in
+  (* submit in hardest-first schedule order: every donor of a job
+     precedes it in the FIFO queue, so a blocked worker always has a
+     strictly-earlier task to wait on and the pool cannot deadlock *)
+  let futures =
+    List.map
+      (fun (job, donor_jobs) ->
+        let donor_futures =
+          List.filter_map (fun d -> Memo.find memo d) donor_jobs
+        in
+        Memo.find_or_run memo pool job (fun job ->
+            let donor =
+              List.find_map
+                (fun f ->
+                  match (Future.await f).solution with
+                  | Some sol -> Some sol
+                  | None -> None)
+                donor_futures
+            in
+            let warm_start = Option.map (fun s -> s.Synthesizer.sizing) donor in
+            let solution, evaluations =
+              synthesize_one spec ~kind ~seed ~attempts ~budget ~warm_start job
+            in
+            { solution; evaluations; warm = warm_start <> None }))
+      (donor_preferences jobs)
+  in
+  (* deterministic assembly: await and aggregate in schedule order *)
   let cache : (Spec.job, Synthesizer.solution) Hashtbl.t = Hashtbl.create 16 in
   let total_evals = ref 0 and cold = ref 0 and warm = ref 0 in
-  List.iteri
-    (fun i job ->
-      let req = Spec.stage_requirements spec job in
-      let warm_start =
-        match find_donor cache job with
-        | Some (_, donor) -> Some donor.Synthesizer.sizing
-        | None -> None
-      in
-      (match warm_start with Some _ -> incr warm | None -> incr cold);
-      (* best-of-N searches: attempt 0 is a deterministic pattern descent
-         from the analytic seed (smooth across jobs), later attempts add
-         annealing exploration; candidate margins in the figures are a
-         few percent, so a single stochastic run is too noisy. The
-         high-accuracy jobs (the GHz-class front stages) have the most
-         rugged landscapes, so they get proportionally more restarts. *)
-      let attempts = attempts + (2 * Stdlib.max 0 (job.Spec.input_bits - 11)) in
-      let runs =
-        List.init attempts (fun a ->
-            let s = seed + (i * 131) + (a * 7919) in
-            if a = 0 then
-              let det_budget =
-                { Synthesizer.sa_iterations = 0; pattern_evals = 500;
-                  space_factor = 1.0 }
-              in
-              Synthesizer.synthesize ~kind ~budget:det_budget ~seed:s
-                spec.Spec.process req
-            else
-              let sa_budget =
-                match budget with
-                | Some b -> b
-                | None ->
-                  (* anneal longer on the GHz-class jobs: their good
-                     basins are rare *)
-                  let depth = 400 + (250 * Stdlib.max 0 (job.Spec.input_bits - 11)) in
-                  { Synthesizer.sa_iterations = depth; pattern_evals = 200;
-                    space_factor = 1.0 }
-              in
-              Synthesizer.synthesize ~kind ~budget:sa_budget ~seed:s ?warm_start
-                spec.Spec.process req)
-      in
-      let best =
-        List.fold_left
-          (fun acc r ->
-            match r with
-            | Error _ -> acc
-            | Ok sol ->
-              total_evals := !total_evals + sol.Synthesizer.evaluations;
-              (match acc with None -> Some sol | Some b -> Some (better b sol)))
-          None runs
-      in
-      match best with
+  List.iter2
+    (fun job fut ->
+      let outcome = Future.await fut in
+      total_evals := !total_evals + outcome.evaluations;
+      if outcome.warm then incr warm else incr cold;
+      match outcome.solution with
       | Some sol -> Hashtbl.replace cache job sol
       | None ->
         Logs.warn (fun m -> m "synthesis of %s failed" (Spec.job_to_string job)))
-    jobs;
+    jobs futures;
   (cache, !total_evals, !cold, !warm)
 
 let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
-    (spec : Spec.t) =
+    ?(jobs = 1) (spec : Spec.t) =
+  let t_start = Unix.gettimeofday () in
   let candidates =
     match candidates with
     | Some cs -> cs
     | None -> Config.enumerate_leading ~k:spec.Spec.k ~backend_bits:(Spec.backend_bits spec)
   in
   if candidates = [] then invalid_arg "Optimize.run: no candidates";
-  let jobs = Spec.distinct_jobs spec candidates in
+  (* hoist the per-candidate job lists: the synthesis work list and the
+     per-candidate assembly below must derive from the same translation,
+     or the two phases could disagree *)
+  let candidate_jobs =
+    List.map (fun c -> (c, Spec.jobs_of_config spec c)) candidates
+  in
+  let distinct_jobs =
+    candidate_jobs |> List.concat_map snd |> List.sort_uniq Spec.compare_job
+  in
+  let domains = if mode = `Equation then 1 else Stdlib.max 1 jobs in
   let cache, synthesis_evaluations, cold_jobs, warm_jobs =
     match mode with
     | `Equation -> (Hashtbl.create 1, 0, 0, 0)
     | `Hybrid | `Hybrid_verified ->
-      synthesize_jobs spec ~mode ~seed ~attempts ~budget jobs
+      Pool.with_pool ~size:domains (fun pool ->
+          synthesize_jobs spec ~mode ~seed ~attempts ~budget ~pool distinct_jobs)
   in
   let stage_result index (job : Spec.job) =
     let p_comparator = Spec.comparator_power spec ~m:job.Spec.m in
@@ -176,14 +259,12 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
         }
     end
   in
-  let eval_config c =
-    let stages =
-      List.mapi (fun i job -> stage_result (i + 1) job) (Spec.jobs_of_config spec c)
-    in
+  let eval_config (c, c_jobs) =
+    let stages = List.mapi (fun i job -> stage_result (i + 1) job) c_jobs in
     let p_total = List.fold_left (fun acc s -> acc +. s.p_stage) 0.0 stages in
     let all_feasible =
       List.for_all
-        (fun s ->
+        (fun (s : stage_result) ->
           match s.solution with
           | Some sol -> sol.Synthesizer.feasible
           | None -> mode = `Equation)
@@ -192,7 +273,7 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     { config = c; stages; p_total; all_feasible }
   in
   let results =
-    candidates |> List.map eval_config
+    candidate_jobs |> List.map eval_config
     |> List.sort (fun a b -> compare a.p_total b.p_total)
   in
   let optimum = List.hd results in
@@ -201,10 +282,12 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     mode;
     candidates = results;
     optimum;
-    distinct_jobs = jobs;
+    distinct_jobs;
     synthesis_evaluations;
     cold_jobs;
     warm_jobs;
+    domains;
+    wall_time_s = Unix.gettimeofday () -. t_start;
   }
 
 let optimum_config r = r.optimum.config

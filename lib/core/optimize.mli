@@ -2,45 +2,98 @@
     every distinct MDAC once, assemble stage and total powers, pick the
     winner.
 
-    Modes select the evaluation depth:
-    - [`Equation]: closed-form power only (seconds; the screening pass);
-    - [`Hybrid]: full cell synthesis per distinct job with the
-      simulation-backed hybrid evaluator (the paper's flow);
-    - [`Hybrid_verified]: hybrid plus a final transient settling check
-      per job.
+    {1:modes Evaluation modes}
 
-    Synthesis results are cached by job identity and reused across
-    candidates; jobs are processed hardest-first and each one warm-starts
-    from the most similar already-synthesized job (the paper's
-    "retargeting" effect). *)
+    [mode] selects how much physics backs each per-stage power number:
+
+    - [`Equation] — closed-form power model only ({!Power_model.stage}).
+      Deterministic, microseconds per run; this is the screening pass the
+      paper's Section 2 system level corresponds to. No synthesis is
+      performed: every {!stage_result.solution} is [None] and the
+      synthesis counters of {!run} are zero.
+    - [`Hybrid] — every distinct MDAC job is synthesized at transistor
+      level with the simulation-backed hybrid evaluator (DC solve →
+      small-signal extraction → DPI/SFG + Mason transfer function →
+      constraint-penalized annealing and pattern search). This is the
+      paper's flow; expect seconds per job.
+    - [`Hybrid_verified] — [`Hybrid] plus a final transient
+      switched-capacitor settling simulation of each winning cell (the
+      "trustworthy large-swing" leg of the paper's evaluator).
+
+    {1 The shared MDAC result cache}
+
+    Candidates overlap heavily in the MDAC jobs they need (the paper's
+    "11 MDACs for 7 configurations" effect), so synthesis results are
+    cached by job identity — ({!Spec.job.m}, {!Spec.job.input_bits}) —
+    and shared across candidates. The cache is an
+    {!Adc_exec.Memo} promise cache: each distinct job is synthesized
+    exactly once even when evaluations race on several domains, and a
+    candidate assembling its stage table blocks only on the jobs it
+    actually uses.
+
+    {1 Warm-start retargeting}
+
+    Jobs are scheduled hardest-first (descending input accuracy, then
+    descending stage resolution). Each job warm-starts from the best
+    already-scheduled donor with the same stage resolution and an
+    accuracy within one bit — the paper's "retargeting" effect ("2-3
+    weeks for the first block, 1 day for subsequent blocks"). Donor
+    choice is a pure function of the schedule, {e not} of completion
+    order: a parallel run picks exactly the donors a sequential run
+    would, which is the key determinism guarantee (see
+    [docs/PARALLELISM.md]).
+
+    {1 Parallelism and reproducibility}
+
+    [run ~jobs:n] evaluates the synthesis work list on a pool of [n]
+    OCaml 5 domains ({!Adc_exec.Pool}). Every stochastic search draws
+    from a private generator seeded by [Rng.mix] of the top-level [seed],
+    the job identity, and the restart index — never from a shared stream —
+    so for any [n]:
+
+    - the ranking, the optimum, and every per-stage power are bit-equal
+      to the [jobs:1] run;
+    - {!run.synthesis_evaluations}, {!run.cold_jobs} and
+      {!run.warm_jobs} are identical;
+    - only {!run.wall_time_s} changes. *)
 
 type mode = [ `Equation | `Hybrid | `Hybrid_verified ]
 
 type stage_result = {
-  index : int;
-  job : Spec.job;
-  p_mdac : float;
-  p_comparator : float;
-  p_stage : float;
-  solution : Adc_synth.Synthesizer.solution option; (** None in `Equation mode *)
+  index : int;             (** 1-based position in the pipeline *)
+  job : Spec.job;          (** the cache key this stage resolved to *)
+  p_mdac : float;          (** synthesized (or modeled) MDAC power, W *)
+  p_comparator : float;    (** sub-ADC power under the spec calibration *)
+  p_stage : float;         (** [p_mdac + p_comparator + fixed overhead] *)
+  solution : Adc_synth.Synthesizer.solution option;
+      (** the synthesized cell behind [p_mdac]; [None] in [`Equation]
+          mode or when every synthesis attempt for the job failed (the
+          stage then falls back to the equation power model so the
+          candidate comparison stays total) *)
 }
 
 type config_result = {
   config : Config.t;
-  stages : stage_result list;
-  p_total : float;
+  stages : stage_result list;   (** leading stages, front to back *)
+  p_total : float;              (** sum of [p_stage] over the stages *)
   all_feasible : bool;
+      (** every stage's synthesized cell met all constraints; always
+          [true] in [`Equation] mode *)
 }
 
 type run = {
   spec : Spec.t;
   mode : mode;
   candidates : config_result list;  (** sorted by ascending total power *)
-  optimum : config_result;
+  optimum : config_result;          (** head of [candidates] *)
   distinct_jobs : Spec.job list;
+      (** the de-duplicated synthesis work list, hardest-first — the
+          order jobs were scheduled in *)
   synthesis_evaluations : int;      (** total evaluator calls across jobs *)
-  cold_jobs : int;
-  warm_jobs : int;
+  cold_jobs : int;  (** jobs synthesized from the analytic seed *)
+  warm_jobs : int;  (** jobs warm-started from a donor's sizing *)
+  domains : int;    (** pool size the synthesis phase actually used *)
+  wall_time_s : float;  (** wall-clock time of the whole run *)
 }
 
 val run :
@@ -49,12 +102,36 @@ val run :
   ?attempts:int ->
   ?budget:Adc_synth.Synthesizer.budget ->
   ?candidates:Config.t list ->
+  ?jobs:int ->
   Spec.t ->
   run
-(** Optimize one converter spec. [candidates] defaults to the paper's
-    enumeration with a 7-bit backend. [attempts] independent searches are
-    run per distinct job and the best feasible solution kept (default 2 —
-    single annealing runs are noisier than the few-percent candidate
-    margins the figures resolve). *)
+(** Optimize one converter spec.
+
+    - [mode] (default [`Hybrid]) — see {!section-modes} above.
+    - [seed] (default 11) — root of every derived per-job stream.
+    - [attempts] (default 3) — independent searches per distinct job,
+      best solution kept; single annealing runs are noisier than the
+      few-percent candidate margins the figures resolve. Jobs above 11
+      input bits get two extra attempts per bit (their good basins are
+      rare).
+    - [budget] — overrides the per-attempt annealing budget (used by the
+      tests to keep hybrid runs fast); attempt 0 always runs the
+      deterministic pattern-descent budget instead.
+    - [candidates] — defaults to the paper's enumeration with a 7-bit
+      backend ({!Config.enumerate_leading}).
+    - [jobs] (default 1, i.e. sequential) — number of domains for the
+      synthesis phase. Results are independent of [jobs]; pass
+      {!Adc_exec.Pool.recommended_size}[ ()] to use the hardware. Ignored
+      in [`Equation] mode, which has no synthesis phase. *)
 
 val optimum_config : run -> Config.t
+(** [optimum_config r] is [r.optimum.config]. *)
+
+val better :
+  Adc_synth.Synthesizer.solution ->
+  Adc_synth.Synthesizer.solution ->
+  Adc_synth.Synthesizer.solution
+(** The solution order used to keep the best of several attempts:
+    feasible beats infeasible, then lower power among feasible, lower
+    total violation among infeasible. Exposed for callers running their
+    own restart loops (e.g. the CLI's [synth --attempts]). *)

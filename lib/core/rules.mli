@@ -23,9 +23,11 @@ type chart = {
 
 val sweep :
   ?mode:Optimize.mode -> ?seed:int -> ?budget:Adc_synth.Synthesizer.budget ->
+  ?jobs:int ->
   k_values:int list -> (k:int -> Spec.t) -> chart
 (** Run the optimizer for each resolution and condense the optima into
-    rules. *)
+    rules. [jobs] is forwarded to {!Optimize.run} (domain count for the
+    synthesis phase; the derived rules are independent of it). *)
 
 val render : chart -> string
 (** Multi-line text block (the repo's Fig. 3). *)

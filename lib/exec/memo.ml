@@ -1,0 +1,37 @@
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  table : ('k, 'v Future.t) Hashtbl.t;
+}
+
+let create ?(initial_size = 16) () =
+  { mutex = Mutex.create (); table = Hashtbl.create initial_size }
+
+let find_or_run t pool key compute =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some fut ->
+    Mutex.unlock t.mutex;
+    fut
+  | None ->
+    (* install the promise before releasing the lock so a racing request
+       for the same key finds it; run the computation outside the lock *)
+    let fut = Future.create () in
+    Hashtbl.add t.table key fut;
+    Mutex.unlock t.mutex;
+    Pool.async pool (fun () ->
+        match compute key with
+        | v -> Future.resolve fut v
+        | exception e -> Future.fail fut e);
+    fut
+
+let find t key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  r
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,38 @@
+(** A mutex-protected, promise-keyed result cache over a {!Pool}.
+
+    [Memo] is the dedup layer of the parallel hybrid flow: when several
+    candidates need the same MDAC job, the {e first} request atomically
+    installs a pending {!Future} under the job key and schedules the
+    computation; every later request — from any domain, at any time —
+    receives that same future and simply awaits it. Each distinct key is
+    therefore computed exactly once, even when two requesters race, and
+    the cache never blocks a requester while a computation runs (the
+    critical section covers only the hash-table probe/insert).
+
+    Values are published through futures rather than stored raw so that a
+    requester arriving {e during} the computation has something to wait
+    on; a failed computation fails the future, and the failure is cached
+    (no automatic retry — retrying a deterministic synthesis would return
+    the same failure at full cost). *)
+
+type ('k, 'v) t
+(** A cache from keys ['k] to futures of ['v]. Keys are compared with the
+    polymorphic hash/equality of [Hashtbl]. *)
+
+val create : ?initial_size:int -> unit -> ('k, 'v) t
+(** [create ()] is an empty cache. [initial_size] (default 16) sizes the
+    underlying hash table. *)
+
+val find_or_run : ('k, 'v) t -> Pool.t -> 'k -> ('k -> 'v) -> 'v Future.t
+(** [find_or_run t pool key compute] returns the future for [key],
+    scheduling [compute key] on [pool] if and only if this is the first
+    request for [key]. The install-then-schedule step is atomic with
+    respect to concurrent callers. On a size-1 pool the first call
+    computes inline and returns an already-settled future. *)
+
+val find : ('k, 'v) t -> 'k -> 'v Future.t option
+(** [find t key] is the future installed for [key], if any — without
+    scheduling anything. *)
+
+val length : ('k, 'v) t -> int
+(** Number of distinct keys ever requested (pending ones included). *)

@@ -1,0 +1,112 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  wakeup : Condition.t;       (* signalled on enqueue and on close *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_size () = Domain.recommended_domain_count ()
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec take () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        Some task
+      | None ->
+        if t.closed then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          Condition.wait t.wakeup t.mutex;
+          take ()
+        end
+    in
+    match take () with
+    | None -> ()
+    | Some task ->
+      (* side-effect tasks publish their own results; a stray exception
+         here must not kill the worker domain *)
+      (try task ()
+       with e ->
+         Printf.eprintf "adc_exec worker: uncaught %s\n%!" (Printexc.to_string e));
+      next ()
+  in
+  next ()
+
+let create ?size () =
+  let size =
+    match size with Some n -> Stdlib.max 1 n | None -> recommended_size ()
+  in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let async t task =
+  if t.size <= 1 then begin
+    if t.closed then invalid_arg "Pool.async: pool is shut down";
+    (try task ()
+     with e ->
+       Printf.eprintf "adc_exec inline: uncaught %s\n%!" (Printexc.to_string e))
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.async: pool is shut down"
+    end;
+    Queue.add task t.queue;
+    Condition.signal t.wakeup;
+    Mutex.unlock t.mutex
+  end
+
+let submit t f =
+  let fut = Future.create () in
+  async t (fun () ->
+      match f () with
+      | v -> Future.resolve fut v
+      | exception e -> Future.fail fut e);
+  fut
+
+let map_ordered t f xs =
+  let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
+  (* settle everything before raising, so a failure cannot abandon
+     in-flight siblings that capture shared state *)
+  let settled =
+    List.map
+      (fun fut -> match Future.await fut with v -> Ok v | exception e -> Error e)
+      futures
+  in
+  List.map (function Ok v -> v | Error e -> raise e) settled
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.wakeup;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+  else t.closed <- true
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

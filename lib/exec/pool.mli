@@ -1,0 +1,67 @@
+(** A fixed-size pool of OCaml 5 domains draining one FIFO work queue.
+
+    The pool is the only place the library spawns domains. Tasks are
+    submitted as thunks and their results published through {!Future}s;
+    submission order equals dequeue order (single FIFO queue), which is
+    what makes the dependency chains built by [Optimize.run] deadlock-free:
+    a task may await the future of any {e earlier-submitted} task, because
+    that task has necessarily been dequeued first (see
+    [docs/PARALLELISM.md]).
+
+    {2 Sequential fallback}
+
+    A pool of size 1 spawns no domains at all: {!submit} and {!async} run
+    the thunk inline on the calling domain before returning. This is the
+    graceful degradation path for single-core hosts
+    ([recommended_size () = 1]) and for [--jobs 1], and it guarantees that
+    the sequential and parallel code paths share one implementation. *)
+
+type t
+(** A pool handle. Pools are cheap for [size = 1] (no domains); larger
+    pools hold [size] spawned domains until {!shutdown}. *)
+
+val recommended_size : unit -> int
+(** [recommended_size ()] is [Domain.recommended_domain_count ()] — the
+    runtime's estimate of how many domains this host runs efficiently
+    (1 on a single-core container, so the default degrades to the
+    sequential inline path). *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] builds a pool with [size] execution slots: [size]
+    worker domains when [size > 1], or pure inline execution on the
+    caller's domain when [size = 1]. [size] defaults to
+    {!recommended_size}[ ()] and is clamped to at least 1.
+
+    Sizes above [recommended_size ()] are allowed (useful for testing the
+    parallel machinery on small hosts) — they oversubscribe cores but stay
+    correct. *)
+
+val size : t -> int
+(** Number of execution slots ([1] means inline sequential execution). *)
+
+val submit : t -> (unit -> 'a) -> 'a Future.t
+(** [submit t f] schedules [f] and returns the future of its result.
+    Exceptions raised by [f] are captured and re-raised at
+    {!Future.await}. On a size-1 pool, [f] runs to completion inline and
+    the returned future is already settled. *)
+
+val async : t -> (unit -> unit) -> unit
+(** [async t f] schedules [f] for its side effects only (no future).
+    Used by {!Memo}, which installs its own future before submission.
+    Exceptions escaping [f] on a worker are swallowed after being logged
+    to [stderr] — side-effect tasks must do their own error publishing. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered t f xs] evaluates [f] on every element of [xs] on the
+    pool and returns the results {e in the order of [xs]}, regardless of
+    completion order. The first exception (in list order) is re-raised
+    after all tasks have settled, so no task is abandoned mid-flight. *)
+
+val shutdown : t -> unit
+(** [shutdown t] waits for the queue to drain, stops the workers, and
+    joins their domains. Idempotent. Submitting after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] over a fresh pool and guarantees
+    {!shutdown} on exit, including on exceptions. *)

@@ -9,6 +9,18 @@ let splitmix_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let mix seed salt =
+  let state =
+    ref
+      (Int64.logxor
+         (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+         (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L))
+  in
+  (* two splitmix rounds decorrelate even adjacent (seed, salt) pairs;
+     mask to 62 bits so the result is a non-negative OCaml int *)
+  ignore (splitmix_next state);
+  Int64.to_int (Int64.logand (splitmix_next state) 0x3FFFFFFFFFFFFFFFL)
+
 let create seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix_next state in

@@ -11,6 +11,14 @@ type t
 val create : int -> t
 (** [create seed] builds a generator deterministically from [seed]. *)
 
+val mix : int -> int -> int
+(** [mix seed salt] derives a new non-negative seed from [seed] and a
+    [salt], with splitmix64 finalization so that adjacent salts yield
+    decorrelated streams. This is how concurrent components obtain
+    per-identity seeds (e.g. per MDAC job, per restart attempt) that do
+    not depend on any global draw order — the basis of reproducible
+    parallel runs. *)
+
 val split : t -> t
 (** [split t] derives an independent generator stream from [t], advancing
     [t]. Used to give sub-components their own streams. *)

@@ -196,7 +196,9 @@ let test_hybrid_mode_smoke () =
   (* smallest hybrid run: an 8-bit converter has a single 2-bit leading
      stage, so the whole synthesis loop runs once *)
   let run =
-    Optimize.run ~mode:`Hybrid ~seed:3 ~attempts:1
+    (* attempts:2 = the deterministic pattern descent plus one annealing
+       attempt (an explicit budget caps the descent attempt as well) *)
+    Optimize.run ~mode:`Hybrid ~seed:3 ~attempts:2
       ~budget:{ Adc_synth.Synthesizer.sa_iterations = 40; pattern_evals = 60; space_factor = 1.0 }
       (Spec.paper_case ~k:8)
   in
