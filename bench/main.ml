@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- fig3      -- optimum-candidate rules (Fig. 3)
      dune exec bench/main.exe -- retarget  -- cold-vs-warm synthesis (setup-time table)
      dune exec bench/main.exe -- ablation  -- hybrid vs equation-only evaluation
+     dune exec bench/main.exe -- overhead  -- tracing cost on/memory/file
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
 
    The Bechamel group holds one Test.make per table/figure pipeline (on
@@ -26,6 +27,7 @@ module Synthesizer = Adc_synth.Synthesizer
 module Gp_model = Adc_baseline.Gp_model
 module Classic = Adc_baseline.Classic
 module Units = Adc_numerics.Units
+module Obs = Adc_obs
 
 let line = String.make 72 '-'
 let header title = Printf.printf "%s\n%s\n%s\n" line title line
@@ -38,25 +40,43 @@ let header title = Printf.printf "%s\n%s\n%s\n" line title line
 let jobs_requested = ref (Adc_exec.Pool.recommended_size ())
 let run_records : string list ref = ref []
 
-let record_run label (r : Optimize.run) =
+(* per-job timing rows, rendered from the "optimize.job" spans of the
+   run's trace (a memory sink, drained run by run) *)
+let attr name (e : Obs.Sink.event) = List.assoc_opt name e.Obs.Sink.attrs
+
+let job_row (e : Obs.Sink.event) =
+  let job = match attr "job" e with Some (Obs.Sink.String s) -> s | _ -> "?" in
+  let evals = match attr "evaluations" e with Some (Obs.Sink.Int n) -> n | _ -> 0 in
+  let warm = match attr "warm" e with Some (Obs.Sink.Bool b) -> b | _ -> false in
+  Printf.sprintf "{\"job\": %S, \"ms\": %.3f, \"evaluations\": %d, \"warm\": %b}"
+    job (Obs.Clock.ns_to_ms e.Obs.Sink.dur_ns) evals warm
+
+let record_run ?(job_spans = []) label (r : Optimize.run) =
   let mode =
     match r.Optimize.mode with
     | `Equation -> "equation"
     | `Hybrid -> "hybrid"
     | `Hybrid_verified -> "hybrid_verified"
   in
+  let jobs_field =
+    match job_spans with
+    | [] -> ""
+    | spans ->
+      Printf.sprintf ", \"jobs\": [%s]" (String.concat ", " (List.map job_row spans))
+  in
   let json =
     Printf.sprintf
       "  {\"label\": %S, \"k\": %d, \"mode\": %S, \"domains\": %d, \
        \"wall_s\": %.3f, \"evaluator_calls\": %d, \"distinct_jobs\": %d, \
        \"cold_jobs\": %d, \"warm_jobs\": %d, \"optimum\": %S, \
-       \"p_total_w\": %.6g}"
+       \"p_total_w\": %.6g%s}"
       label r.Optimize.spec.Spec.k mode r.Optimize.domains
       r.Optimize.wall_time_s r.Optimize.synthesis_evaluations
       (List.length r.Optimize.distinct_jobs)
       r.Optimize.cold_jobs r.Optimize.warm_jobs
       (Config.to_string (Optimize.optimum_config r))
       r.Optimize.optimum.Optimize.p_total
+      jobs_field
   in
   run_records := json :: !run_records
 
@@ -80,16 +100,23 @@ let hybrid_run k =
   match Hashtbl.find_opt hybrid_runs k with
   | Some r -> r
   | None ->
+    (* a memory sink per run gives structured per-job spans for the
+       summary without a JSON re-parse *)
+    let obs = Obs.in_memory () in
     let r =
-      Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 ~jobs:!jobs_requested
+      Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 ~jobs:!jobs_requested ~obs
         (Spec.paper_case ~k)
+    in
+    let job_spans =
+      Obs.Sink.drain obs.Obs.sink
+      |> List.filter (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = "optimize.job")
     in
     Printf.printf
       "[hybrid %d-bit: %d distinct MDACs, %d evaluations, %.0f s on %d domain(s)]\n%!"
       k
       (List.length r.Optimize.distinct_jobs)
       r.Optimize.synthesis_evaluations r.Optimize.wall_time_s r.Optimize.domains;
-    record_run (Printf.sprintf "hybrid-%dbit" k) r;
+    record_run ~job_spans (Printf.sprintf "hybrid-%dbit" k) r;
     Hashtbl.replace hybrid_runs k r;
     r
 
@@ -319,6 +346,47 @@ let behavioral_check () =
     d.Metrics.enob d.Metrics.sndr_db s.Metrics.dnl_max s.Metrics.inl_max
 
 (* ------------------------------------------------------------------ *)
+(* observability overhead: the same equation-mode optimizer run with
+   tracing off, in-memory, and against a real JSONL file — the numbers
+   quoted in docs/OBSERVABILITY.md *)
+
+let overhead () =
+  header "Observability overhead (equation-mode 13-bit optimize, 23 spans/run)";
+  let spec = Spec.paper_case ~k:13 in
+  let time_one label f =
+    let n = 300 in
+    (* warm-up round keeps the first-run allocation out of the average *)
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let per_run = (Unix.gettimeofday () -. t0) /. float_of_int n in
+    Printf.printf "  %-28s %8.1f us/run\n%!" label (per_run *. 1e6);
+    per_run
+  in
+  let off = time_one "tracing off (Obs.null)" (fun () ->
+      ignore (Optimize.run ~mode:`Equation spec))
+  in
+  let mem = time_one "memory sink + metrics" (fun () ->
+      let obs = Obs.in_memory () in
+      ignore (Optimize.run ~mode:`Equation ~obs spec);
+      ignore (Obs.Sink.drain obs.Obs.sink))
+  in
+  let path = Filename.temp_file "adc_obs_bench" ".jsonl" in
+  let file = time_one "JSONL file sink" (fun () ->
+      let obs = Obs.create ~trace:path ()  in
+      ignore (Optimize.run ~mode:`Equation ~obs spec);
+      Obs.close obs)
+  in
+  Sys.remove path;
+  Printf.printf
+    "  memory sink adds %.1f%%, the file sink %.1f%% to an equation-mode run\n\
+     (hybrid runs spend seconds per span, so the relative cost vanishes)\n\n"
+    (100.0 *. ((mem /. off) -. 1.0))
+    (100.0 *. ((file /. off) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure pipeline *)
 
 let micro () =
@@ -405,6 +473,7 @@ let () =
   | "retarget" -> retarget ()
   | "ablation" -> ablation ()
   | "extensions" -> extensions ()
+  | "overhead" -> overhead ()
   | "micro" -> micro ()
   | "fast" ->
     fig1 ~hybrid:false ();
@@ -422,5 +491,5 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|micro|fast|all)\n" other;
+      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|fast|all)\n" other;
     exit 1

@@ -56,6 +56,33 @@ let jobs_arg =
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL span trace of the run to $(docv) (one JSON object per \
+     line; see docs/OBSERVABILITY.md for the schema). Tracing never \
+     perturbs the synthesis RNG streams: results are bit-identical with \
+     and without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect counters/gauges/histograms (evaluator calls, memo hit/miss, \
+     pool queue latency, per-domain utilization) and print them after the \
+     run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* build the observability context for one command invocation; callers
+   must [finish_obs] it so the trace file is flushed and the metrics
+   table printed *)
+let obs_of trace metrics = Adc_obs.create ?trace ~metrics ()
+
+let finish_obs (obs : Adc_obs.t) =
+  if Adc_obs.Metrics.enabled obs.Adc_obs.metrics then
+    print_string (Adc_obs.Metrics.render obs.Adc_obs.metrics);
+  Adc_obs.close obs
+
 (* 0 = auto-detect; the pool itself clamps to >= 1 *)
 let resolve_jobs n = if n <= 0 then Pool.recommended_size () else n
 
@@ -81,9 +108,10 @@ let enumerate_cmd =
 (* ------------------------------------------------------------------ *)
 (* optimize *)
 
-let optimize k fs mode seed attempts jobs =
+let optimize k fs mode seed attempts jobs trace metrics =
   let spec = spec_of k fs in
-  let run = Optimize.run ~mode ~seed ~attempts ~jobs:(resolve_jobs jobs) spec in
+  let obs = obs_of trace metrics in
+  let run = Optimize.run ~mode ~seed ~attempts ~jobs:(resolve_jobs jobs) ~obs spec in
   print_string (Report.candidate_summary run);
   print_string (Report.fig1_table run);
   (match mode with
@@ -103,22 +131,24 @@ let optimize k fs mode seed attempts jobs =
     "full converter (equation model): %s = S/H %s + front stages + %d-stage backend\n"
     (Units.format_power full.Adc_pipeline.Power_model.p_full)
     (Units.format_power full.Adc_pipeline.Power_model.p_sha)
-    (List.length full.Adc_pipeline.Power_model.backend)
+    (List.length full.Adc_pipeline.Power_model.backend);
+  finish_obs obs
 
 let optimize_cmd =
   let doc = "Run the topology optimization for one converter spec." in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep k_lo k_hi fs mode seed attempts jobs =
+let sweep k_lo k_hi fs mode seed attempts jobs trace metrics =
   let jobs = resolve_jobs jobs in
+  let obs = obs_of trace metrics in
   let ks = List.init (k_hi - k_lo + 1) (fun i -> k_lo + i) in
   let runs =
-    List.map (fun k -> Optimize.run ~mode ~seed ~attempts ~jobs (spec_of k fs)) ks
+    List.map (fun k -> Optimize.run ~mode ~seed ~attempts ~jobs ~obs (spec_of k fs)) ks
   in
   print_string (Report.fig2_table runs);
   (match mode with
@@ -132,9 +162,10 @@ let sweep k_lo k_hi fs mode seed attempts jobs =
           r.Optimize.wall_time_s r.Optimize.domains)
       runs);
   let chart =
-    Rules.sweep ~mode ~seed ~jobs ~k_values:ks (fun ~k -> spec_of k fs)
+    Rules.sweep ~mode ~seed ~jobs ~obs ~k_values:ks (fun ~k -> spec_of k fs)
   in
-  print_string (Rules.render chart)
+  print_string (Rules.render chart);
+  finish_obs obs
 
 let k_lo_arg =
   Arg.(value & opt int 10 & info [ "from" ] ~docv:"BITS" ~doc:"Lowest resolution.")
@@ -146,13 +177,14 @@ let sweep_cmd =
   let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg
-          $ attempts_arg $ jobs_arg)
+          $ attempts_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth: one MDAC job *)
 
-let synth m bits fs seed attempts jobs =
+let synth m bits fs seed attempts jobs trace metrics =
   let spec = spec_of 13 fs in
+  let obs = obs_of trace metrics in
   let job = { Spec.m; input_bits = bits } in
   let req = Spec.stage_requirements spec job in
   Printf.printf "MDAC job %s block specs:\n" (Spec.job_to_string job);
@@ -170,10 +202,10 @@ let synth m bits fs seed attempts jobs =
      the same for every --jobs value *)
   let t0 = Unix.gettimeofday () in
   let restarts =
-    Pool.with_pool ~size:(resolve_jobs jobs) (fun pool ->
+    Pool.with_pool ~obs ~size:(resolve_jobs jobs) (fun pool ->
         Pool.map_ordered pool
           (fun a ->
-            Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a)
+            Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a) ~obs
               spec.Spec.process req)
           (List.init (Stdlib.max 1 attempts) Fun.id))
   in
@@ -192,7 +224,7 @@ let synth m bits fs seed attempts jobs =
         | _, Error _ -> acc)
       None restarts
   in
-  match best with
+  (match best with
   | None -> Printf.eprintf "synthesis failed on all %d attempts\n" attempts
   | Some sol ->
     Printf.printf
@@ -201,7 +233,8 @@ let synth m bits fs seed attempts jobs =
       (if sol.Synthesizer.feasible then "all specs met"
        else Printf.sprintf "violation %.3f" sol.Synthesizer.violation)
       attempts evaluations elapsed;
-    List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics
+    List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics);
+  finish_obs obs
 
 let m_arg =
   Arg.(value & opt int 3 & info [ "m" ] ~docv:"BITS" ~doc:"Stage resolution (2-4).")
@@ -213,7 +246,7 @@ let synth_cmd =
   let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg $ attempts_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* behavioral *)
@@ -277,8 +310,13 @@ let montecarlo k fs config_str trials seed =
     | Some s -> Config.of_string s
     | None -> Optimize.optimum_config (Optimize.run ~mode:`Equation spec)
   in
+  (* the redundancy budget is set by the front stage actually being
+     swept, not a fixed 3-bit assumption *)
+  let m_front =
+    match config with m :: _ -> m | [] -> invalid_arg "empty configuration"
+  in
   let budget =
-    Adc_mdac.Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:3
+    Adc_mdac.Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:m_front
   in
   Printf.printf
     "Monte-Carlo yield of the %d-bit %s pipeline vs comparator offsets\n\

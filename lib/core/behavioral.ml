@@ -17,7 +17,12 @@ let ideal_impairment ~m =
     noise_rms = 0.0;
   }
 
-type stage = { m : int; imp : stage_impairment }
+(* offsets_norm caches the comparator offsets divided by vref_pp/2: the
+   flash decision runs once per stage per input sample, and
+   re-normalizing the whole offset array there dominated Monte-Carlo FFT
+   runs. Derived from [imp.offsets] at construction — the two must stay
+   consistent, so stages are only built through [make_stage]. *)
+type stage = { m : int; imp : stage_impairment; offsets_norm : float array }
 
 type t = {
   k : int;
@@ -25,6 +30,9 @@ type t = {
   stages : stage list;
   backend_bits : int;
 }
+
+let make_stage ~vref_pp m imp =
+  { m; imp; offsets_norm = Array.map (fun o -> o /. (vref_pp /. 2.0)) imp.offsets }
 
 let create ?backend_bits (spec : Spec.t) config imps =
   if List.length config <> List.length imps then
@@ -43,7 +51,9 @@ let create ?backend_bits (spec : Spec.t) config imps =
   {
     k = spec.Spec.k;
     vref_pp = spec.Spec.vref_pp;
-    stages = List.map2 (fun m imp -> { m; imp }) config imps;
+    stages =
+      List.map2 (fun m imp -> make_stage ~vref_pp:spec.Spec.vref_pp m imp)
+        config imps;
     backend_bits;
   }
 
@@ -84,7 +94,7 @@ let with_random_offsets rng ~sigma t =
           let offsets =
             Array.map (fun _ -> Rng.gaussian_scaled rng ~mean:0.0 ~sigma) st.imp.offsets
           in
-          { st with imp = { st.imp with offsets } })
+          make_stage ~vref_pp:t.vref_pp st.m { st.imp with offsets })
         t.stages;
   }
 
@@ -92,11 +102,8 @@ let n_codes t = 1 lsl t.k
 let full_scale_pp t = t.vref_pp
 
 (* All arithmetic in normalized coordinates x in [-1, 1]. *)
-let flash_code t (st : stage) x =
-  let offsets_norm =
-    Array.map (fun o -> o /. (t.vref_pp /. 2.0)) st.imp.offsets
-  in
-  (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m:st.m ~offsets:offsets_norm x).Comparator.code
+let flash_code _t (st : stage) x =
+  (Comparator.decide ~vref_pp:2.0 ~vcm:0.0 ~m:st.m ~offsets:st.offsets_norm x).Comparator.code
 
 let dac_value st code =
   let n = (1 lsl st.m) - 2 in

@@ -1,6 +1,7 @@
 module Rng = Adc_numerics.Rng
 module Stats = Adc_numerics.Stats
 module Comparator = Adc_mdac.Comparator
+module Obs = Adc_obs
 
 type trial_config = {
   offset_sigma : float;
@@ -9,8 +10,15 @@ type trial_config = {
   n_fft : int;
 }
 
-let default_trials (spec : Spec.t) =
-  let budget = Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:3 in
+let default_trials (spec : Spec.t) (stage_config : Config.t) =
+  (* the redundancy budget that matters is the front stage's: its
+     comparators see the full-scale signal and the tightest thresholds *)
+  let m_front =
+    match stage_config with
+    | m :: _ -> m
+    | [] -> invalid_arg "Montecarlo.default_trials: empty stage config"
+  in
+  let budget = Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:m_front in
   {
     offset_sigma = budget /. 4.0;
     (* unit-cap sigma at the front array size, referred to the gain *)
@@ -50,26 +58,53 @@ let one_trial rng (config : trial_config) (spec : Spec.t) stage_ms =
   in
   d.Metrics.enob
 
-let run ?(trials = 100) ?config ~seed (spec : Spec.t) stage_config =
+let run ?(trials = 100) ?config ?(obs = Obs.null) ~seed (spec : Spec.t)
+    stage_config =
   if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
-  let config = match config with Some c -> c | None -> default_trials spec in
-  let rng = Rng.create seed in
-  let enobs = Array.init trials (fun _ -> one_trial rng config spec stage_config) in
+  let config =
+    match config with Some c -> c | None -> default_trials spec stage_config
+  in
+  let span = Obs.span obs ~name:"montecarlo.run" () in
+  (* one private stream per trial, seeded by the trial index alone (the
+     Optimize per-job convention): trial i draws the same impairments no
+     matter how — or in what order — the trials are evaluated. The
+     previous code shared one stream across an [Array.init], whose
+     unspecified evaluation order made reports seed-unstable. *)
+  let enobs = Array.make trials 0.0 in
+  for i = 0 to trials - 1 do
+    let rng = Rng.create (Rng.mix seed i) in
+    enobs.(i) <- one_trial rng config spec stage_config
+  done;
   let target = float_of_int spec.Spec.k -. config.enob_margin in
   let n_pass = Array.fold_left (fun a e -> if e >= target then a + 1 else a) 0 enobs in
   let lo, _ = Stats.min_max enobs in
-  {
-    n_trials = trials;
-    n_pass;
-    yield = float_of_int n_pass /. float_of_int trials;
-    enob_mean = Stats.mean enobs;
-    enob_min = lo;
-    enob_p05 = Stats.percentile enobs 5.0;
-  }
+  let report =
+    {
+      n_trials = trials;
+      n_pass;
+      yield = float_of_int n_pass /. float_of_int trials;
+      enob_mean = Stats.mean enobs;
+      enob_min = lo;
+      enob_p05 = Stats.percentile enobs 5.0;
+    }
+  in
+  Obs.Span.finish
+    ~attrs:
+      [
+        ("config", Obs.Sink.String (Config.to_string stage_config));
+        ("trials", Obs.Sink.Int trials);
+        ("n_fft", Obs.Sink.Int config.n_fft);
+        ("offset_sigma", Obs.Sink.Float config.offset_sigma);
+        ("yield", Obs.Sink.Float report.yield);
+        ("enob_mean", Obs.Sink.Float report.enob_mean);
+        ("enob_p05", Obs.Sink.Float report.enob_p05);
+      ]
+    span;
+  report
 
-let offset_sweep ?(trials = 60) ~seed spec stage_config ~sigmas =
+let offset_sweep ?(trials = 60) ?obs ~seed spec stage_config ~sigmas =
   List.map
     (fun sigma ->
-      let config = { (default_trials spec) with offset_sigma = sigma } in
-      (sigma, run ~trials ~config ~seed spec stage_config))
+      let config = { (default_trials spec stage_config) with offset_sigma = sigma } in
+      (sigma, run ~trials ~config ?obs ~seed spec stage_config))
     sigmas

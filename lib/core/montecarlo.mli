@@ -13,9 +13,11 @@ type trial_config = {
   n_fft : int;
 }
 
-val default_trials : Spec.t -> trial_config
-(** Offsets at a quarter of the m=3 redundancy budget, gain errors from
-    the process capacitor matching, 0.5-bit ENOB margin. *)
+val default_trials : Spec.t -> Config.t -> trial_config
+(** Offsets at a quarter of the redundancy budget of the configuration's
+    {e front} stage (whose comparators face the tightest thresholds),
+    gain errors from the process capacitor matching, 0.5-bit ENOB
+    margin. Raises [Invalid_argument] on an empty configuration. *)
 
 type report = {
   n_trials : int;
@@ -29,13 +31,21 @@ type report = {
 val run :
   ?trials:int ->
   ?config:trial_config ->
+  ?obs:Adc_obs.t ->
   seed:int ->
   Spec.t ->
   Config.t ->
   report
+(** Trial [i] draws from a private stream seeded by [Rng.mix seed i], so
+    a report is a pure function of [(trials, config, seed, spec,
+    stage_config)] — bit-identical across repeated runs, evaluation
+    orders and compiler versions. With a live [obs] trace sink each call
+    emits one [montecarlo.run] span carrying the trial count and the
+    yield summary. *)
 
 val offset_sweep :
   ?trials:int ->
+  ?obs:Adc_obs.t ->
   seed:int ->
   Spec.t ->
   Config.t ->

@@ -3,6 +3,7 @@ module Pool = Adc_exec.Pool
 module Memo = Adc_exec.Memo
 module Future = Adc_exec.Future
 module Rng = Adc_numerics.Rng
+module Obs = Adc_obs
 
 type mode = [ `Equation | `Hybrid | `Hybrid_verified ]
 
@@ -91,39 +92,48 @@ let donor_preferences jobs =
    solution (None if every attempt failed) and the evaluator calls
    consumed. *)
 let synthesize_one (spec : Spec.t) ~kind ~seed ~attempts ~budget ~warm_start
-    (job : Spec.job) =
+    ~obs ~job_span (job : Spec.job) =
   let req = Spec.stage_requirements spec job in
   let job_seed = Rng.mix seed (job_salt job) in
   let attempts = attempts_for ~attempts job in
   let runs =
     List.init attempts (fun a ->
         let s = Rng.mix job_seed a in
-        if a = 0 then
-          (* deterministic descent: no annealing, pattern search only.
-             An explicit budget override (tests, CI) caps this attempt
-             too; the default is a deep 500-evaluation descent *)
-          let det_budget =
-            match budget with
-            | Some b -> { b with Synthesizer.sa_iterations = 0 }
-            | None ->
-              { Synthesizer.sa_iterations = 0; pattern_evals = 500;
-                space_factor = 1.0 }
-          in
-          Synthesizer.synthesize ~kind ~budget:det_budget ~seed:s
-            spec.Spec.process req
-        else
-          let sa_budget =
-            match budget with
-            | Some b -> b
-            | None ->
-              (* anneal longer on the GHz-class jobs: their good basins
-                 are rare *)
-              let depth = 400 + (250 * Stdlib.max 0 (job.Spec.input_bits - 11)) in
-              { Synthesizer.sa_iterations = depth; pattern_evals = 200;
-                space_factor = 1.0 }
-          in
-          Synthesizer.synthesize ~kind ~budget:sa_budget ~seed:s ?warm_start
-            spec.Spec.process req)
+        let attempt_span =
+          Obs.span obs ~parent:job_span
+            ~name:(if a = 0 then "optimize.attempt.det" else "optimize.attempt.sa")
+            ()
+        in
+        let r =
+          if a = 0 then
+            (* deterministic descent: no annealing, pattern search only.
+               An explicit budget override (tests, CI) caps this attempt
+               too; the default is a deep 500-evaluation descent *)
+            let det_budget =
+              match budget with
+              | Some b -> { b with Synthesizer.sa_iterations = 0 }
+              | None ->
+                { Synthesizer.sa_iterations = 0; pattern_evals = 500;
+                  space_factor = 1.0 }
+            in
+            Synthesizer.synthesize ~kind ~budget:det_budget ~seed:s ~obs
+              ~span_parent:attempt_span spec.Spec.process req
+          else
+            let sa_budget =
+              match budget with
+              | Some b -> b
+              | None ->
+                (* anneal longer on the GHz-class jobs: their good basins
+                   are rare *)
+                let depth = 400 + (250 * Stdlib.max 0 (job.Spec.input_bits - 11)) in
+                { Synthesizer.sa_iterations = depth; pattern_evals = 200;
+                  space_factor = 1.0 }
+            in
+            Synthesizer.synthesize ~kind ~budget:sa_budget ~seed:s ?warm_start
+              ~obs ~span_parent:attempt_span spec.Spec.process req
+        in
+        Obs.Span.finish ~attrs:[ ("attempt", Obs.Sink.Int a) ] attempt_span;
+        r)
   in
   let evals = ref 0 in
   let best =
@@ -146,14 +156,49 @@ type job_outcome = {
   warm : bool;
 }
 
-let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool jobs =
+(* the trace record of one synthesized job: emitted from whichever
+   worker domain ran it, as a child of the run span. The attributes are
+   the same quantities the run's summary counters aggregate, so a trace
+   is a per-job decomposition of [synthesis_evaluations] /
+   [cold_jobs] / [warm_jobs] — summing the spans must reproduce the
+   counters exactly (test_obs checks this), which makes the trace a
+   correctness check on the parallel scheduler. *)
+let finish_job_span span (job : Spec.job) ~attempts ~(outcome : job_outcome) =
+  if Obs.Span.is_live span then begin
+    let open Obs.Sink in
+    let base =
+      [
+        ("job", String (Spec.job_to_string job));
+        ("m", Int job.Spec.m);
+        ("input_bits", Int job.Spec.input_bits);
+        ("attempts", Int (attempts_for ~attempts job));
+        ("evaluations", Int outcome.evaluations);
+        ("warm", Bool outcome.warm);
+        ("solved", Bool (Option.is_some outcome.solution));
+      ]
+    in
+    let attrs =
+      match outcome.solution with
+      | None -> base
+      | Some sol ->
+        base
+        @ [
+            ("best_power_w", Float sol.Synthesizer.power);
+            ("feasible", Bool sol.Synthesizer.feasible);
+          ]
+    in
+    Obs.Span.finish ~attrs span
+  end
+
+let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool ~obs
+    ~run_span jobs =
   let kind =
     match mode with
     | `Equation -> Synthesizer.Equation_only
     | `Hybrid -> Synthesizer.Hybrid
     | `Hybrid_verified -> Synthesizer.Hybrid_verified
   in
-  let memo : (Spec.job, job_outcome) Memo.t = Memo.create () in
+  let memo : (Spec.job, job_outcome) Memo.t = Memo.create ~obs () in
   (* submit in hardest-first schedule order: every donor of a job
      precedes it in the FIFO queue, so a blocked worker always has a
      strictly-earlier task to wait on and the pool cannot deadlock *)
@@ -164,6 +209,9 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool jobs =
           List.filter_map (fun d -> Memo.find memo d) donor_jobs
         in
         Memo.find_or_run memo pool job (fun job ->
+            (* the span covers donor-await time too: blocking on a
+               warm-start donor is part of the job's critical path *)
+            let span = Obs.span obs ~parent:run_span ~name:"optimize.job" () in
             let donor =
               List.find_map
                 (fun f ->
@@ -174,9 +222,12 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool jobs =
             in
             let warm_start = Option.map (fun s -> s.Synthesizer.sizing) donor in
             let solution, evaluations =
-              synthesize_one spec ~kind ~seed ~attempts ~budget ~warm_start job
+              synthesize_one spec ~kind ~seed ~attempts ~budget ~warm_start ~obs
+                ~job_span:span job
             in
-            { solution; evaluations; warm = warm_start <> None }))
+            let outcome = { solution; evaluations; warm = warm_start <> None } in
+            finish_job_span span job ~attempts ~outcome;
+            outcome))
       (donor_preferences jobs)
   in
   (* deterministic assembly: await and aggregate in schedule order *)
@@ -192,10 +243,16 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool jobs =
       | None ->
         Logs.warn (fun m -> m "synthesis of %s failed" (Spec.job_to_string job)))
     jobs futures;
+  (* the metrics view of the same three totals (names mirror the run
+     fields, see docs/OBSERVABILITY.md) *)
+  let m = obs.Obs.metrics in
+  Obs.Metrics.add (Obs.Metrics.counter m "optimize.evaluator_calls") !total_evals;
+  Obs.Metrics.add (Obs.Metrics.counter m "optimize.cold_jobs") !cold;
+  Obs.Metrics.add (Obs.Metrics.counter m "optimize.warm_jobs") !warm;
   (cache, !total_evals, !cold, !warm)
 
 let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
-    ?(jobs = 1) (spec : Spec.t) =
+    ?(jobs = 1) ?(obs = Obs.null) (spec : Spec.t) =
   let t_start = Unix.gettimeofday () in
   let candidates =
     match candidates with
@@ -203,6 +260,13 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     | None -> Config.enumerate_leading ~k:spec.Spec.k ~backend_bits:(Spec.backend_bits spec)
   in
   if candidates = [] then invalid_arg "Optimize.run: no candidates";
+  let mode_name =
+    match mode with
+    | `Equation -> "equation"
+    | `Hybrid -> "hybrid"
+    | `Hybrid_verified -> "hybrid_verified"
+  in
+  let run_span = Obs.span obs ~name:"optimize.run" () in
   (* hoist the per-candidate job lists: the synthesis work list and the
      per-candidate assembly below must derive from the same translation,
      or the two phases could disagree *)
@@ -215,10 +279,29 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
   let domains = if mode = `Equation then 1 else Stdlib.max 1 jobs in
   let cache, synthesis_evaluations, cold_jobs, warm_jobs =
     match mode with
-    | `Equation -> (Hashtbl.create 1, 0, 0, 0)
+    | `Equation ->
+      (* no synthesis phase — still emit one (near-empty) span per
+         distinct job so a trace always carries the full work list and
+         the per-job reconciliation holds in every mode (0 = 0) *)
+      List.iter
+        (fun (job : Spec.job) ->
+          let span = Obs.span obs ~parent:run_span ~name:"optimize.job" () in
+          Obs.Span.finish
+            ~attrs:
+              [
+                ("job", Obs.Sink.String (Spec.job_to_string job));
+                ("m", Obs.Sink.Int job.Spec.m);
+                ("input_bits", Obs.Sink.Int job.Spec.input_bits);
+                ("evaluations", Obs.Sink.Int 0);
+                ("path", Obs.Sink.String "equation");
+              ]
+            span)
+        (if Obs.tracing obs then distinct_jobs else []);
+      (Hashtbl.create 1, 0, 0, 0)
     | `Hybrid | `Hybrid_verified ->
-      Pool.with_pool ~size:domains (fun pool ->
-          synthesize_jobs spec ~mode ~seed ~attempts ~budget ~pool distinct_jobs)
+      Pool.with_pool ~obs ~size:domains (fun pool ->
+          synthesize_jobs spec ~mode ~seed ~attempts ~budget ~pool ~obs ~run_span
+            distinct_jobs)
   in
   let stage_result index (job : Spec.job) =
     let p_comparator = Spec.comparator_power spec ~m:job.Spec.m in
@@ -260,6 +343,7 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     end
   in
   let eval_config (c, c_jobs) =
+    let span = Obs.span obs ~parent:run_span ~name:"optimize.candidate" () in
     let stages = List.mapi (fun i job -> stage_result (i + 1) job) c_jobs in
     let p_total = List.fold_left (fun acc s -> acc +. s.p_stage) 0.0 stages in
     let all_feasible =
@@ -270,6 +354,14 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
           | None -> mode = `Equation)
         stages
     in
+    Obs.Span.finish
+      ~attrs:
+        [
+          ("config", Obs.Sink.String (Config.to_string c));
+          ("p_total_w", Obs.Sink.Float p_total);
+          ("all_feasible", Obs.Sink.Bool all_feasible);
+        ]
+      span;
     { config = c; stages; p_total; all_feasible }
   in
   let results =
@@ -277,6 +369,22 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     |> List.sort (fun a b -> compare a.p_total b.p_total)
   in
   let optimum = List.hd results in
+  let wall_time_s = Unix.gettimeofday () -. t_start in
+  Obs.Span.finish
+    ~attrs:
+      [
+        ("k", Obs.Sink.Int spec.Spec.k);
+        ("mode", Obs.Sink.String mode_name);
+        ("domains", Obs.Sink.Int domains);
+        ("candidates", Obs.Sink.Int (List.length results));
+        ("distinct_jobs", Obs.Sink.Int (List.length distinct_jobs));
+        ("synthesis_evaluations", Obs.Sink.Int synthesis_evaluations);
+        ("cold_jobs", Obs.Sink.Int cold_jobs);
+        ("warm_jobs", Obs.Sink.Int warm_jobs);
+        ("optimum", Obs.Sink.String (Config.to_string optimum.config));
+        ("p_total_w", Obs.Sink.Float optimum.p_total);
+      ]
+    run_span;
   {
     spec;
     mode;
@@ -287,7 +395,7 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     cold_jobs;
     warm_jobs;
     domains;
-    wall_time_s = Unix.gettimeofday () -. t_start;
+    wall_time_s;
   }
 
 let optimum_config r = r.optimum.config

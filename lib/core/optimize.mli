@@ -103,6 +103,7 @@ val run :
   ?budget:Adc_synth.Synthesizer.budget ->
   ?candidates:Config.t list ->
   ?jobs:int ->
+  ?obs:Adc_obs.t ->
   Spec.t ->
   run
 (** Optimize one converter spec.
@@ -122,7 +123,22 @@ val run :
     - [jobs] (default 1, i.e. sequential) — number of domains for the
       synthesis phase. Results are independent of [jobs]; pass
       {!Adc_exec.Pool.recommended_size}[ ()] to use the hardware. Ignored
-      in [`Equation] mode, which has no synthesis phase. *)
+      in [`Equation] mode, which has no synthesis phase.
+    - [obs] (default {!Adc_obs.null}) — structured tracing and metrics.
+      With a live trace sink the run emits one [optimize.run] root span,
+      one [optimize.job] span per {e distinct} MDAC job (children:
+      [optimize.attempt.*] and [synth.search]), and one
+      [optimize.candidate] span per candidate. The job spans' summed
+      [evaluations] attributes equal {!run.synthesis_evaluations}, and
+      their [warm] tags partition into exactly
+      ({!run.warm_jobs}, {!run.cold_jobs}) — the trace is a per-job
+      decomposition of the summary counters, enforced by
+      [test/test_obs.ml]. With a live metrics registry the run also
+      accumulates [optimize.evaluator_calls] / [optimize.cold_jobs] /
+      [optimize.warm_jobs] counters plus the pool and memo telemetry
+      (see {!Adc_exec.Pool.create} and {!Adc_exec.Memo.create}).
+      Instrumentation never reads any RNG stream: enabling it leaves
+      every synthesis result bit-identical. *)
 
 val optimum_config : run -> Config.t
 (** [optimum_config r] is [r.optimum.config]. *)

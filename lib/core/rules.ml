@@ -71,12 +71,12 @@ let derive rows =
     summary;
   }
 
-let sweep ?(mode = `Equation) ?(seed = 11) ?budget ?jobs ~k_values make_spec =
+let sweep ?(mode = `Equation) ?(seed = 11) ?budget ?jobs ?obs ~k_values make_spec =
   let rows =
     List.map
       (fun k ->
         let spec = make_spec ~k in
-        row_of_run (Optimize.run ~mode ~seed ?budget ?jobs spec))
+        row_of_run (Optimize.run ~mode ~seed ?budget ?jobs ?obs spec))
       k_values
   in
   derive rows

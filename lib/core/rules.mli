@@ -23,11 +23,12 @@ type chart = {
 
 val sweep :
   ?mode:Optimize.mode -> ?seed:int -> ?budget:Adc_synth.Synthesizer.budget ->
-  ?jobs:int ->
+  ?jobs:int -> ?obs:Adc_obs.t ->
   k_values:int list -> (k:int -> Spec.t) -> chart
 (** Run the optimizer for each resolution and condense the optima into
-    rules. [jobs] is forwarded to {!Optimize.run} (domain count for the
-    synthesis phase; the derived rules are independent of it). *)
+    rules. [jobs] and [obs] are forwarded to {!Optimize.run} (domain
+    count and observability context for the synthesis phase; the derived
+    rules are independent of both). *)
 
 val render : chart -> string
 (** Multi-line text block (the repo's Fig. 3). *)

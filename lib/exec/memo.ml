@@ -1,16 +1,26 @@
+module Obs = Adc_obs
+
 type ('k, 'v) t = {
   mutex : Mutex.t;
   table : ('k, 'v Future.t) Hashtbl.t;
+  hits : Obs.Metrics.counter;
+  misses : Obs.Metrics.counter;
 }
 
-let create ?(initial_size = 16) () =
-  { mutex = Mutex.create (); table = Hashtbl.create initial_size }
+let create ?(obs = Obs.null) ?(initial_size = 16) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create initial_size;
+    hits = Obs.Metrics.counter obs.Obs.metrics "memo.hit";
+    misses = Obs.Metrics.counter obs.Obs.metrics "memo.miss";
+  }
 
 let find_or_run t pool key compute =
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some fut ->
     Mutex.unlock t.mutex;
+    Obs.Metrics.inc t.hits;
     fut
   | None ->
     (* install the promise before releasing the lock so a racing request
@@ -18,6 +28,7 @@ let find_or_run t pool key compute =
     let fut = Future.create () in
     Hashtbl.add t.table key fut;
     Mutex.unlock t.mutex;
+    Obs.Metrics.inc t.misses;
     Pool.async pool (fun () ->
         match compute key with
         | v -> Future.resolve fut v

@@ -19,9 +19,13 @@ type ('k, 'v) t
 (** A cache from keys ['k] to futures of ['v]. Keys are compared with the
     polymorphic hash/equality of [Hashtbl]. *)
 
-val create : ?initial_size:int -> unit -> ('k, 'v) t
+val create : ?obs:Adc_obs.t -> ?initial_size:int -> unit -> ('k, 'v) t
 (** [create ()] is an empty cache. [initial_size] (default 16) sizes the
-    underlying hash table. *)
+    underlying hash table. When [obs] carries a live metrics registry,
+    every {!find_or_run} increments either [memo.hit] (promise already
+    installed) or [memo.miss] (this call scheduled the computation) —
+    misses therefore count {e distinct keys}, and the two together count
+    requests. *)
 
 val find_or_run : ('k, 'v) t -> Pool.t -> 'k -> ('k -> 'v) -> 'v Future.t
 (** [find_or_run t pool key compute] returns the future for [key],

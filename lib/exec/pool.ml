@@ -1,15 +1,54 @@
+module Obs = Adc_obs
+
+(* task-queue instrumentation (present only when the pool's [obs] has a
+   live metrics registry): submission→dequeue latency, task count, and
+   per-slot busy time for the utilization report *)
+type instruments = {
+  tasks : Obs.Metrics.counter;
+  queue_latency : Obs.Metrics.histogram;   (* ns *)
+  busy : Obs.Metrics.counter array;        (* ns, one per execution slot *)
+  wall : Obs.Metrics.gauge;                (* ns, pool lifetime *)
+}
+
+type task = { run : unit -> unit; enqueued_ns : int64 }
+
 type t = {
   size : int;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   mutex : Mutex.t;
   wakeup : Condition.t;       (* signalled on enqueue and on close *)
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  instr : instruments option;
+  created_ns : int64;
 }
 
 let recommended_size () = Domain.recommended_domain_count ()
 
-let worker_loop t =
+(* stray exceptions must not kill a worker domain; side-effect tasks
+   publish their own results *)
+let run_task task =
+  try task.run ()
+  with e ->
+    Printf.eprintf "adc_exec worker: uncaught %s\n%!" (Printexc.to_string e)
+
+(* the instrumented path reads the monotonic clock twice per task; the
+   bare path (instr = None) touches no clock at all *)
+let run_task_measured instr ~slot task =
+  let t0 = Obs.Clock.now_ns () in
+  Obs.Metrics.observe instr.queue_latency
+    (Int64.to_float (Int64.sub t0 task.enqueued_ns));
+  Obs.Metrics.inc instr.tasks;
+  run_task task;
+  Obs.Metrics.add instr.busy.(slot)
+    (Int64.to_int (Obs.Clock.elapsed_ns ~since:t0))
+
+let dispatch t ~slot task =
+  match t.instr with
+  | None -> run_task task
+  | Some instr -> run_task_measured instr ~slot task
+
+let worker_loop t ~slot =
   let rec next () =
     Mutex.lock t.mutex;
     let rec take () =
@@ -30,16 +69,26 @@ let worker_loop t =
     match take () with
     | None -> ()
     | Some task ->
-      (* side-effect tasks publish their own results; a stray exception
-         here must not kill the worker domain *)
-      (try task ()
-       with e ->
-         Printf.eprintf "adc_exec worker: uncaught %s\n%!" (Printexc.to_string e));
+      dispatch t ~slot task;
       next ()
   in
   next ()
 
-let create ?size () =
+let make_instruments (obs : Obs.t) ~size =
+  if not (Obs.Metrics.enabled obs.Obs.metrics) then None
+  else
+    let m = obs.Obs.metrics in
+    Some
+      {
+        tasks = Obs.Metrics.counter m "pool.tasks";
+        queue_latency = Obs.Metrics.histogram m "pool.queue_latency_ns";
+        busy =
+          Array.init size (fun i ->
+              Obs.Metrics.counter m (Printf.sprintf "pool.domain%d.busy_ns" i));
+        wall = Obs.Metrics.gauge m "pool.wall_ns";
+      }
+
+let create ?(obs = Obs.null) ?size () =
   let size =
     match size with Some n -> Stdlib.max 1 n | None -> recommended_size ()
   in
@@ -51,20 +100,27 @@ let create ?size () =
       wakeup = Condition.create ();
       closed = false;
       workers = [];
+      instr = make_instruments obs ~size;
+      created_ns = Obs.Clock.now_ns ();
     }
   in
   if size > 1 then
-    t.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <-
+      List.init size (fun slot -> Domain.spawn (fun () -> worker_loop t ~slot));
   t
 
 let size t = t.size
 
-let async t task =
+let async t run =
+  let task =
+    {
+      run;
+      enqueued_ns = (match t.instr with None -> 0L | Some _ -> Obs.Clock.now_ns ());
+    }
+  in
   if t.size <= 1 then begin
     if t.closed then invalid_arg "Pool.async: pool is shut down";
-    (try task ()
-     with e ->
-       Printf.eprintf "adc_exec inline: uncaught %s\n%!" (Printexc.to_string e))
+    dispatch t ~slot:0 task
   end
   else begin
     Mutex.lock t.mutex;
@@ -105,8 +161,13 @@ let shutdown t =
     List.iter Domain.join t.workers;
     t.workers <- []
   end
-  else t.closed <- true
+  else t.closed <- true;
+  match t.instr with
+  | None -> ()
+  | Some instr ->
+    Obs.Metrics.set instr.wall
+      (Int64.to_float (Obs.Clock.elapsed_ns ~since:t.created_ns))
 
-let with_pool ?size f =
-  let t = create ?size () in
+let with_pool ?obs ?size f =
+  let t = create ?obs ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

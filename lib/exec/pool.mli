@@ -26,7 +26,7 @@ val recommended_size : unit -> int
     (1 on a single-core container, so the default degrades to the
     sequential inline path). *)
 
-val create : ?size:int -> unit -> t
+val create : ?obs:Adc_obs.t -> ?size:int -> unit -> t
 (** [create ~size ()] builds a pool with [size] execution slots: [size]
     worker domains when [size > 1], or pure inline execution on the
     caller's domain when [size = 1]. [size] defaults to
@@ -34,7 +34,15 @@ val create : ?size:int -> unit -> t
 
     Sizes above [recommended_size ()] are allowed (useful for testing the
     parallel machinery on small hosts) — they oversubscribe cores but stay
-    correct. *)
+    correct.
+
+    When [obs] (default {!Adc_obs.null}) carries a live metrics registry
+    the pool records its queue telemetry there: [pool.tasks] (count),
+    [pool.queue_latency_ns] (histogram of submission→dequeue latency),
+    [pool.domain<i>.busy_ns] (per-slot busy time, the utilization
+    numerator) and [pool.wall_ns] (pool lifetime, set at {!shutdown} —
+    the utilization denominator). With a disabled registry the task path
+    performs no clock reads. *)
 
 val size : t -> int
 (** Number of execution slots ([1] means inline sequential execution). *)
@@ -62,6 +70,6 @@ val shutdown : t -> unit
     joins their domains. Idempotent. Submitting after shutdown raises
     [Invalid_argument]. *)
 
-val with_pool : ?size:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Adc_obs.t -> ?size:int -> (t -> 'a) -> 'a
 (** [with_pool ~size f] runs [f] over a fresh pool and guarantees
     {!shutdown} on exit, including on exceptions. *)

@@ -15,20 +15,35 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* Order statistics are meaningless over NaN, and the failure modes are
+   silent (Float.min/max propagate or drop NaN depending on argument
+   order; sorting with a NaN comparator need not even terminate with a
+   permutation under some orders). Reject explicitly instead. *)
+let reject_nan fn xs =
+  if Array.exists Float.is_nan xs then
+    invalid_arg (Printf.sprintf "Stats.%s: NaN in input" fn)
+
 let min_max xs =
   if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  reject_nan "min_max" xs;
   Array.fold_left
-    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (fun (lo, hi) x ->
+      ((if Float.compare x lo < 0 then x else lo),
+       if Float.compare x hi > 0 then x else hi))
     (xs.(0), xs.(0)) xs
 
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  reject_nan "percentile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the latter goes through the
+     generic structural path on boxed floats (slow) and its NaN ordering
+     is a representation detail rather than a contract *)
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.of_int (int_of_float rank)) in
+  let lo = int_of_float rank in
   let lo = if lo < 0 then 0 else if lo > n - 1 then n - 1 else lo in
   let hi = if lo + 1 > n - 1 then n - 1 else lo + 1 in
   let frac = rank -. float_of_int lo in

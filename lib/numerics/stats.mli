@@ -6,10 +6,19 @@ val variance : float array -> float
 (** Unbiased sample variance; 0 for arrays of length < 2. *)
 
 val stddev : float array -> float
+
 val min_max : float array -> float * float
+(** Smallest and largest element under [Float.compare] (infinities at
+    the ends; signed zeros compare equal). Raises [Invalid_argument] on
+    an empty array or one containing NaN — order statistics over NaN
+    have no meaningful answer, so the rejection is explicit rather than
+    a silent propagation. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]; linear interpolation between
-    order statistics. Requires a non-empty array. *)
+    order statistics sorted by [Float.compare]. Requires a non-empty,
+    NaN-free array (raises [Invalid_argument] otherwise, like
+    {!min_max}). *)
 
 val median : float array -> float
 

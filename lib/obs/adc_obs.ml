@@ -1,0 +1,23 @@
+module Clock = Clock
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+
+type t = { sink : Sink.t; metrics : Metrics.t }
+
+let null = { sink = Sink.null; metrics = Metrics.null }
+
+let create ?trace ?(metrics = false) () =
+  {
+    sink = (match trace with Some path -> Sink.file path | None -> Sink.null);
+    metrics = (if metrics then Metrics.create () else Metrics.null);
+  }
+
+let in_memory () = { sink = Sink.memory (); metrics = Metrics.create () }
+
+let tracing t = Sink.enabled t.sink
+let enabled t = Sink.enabled t.sink || Metrics.enabled t.metrics
+let close t = Sink.close t.sink
+
+let span t ?parent ~name () = Span.start t.sink ?parent ~name ()
+let with_span t ?parent ~name ?attrs f = Span.with_span t.sink ?parent ~name ?attrs f

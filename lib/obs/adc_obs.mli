@@ -1,0 +1,56 @@
+(** Structured tracing and metrics for the synthesis pipeline.
+
+    One context value bundles the two observability channels:
+
+    - a trace {!Sink} receiving monotonic-clock {!Span}s (JSONL when
+      backed by a file — one object per line, safe to write from any
+      domain);
+    - a {!Metrics} registry of thread-safe counters/gauges/histograms.
+
+    Both default to their disabled forms, and every instrumented API in
+    the library takes [?obs] defaulting to {!null}, so observability is
+    strictly opt-in and free when off. Instrumentation never draws from
+    any {!Adc_numerics.Rng} stream — enabling a trace cannot perturb a
+    synthesis result (enforced by [test/test_obs.ml]).
+
+    See [docs/OBSERVABILITY.md] for the event schema and how to read a
+    trace. *)
+
+module Clock = Clock
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+
+type t = {
+  sink : Sink.t;
+  metrics : Metrics.t;
+}
+
+val null : t
+(** Fully disabled: the null sink and the null registry. *)
+
+val create : ?trace:string -> ?metrics:bool -> unit -> t
+(** [create ~trace:path ~metrics:true ()] opens a JSONL file sink and a
+    live registry; either channel may be enabled independently. *)
+
+val in_memory : unit -> t
+(** Memory sink + live registry — for tests and the bench harness, which
+    consume events structurally instead of re-parsing JSON. *)
+
+val tracing : t -> bool
+(** Whether the span channel is live. *)
+
+val enabled : t -> bool
+val close : t -> unit
+(** Flush and close the trace sink (no-op otherwise). *)
+
+val span : t -> ?parent:Span.t -> name:string -> unit -> Span.t
+(** [span t ~name ()] is {!Span.start}[ t.sink ~name ()]. *)
+
+val with_span :
+  t ->
+  ?parent:Span.t ->
+  name:string ->
+  ?attrs:(string * Sink.value) list ->
+  (Span.t -> 'a) ->
+  'a

@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "adc_obs_clock_monotonic_ns"
+
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

@@ -1,0 +1,14 @@
+(** Monotonic time source for span timing (CLOCK_MONOTONIC via a C stub).
+
+    Monotonic rather than wall time: durations are differenced across
+    domains and must not jump when the wall clock is stepped. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; strictly non-decreasing
+    within a process. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since] is [now_ns () - since]. *)
+
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

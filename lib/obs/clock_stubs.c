@@ -1,0 +1,18 @@
+/* Monotonic clock for span timing.
+ *
+ * CLOCK_MONOTONIC is immune to wall-clock steps (NTP, manual set), which
+ * matters because span durations are differenced across worker domains
+ * that may be preempted for a long time.  The OCaml stdlib exposes no
+ * monotonic source, so this is the one C stub in the project. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value adc_obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL +
+                         (int64_t)ts.tv_nsec);
+}

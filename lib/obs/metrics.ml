@@ -1,0 +1,154 @@
+(* Counters are atomic ints, gauges atomic floats; histograms take a
+   per-histogram mutex (observe updates several fields). A disabled
+   registry hands out shared dummy instruments whose updates are no-ops,
+   so instrumented code never branches on "is observability on". *)
+
+type counter = { live : bool; value : int Atomic.t }
+type gauge = { g_live : bool; g_value : float Atomic.t }
+
+(* log2 buckets: bucket [i] counts observations in [2^i, 2^(i+1)).
+   63 buckets cover 1 ns .. ~9.2 s of latency, or any positive value. *)
+let n_buckets = 63
+
+type histogram = {
+  h_live : bool;
+  h_mutex : Mutex.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type t = {
+  on : bool;
+  mutex : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+}
+
+let create () = { on = true; mutex = Mutex.create (); table = Hashtbl.create 32 }
+let null = { on = false; mutex = Mutex.create (); table = Hashtbl.create 1 }
+let enabled t = t.on
+
+let dummy_counter = { live = false; value = Atomic.make 0 }
+let dummy_gauge = { g_live = false; g_value = Atomic.make 0.0 }
+
+let dummy_histogram =
+  { h_live = false; h_mutex = Mutex.create (); count = 0; sum = 0.0;
+    min_v = infinity; max_v = neg_infinity; buckets = [||] }
+
+let register t name make unwrap dummy =
+  if not t.on then dummy
+  else begin
+    Mutex.lock t.mutex;
+    let m =
+      match Hashtbl.find_opt t.table name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.add t.table name m;
+        m
+    in
+    Mutex.unlock t.mutex;
+    match unwrap m with
+    | Some x -> x
+    | None -> invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
+  end
+
+let counter t name =
+  register t name
+    (fun () -> C { live = true; value = Atomic.make 0 })
+    (function C c -> Some c | _ -> None)
+    dummy_counter
+
+let gauge t name =
+  register t name
+    (fun () -> G { g_live = true; g_value = Atomic.make 0.0 })
+    (function G g -> Some g | _ -> None)
+    dummy_gauge
+
+let histogram t name =
+  register t name
+    (fun () ->
+      H { h_live = true; h_mutex = Mutex.create (); count = 0; sum = 0.0;
+          min_v = infinity; max_v = neg_infinity;
+          buckets = Array.make n_buckets 0 })
+    (function H h -> Some h | _ -> None)
+    dummy_histogram
+
+let add c n = if c.live then ignore (Atomic.fetch_and_add c.value n)
+let inc c = add c 1
+let counter_value c = Atomic.get c.value
+
+let set g v = if g.g_live then Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+let bucket_of v =
+  if v < 2.0 then 0
+  else Stdlib.min (n_buckets - 1) (int_of_float (Float.log2 v))
+
+let observe h v =
+  if h.h_live then begin
+    Mutex.lock h.h_mutex;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    Mutex.unlock h.h_mutex
+  end
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+let histogram_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(* upper edge of the first bucket whose cumulative count reaches q —
+   an over-estimate by at most one octave, plenty for latency telemetry *)
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    Mutex.lock h.h_mutex;
+    let target =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+    in
+    let rec scan i acc =
+      if i >= n_buckets then h.max_v
+      else
+        let acc = acc + h.buckets.(i) in
+        if acc >= target then Float.min h.max_v (2.0 ** float_of_int (i + 1))
+        else scan (i + 1) acc
+    in
+    let v = scan 0 0 in
+    Mutex.unlock h.h_mutex;
+    v
+  end
+
+let render t =
+  if not t.on then ""
+  else begin
+    Mutex.lock t.mutex;
+    let rows = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
+    Mutex.unlock t.mutex;
+    let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+    let b = Buffer.create 256 in
+    Buffer.add_string b "metrics:\n";
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | C c ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-32s %d\n" name (counter_value c))
+        | G g ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-32s %.6g\n" name (gauge_value g))
+        | H h ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "  %-32s count %d  mean %.3g  p50 %.3g  p95 %.3g  max %.3g\n"
+               name h.count (histogram_mean h) (quantile h 0.50)
+               (quantile h 0.95) (if h.count = 0 then 0.0 else h.max_v)))
+      rows;
+    Buffer.contents b
+  end

@@ -1,0 +1,52 @@
+(** Thread-safe counters, gauges and histograms.
+
+    A registry hands out instruments by name (find-or-create). The
+    {!null} registry is permanently disabled: it returns shared dummy
+    instruments whose updates are no-ops, so instrumented code paths pay
+    only a dead branch when observability is off and never allocate.
+
+    Counters and gauges are lock-free ([Atomic]); histogram observation
+    takes a per-histogram mutex. All instruments may be updated
+    concurrently from any domain. *)
+
+type t
+
+val create : unit -> t
+val null : t
+(** The disabled registry: every instrument it returns is a no-op. *)
+
+val enabled : t -> bool
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> string -> counter
+(** Find or create. Raises [Invalid_argument] if [name] is already
+    registered as another kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one observation (log2 buckets, 1 up to 2{^63}; negative and
+    sub-1 values land in the first bucket). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_mean : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [0,1]: the upper edge of the bucket
+    holding the [q]-th observation — exact to within one octave, and
+    clamped to the true maximum. *)
+
+val render : t -> string
+(** Human-readable dump, sorted by name; [""] for a disabled registry. *)

@@ -1,0 +1,118 @@
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type event = {
+  name : string;
+  id : int;
+  parent : int option;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * value) list;
+}
+
+type target =
+  | Null
+  | File of { oc : out_channel; mutable closed : bool }
+  | Memory of event list ref
+
+type t = { target : target; mutex : Mutex.t }
+
+let null = { target = Null; mutex = Mutex.create () }
+
+let file path =
+  { target = File { oc = open_out path; closed = false }; mutex = Mutex.create () }
+
+let memory () = { target = Memory (ref []); mutex = Mutex.create () }
+
+let enabled t =
+  match t.target with Null -> false | File _ | Memory _ -> true
+
+(* minimal JSON string escaping: the names and attrs we emit are ASCII,
+   but user-supplied trace paths or job labels must not break the line
+   format *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+    (* JSON has no NaN/inf literals; encode them as strings *)
+    if Float.is_finite f then Printf.sprintf "%.17g" f
+    else Printf.sprintf "\"%s\"" (string_of_float f)
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> if b then "true" else "false"
+
+let event_to_json e =
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{\"type\":\"span\",\"name\":\"";
+  Buffer.add_string b (json_escape e.name);
+  Buffer.add_string b (Printf.sprintf "\",\"id\":%d,\"parent\":%s" e.id
+       (match e.parent with Some p -> string_of_int p | None -> "null"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"start_ns\":%Ld,\"dur_ns\":%Ld" e.start_ns e.dur_ns);
+  Buffer.add_string b ",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v)))
+    e.attrs;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write t e =
+  match t.target with
+  | Null -> ()
+  | File f ->
+    let line = event_to_json e in
+    Mutex.lock t.mutex;
+    if not f.closed then begin
+      output_string f.oc line;
+      output_char f.oc '\n'
+    end;
+    Mutex.unlock t.mutex
+  | Memory r ->
+    Mutex.lock t.mutex;
+    r := e :: !r;
+    Mutex.unlock t.mutex
+
+let events t =
+  match t.target with
+  | Null | File _ -> []
+  | Memory r ->
+    Mutex.lock t.mutex;
+    let es = List.rev !r in
+    Mutex.unlock t.mutex;
+    es
+
+let drain t =
+  match t.target with
+  | Null | File _ -> []
+  | Memory r ->
+    Mutex.lock t.mutex;
+    let es = List.rev !r in
+    r := [];
+    Mutex.unlock t.mutex;
+    es
+
+let close t =
+  match t.target with
+  | Null | Memory _ -> ()
+  | File f ->
+    Mutex.lock t.mutex;
+    if not f.closed then begin
+      f.closed <- true;
+      close_out f.oc
+    end;
+    Mutex.unlock t.mutex

@@ -1,0 +1,57 @@
+(** Trace sinks: where finished spans go.
+
+    Three targets:
+    - {!null} — discards everything; {!enabled} is [false], which is what
+      makes tracing zero-cost when off ({!Span.start} refuses to read the
+      clock against a disabled sink);
+    - {!file} — one JSON object per line (JSONL), append-ordered under a
+      mutex so spans finishing on different domains never interleave
+      bytes;
+    - {!memory} — keeps the structured events in memory for programmatic
+      consumption (bench tables, the reconciliation tests) without a
+      parse step.
+
+    All writes are thread-safe; a sink may be shared freely across
+    domains. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+(** Attribute values. Non-finite floats are encoded as JSON strings
+    (JSON has no NaN literal). *)
+
+type event = {
+  name : string;
+  id : int;                     (** unique within the process *)
+  parent : int option;          (** enclosing span's [id] *)
+  start_ns : int64;             (** monotonic, see {!Clock} *)
+  dur_ns : int64;
+  attrs : (string * value) list;
+}
+
+type t
+
+val null : t
+val file : string -> t
+(** Opens (truncates) the path immediately; raises [Sys_error] on
+    failure. *)
+
+val memory : unit -> t
+val enabled : t -> bool
+
+val write : t -> event -> unit
+(** Serialize (file) or store (memory) one finished span. Thread-safe;
+    a no-op on {!null} and on a closed file sink. *)
+
+val events : t -> event list
+(** Memory sink: every event written so far, in write order. Empty for
+    the other targets. *)
+
+val drain : t -> event list
+(** Like {!events} but also clears the memory sink — lets one sink
+    partition events run by run. *)
+
+val close : t -> unit
+(** Flush and close a file sink. Idempotent; no-op on the others. *)
+
+val event_to_json : event -> string
+(** The exact JSONL line {!write} produces for a file sink (exposed for
+    tests and external serializers). *)

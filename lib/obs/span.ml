@@ -1,0 +1,54 @@
+(* Span ids are process-global so parent/child references stay
+   unambiguous when several pools/runs trace into one sink. *)
+let next_id = Atomic.make 1
+
+type t = {
+  live : bool;
+  id : int;
+  parent : int option;
+  name : string;
+  start_ns : int64;
+  sink : Sink.t;
+}
+
+let dummy =
+  { live = false; id = 0; parent = None; name = ""; start_ns = 0L;
+    sink = Sink.null }
+
+let id t = t.id
+let is_live t = t.live
+
+let start sink ?parent ~name () =
+  if not (Sink.enabled sink) then dummy
+  else
+    {
+      live = true;
+      id = Atomic.fetch_and_add next_id 1;
+      parent =
+        (match parent with Some p when p.live -> Some p.id | Some _ | None -> None);
+      name;
+      start_ns = Clock.now_ns ();
+      sink;
+    }
+
+let finish ?(attrs = []) t =
+  if t.live then
+    Sink.write t.sink
+      {
+        Sink.name = t.name;
+        id = t.id;
+        parent = t.parent;
+        start_ns = t.start_ns;
+        dur_ns = Clock.elapsed_ns ~since:t.start_ns;
+        attrs;
+      }
+
+let with_span sink ?parent ~name ?(attrs = []) f =
+  let span = start sink ?parent ~name () in
+  match f span with
+  | v ->
+    finish ~attrs span;
+    v
+  | exception e ->
+    finish ~attrs:(("error", Sink.String (Printexc.to_string e)) :: attrs) span;
+    raise e

@@ -1,0 +1,39 @@
+(** Monotonic-clock spans with explicit parent/child nesting.
+
+    A span is started against a sink and finished with its attributes
+    (attributes are usually only known at the end: evaluator calls,
+    best power, warm/cold). Finishing emits one {!Sink.event}.
+
+    Parentage is passed explicitly rather than through ambient state —
+    spans routinely start on one domain (the submitting caller) and
+    finish on another (a pool worker), where dynamic scoping would
+    attribute children to whatever the worker ran last.
+
+    Against a disabled sink, {!start} returns a shared dummy span
+    without reading the clock, and {!finish} on it is a no-op — the
+    zero-cost-when-off guarantee. *)
+
+type t
+
+val dummy : t
+(** The inert span: never emits, safe to pass as a parent (children of
+    a dummy are roots). *)
+
+val start : Sink.t -> ?parent:t -> name:string -> unit -> t
+val finish : ?attrs:(string * Sink.value) list -> t -> unit
+(** Emit the span with its duration. Spans are not reusable; finishing
+    twice emits twice (callers in this codebase finish exactly once). *)
+
+val with_span :
+  Sink.t ->
+  ?parent:t ->
+  name:string ->
+  ?attrs:(string * Sink.value) list ->
+  (t -> 'a) ->
+  'a
+(** Scoped form for spans whose attributes are known up front. An
+    escaping exception finishes the span with an ["error"] attribute and
+    re-raises. *)
+
+val id : t -> int
+val is_live : t -> bool

@@ -236,7 +236,8 @@ let evaluate_sizing ~kind proc req z =
   | Hybrid | Hybrid_verified -> hybrid_metrics proc req z
 
 let synthesize ?(kind = Hybrid) ?(engine = `Sa) ?budget ?(seed = 1) ?warm_start
-    proc (req : Mdac_stage.requirements) =
+    ?(obs = Adc_obs.null) ?span_parent proc (req : Mdac_stage.requirements) =
+  let span = Adc_obs.span obs ?parent:span_parent ~name:"synth.search" () in
   let budget =
     match budget with
     | Some b -> b
@@ -286,6 +287,7 @@ let synthesize ?(kind = Hybrid) ?(engine = `Sa) ?budget ?(seed = 1) ?warm_start
   let best_values = Space.denormalize space refined.Pattern.best_x in
   let best_sizing = sizing_of_values seed_sizing best_values in
   let metrics, perf = evaluate_sizing ~kind proc req best_sizing in
+  let result =
   if metrics = [] then Error "synthesized point failed final evaluation"
   else begin
     let lookup name = List.assoc_opt name metrics in
@@ -320,3 +322,30 @@ let synthesize ?(kind = Hybrid) ?(engine = `Sa) ?budget ?(seed = 1) ?warm_start
         metrics;
       }
   end
+  in
+  (* span attrs record the search's cost and outcome; computed only when
+     a sink is live so the disabled path allocates nothing *)
+  if Adc_obs.Span.is_live span then begin
+    let open Adc_obs.Sink in
+    let base =
+      [
+        ("warm", Bool (warm_start <> None));
+        ("sa_iterations", Int budget.sa_iterations);
+        ("pattern_evals", Int budget.pattern_evals);
+        ("evaluations", Int !eval_count);
+      ]
+    in
+    let attrs =
+      match result with
+      | Ok sol ->
+        base
+        @ [
+            ("feasible", Bool sol.feasible);
+            ("power_w", Float sol.power);
+            ("violation", Float sol.violation);
+          ]
+      | Error e -> base @ [ ("error", String e) ]
+    in
+    Adc_obs.Span.finish ~attrs span
+  end;
+  result

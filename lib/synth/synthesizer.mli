@@ -71,10 +71,18 @@ val synthesize :
   ?budget:budget ->
   ?seed:int ->
   ?warm_start:Adc_mdac.Ota.sizing ->
+  ?obs:Adc_obs.t ->
+  ?span_parent:Adc_obs.Span.t ->
   Adc_circuit.Process.t ->
   Adc_mdac.Mdac_stage.requirements ->
   (solution, string) result
 (** [engine] selects the global-search kernel: simulated annealing
     (default) or differential evolution; the Hooke-Jeeves refinement is
     common to both. [budget.sa_iterations] converts to DE generations at
-    20 evaluations each. *)
+    20 evaluations each.
+
+    When [obs] carries a live trace sink, the whole search emits one
+    [synth.search] span (child of [span_parent]) with the budget, the
+    evaluator-call count, warm/cold, and the outcome as attributes.
+    Tracing reads only the monotonic clock — it never touches the
+    search's RNG stream, so traced and untraced runs are bit-identical. *)

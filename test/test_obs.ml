@@ -1,0 +1,420 @@
+(* Tests for the observability subsystem: span nesting and the
+   zero-cost-when-off guarantee, multi-domain sink writes, the
+   span/counter reconciliation contract against Optimize.run, plus
+   regression tests for the Monte-Carlo determinism, default_trials
+   front-stage and Stats comparison bugfixes shipped alongside it. *)
+
+module Obs = Adc_obs
+module Sink = Adc_obs.Sink
+module Span = Adc_obs.Span
+module Metrics = Adc_obs.Metrics
+module Pool = Adc_exec.Pool
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Optimize = Adc_pipeline.Optimize
+module Montecarlo = Adc_pipeline.Montecarlo
+module Stats = Adc_numerics.Stats
+module Synthesizer = Adc_synth.Synthesizer
+
+let parallel_size = Stdlib.max 4 (Pool.recommended_size ())
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let test_span_nesting () =
+  let sink = Sink.memory () in
+  let parent = Span.start sink ~name:"parent" () in
+  let child = Span.start sink ~parent ~name:"child" () in
+  Span.finish ~attrs:[ ("n", Sink.Int 1) ] child;
+  Span.finish parent;
+  match Sink.events sink with
+  | [ c; p ] ->
+    Alcotest.(check string) "child emitted first" "child" c.Sink.name;
+    Alcotest.(check string) "parent emitted second" "parent" p.Sink.name;
+    Alcotest.(check (option int)) "child points at parent" (Some p.Sink.id)
+      c.Sink.parent;
+    Alcotest.(check (option int)) "parent is a root" None p.Sink.parent;
+    Alcotest.(check bool) "distinct ids" true (c.Sink.id <> p.Sink.id);
+    Alcotest.(check bool) "durations non-negative" true
+      (c.Sink.dur_ns >= 0L && p.Sink.dur_ns >= 0L);
+    Alcotest.(check bool) "child starts after parent" true
+      (c.Sink.start_ns >= p.Sink.start_ns);
+    Alcotest.(check bool) "child attr kept" true
+      (List.assoc_opt "n" c.Sink.attrs = Some (Sink.Int 1))
+  | evts ->
+    Alcotest.failf "expected exactly 2 events, got %d" (List.length evts)
+
+let test_disabled_sink_is_inert () =
+  let s = Span.start Sink.null ~name:"ghost" () in
+  Alcotest.(check bool) "span against null sink is dead" false (Span.is_live s);
+  Span.finish ~attrs:[ ("x", Sink.Int 1) ] s;
+  Alcotest.(check (list unit)) "null sink holds nothing" []
+    (List.map ignore (Sink.events Sink.null));
+  Alcotest.(check bool) "null obs reports disabled" false (Obs.enabled Obs.null);
+  Alcotest.(check bool) "null obs not tracing" false (Obs.tracing Obs.null)
+
+let test_with_span_error_attr () =
+  let sink = Sink.memory () in
+  Alcotest.(check bool) "exception re-raised" true
+    (try
+       Span.with_span sink ~name:"failing" (fun _ -> raise Exit)
+     with Exit -> true);
+  match Sink.events sink with
+  | [ e ] ->
+    Alcotest.(check bool) "span carries an error attribute" true
+      (List.mem_assoc "error" e.Sink.attrs)
+  | evts -> Alcotest.failf "expected 1 event, got %d" (List.length evts)
+
+(* ------------------------------------------------------------------ *)
+(* sinks *)
+
+let test_json_encoding () =
+  let e =
+    {
+      Sink.name = "quo\"te";
+      id = 7;
+      parent = Some 3;
+      start_ns = 10L;
+      dur_ns = 5L;
+      attrs =
+        [
+          ("i", Sink.Int 42);
+          ("f", Sink.Float 1.5);
+          ("s", Sink.String "a\nb");
+          ("b", Sink.Bool true);
+          ("nan", Sink.Float Float.nan);
+        ];
+    }
+  in
+  let json = Sink.event_to_json e in
+  Alcotest.(check bool) "span type tag" true
+    (String.length json > 0 && json.[0] = '{');
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true
+        (contains_substring json needle))
+    [ "\"type\":"; "span"; "quo\\\"te"; "\"i\":"; "42"; "a\\nb"; "true" ];
+  (* no raw newline may survive inside a JSONL line *)
+  Alcotest.(check bool) "single line" true (not (String.contains json '\n'))
+
+let test_file_sink_multidomain () =
+  let path = Filename.temp_file "adc_obs_test" ".jsonl" in
+  let sink = Sink.file path in
+  let spans_per_domain = 50 and n_domains = 4 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to spans_per_domain do
+              let s =
+                Span.start sink ~name:(Printf.sprintf "d%d.%d" d i) ()
+              in
+              Span.finish ~attrs:[ ("i", Sink.Int i) ] s
+            done))
+  in
+  List.iter Domain.join workers;
+  Sink.close sink;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = !lines in
+  Alcotest.(check int) "one line per span"
+    (spans_per_domain * n_domains)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is one JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let test_memory_drain_partitions () =
+  let sink = Sink.memory () in
+  Span.finish (Span.start sink ~name:"a" ());
+  Alcotest.(check int) "first drain sees one" 1 (List.length (Sink.drain sink));
+  Alcotest.(check int) "drain clears" 0 (List.length (Sink.events sink));
+  Span.finish (Span.start sink ~name:"b" ());
+  Alcotest.(check int) "second run isolated" 1 (List.length (Sink.drain sink))
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_metrics_multidomain_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "test.hits" in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Metrics.inc c
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost increments" 4000 (Metrics.counter_value c);
+  Alcotest.(check int) "find-or-create returns the same counter" 4000
+    (Metrics.counter_value (Metrics.counter m "test.hits"));
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       ignore (Metrics.gauge m "test.hits");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram_and_render () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "test.latency" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 8.0; 1024.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1039.0 (Metrics.histogram_sum h);
+  Alcotest.(check bool) "median within an octave" true
+    (Metrics.quantile h 0.5 >= 2.0 && Metrics.quantile h 0.5 <= 8.0);
+  Alcotest.(check (float 1e-9)) "p100 clamps to the max" 1024.0
+    (Metrics.quantile h 1.0);
+  Metrics.set (Metrics.gauge m "test.level") 2.5;
+  let dump = Metrics.render m in
+  Alcotest.(check bool) "render lists every instrument" true
+    (List.for_all (contains_substring dump) [ "test.latency"; "test.level" ])
+
+let test_null_metrics_noop () =
+  let c = Metrics.counter Metrics.null "x" in
+  Metrics.inc c;
+  Metrics.add c 10;
+  Alcotest.(check int) "null counter stays 0" 0 (Metrics.counter_value c);
+  Alcotest.(check string) "null registry renders empty" ""
+    (Metrics.render Metrics.null)
+
+(* ------------------------------------------------------------------ *)
+(* reconciliation against Optimize.run *)
+
+let tiny_budget =
+  { Synthesizer.sa_iterations = 12; pattern_evals = 20; space_factor = 0.6 }
+
+let attr_int name (e : Sink.event) =
+  match List.assoc_opt name e.Sink.attrs with Some (Sink.Int n) -> n | _ -> 0
+
+let attr_bool name (e : Sink.event) =
+  match List.assoc_opt name e.Sink.attrs with
+  | Some (Sink.Bool b) -> b
+  | _ -> false
+
+let test_hybrid_span_reconciliation () =
+  let obs = Obs.in_memory () in
+  let spec = Spec.paper_case ~k:10 in
+  let r =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+      ~jobs:parallel_size ~obs spec
+  in
+  let events = Sink.drain obs.Obs.sink in
+  let job_spans =
+    List.filter (fun (e : Sink.event) -> e.Sink.name = "optimize.job") events
+  in
+  Alcotest.(check int) "one span per distinct MDAC job"
+    (List.length r.Optimize.distinct_jobs)
+    (List.length job_spans);
+  Alcotest.(check int) "span evaluation attrs sum to the run total"
+    r.Optimize.synthesis_evaluations
+    (List.fold_left (fun acc e -> acc + attr_int "evaluations" e) 0 job_spans);
+  let warm_tagged = List.filter (attr_bool "warm") job_spans in
+  Alcotest.(check int) "warm tags equal warm_jobs" r.Optimize.warm_jobs
+    (List.length warm_tagged);
+  Alcotest.(check int) "cold tags equal cold_jobs" r.Optimize.cold_jobs
+    (List.length job_spans - List.length warm_tagged);
+  (* counters must agree with the run record too *)
+  let cval name = Metrics.counter_value (Metrics.counter obs.Obs.metrics name) in
+  Alcotest.(check int) "evaluator-call counter" r.Optimize.synthesis_evaluations
+    (cval "optimize.evaluator_calls");
+  Alcotest.(check int) "cold counter" r.Optimize.cold_jobs (cval "optimize.cold_jobs");
+  Alcotest.(check int) "warm counter" r.Optimize.warm_jobs (cval "optimize.warm_jobs");
+  Alcotest.(check int) "memo misses = distinct jobs"
+    (List.length r.Optimize.distinct_jobs)
+    (cval "memo.miss");
+  Alcotest.(check int) "memo hits = 0 (jobs pre-deduplicated)" 0 (cval "memo.hit");
+  (* the run root exists and every job span nests under it *)
+  (match List.find_opt (fun (e : Sink.event) -> e.Sink.name = "optimize.run") events with
+  | None -> Alcotest.fail "missing optimize.run root span"
+  | Some root ->
+    List.iter
+      (fun (e : Sink.event) ->
+        Alcotest.(check (option int)) "job span parented to the run"
+          (Some root.Sink.id) e.Sink.parent)
+      job_spans);
+  (* attempt spans nest under job spans *)
+  let job_ids = List.map (fun (e : Sink.event) -> e.Sink.id) job_spans in
+  let attempts =
+    List.filter
+      (fun (e : Sink.event) ->
+        String.length e.Sink.name >= 16
+        && String.sub e.Sink.name 0 16 = "optimize.attempt")
+      events
+  in
+  Alcotest.(check bool) "at least one attempt span per job" true
+    (List.length attempts >= List.length job_spans);
+  List.iter
+    (fun (e : Sink.event) ->
+      Alcotest.(check bool) "attempt parented to a job span" true
+        (match e.Sink.parent with Some p -> List.mem p job_ids | None -> false))
+    attempts
+
+let test_equation_mode_emits_job_spans () =
+  let obs = Obs.in_memory () in
+  let spec = Spec.paper_case ~k:13 in
+  let r = Optimize.run ~mode:`Equation ~obs spec in
+  let job_spans =
+    Sink.drain obs.Obs.sink
+    |> List.filter (fun (e : Sink.event) -> e.Sink.name = "optimize.job")
+  in
+  Alcotest.(check int) "equation mode still traces every distinct job"
+    (List.length r.Optimize.distinct_jobs)
+    (List.length job_spans);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "equation jobs report zero evaluator calls" 0
+        (attr_int "evaluations" e))
+    job_spans
+
+let test_tracing_does_not_perturb_results () =
+  let spec = Spec.paper_case ~k:10 in
+  let go obs =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:2 ~budget:tiny_budget
+      ~jobs:1 ~obs spec
+  in
+  let plain = go Obs.null and traced = go (Obs.in_memory ()) in
+  Alcotest.(check (float 0.0)) "bit-identical optimum power"
+    plain.Optimize.optimum.Optimize.p_total
+    traced.Optimize.optimum.Optimize.p_total;
+  Alcotest.(check int) "identical evaluator-call count"
+    plain.Optimize.synthesis_evaluations traced.Optimize.synthesis_evaluations;
+  Alcotest.(check string) "identical winner"
+    (Config.to_string (Optimize.optimum_config plain))
+    (Config.to_string (Optimize.optimum_config traced))
+
+(* ------------------------------------------------------------------ *)
+(* regression: Monte-Carlo determinism (shared-RNG Array.init bug) *)
+
+let mc_config =
+  { Montecarlo.offset_sigma = 2e-3; gain_sigma = 1e-3; enob_margin = 0.5; n_fft = 256 }
+
+let test_montecarlo_repeatable () =
+  let spec = Spec.paper_case ~k:10 in
+  let config = Config.of_string "3-2" in
+  let go () = Montecarlo.run ~trials:8 ~config:mc_config ~seed:5 spec config in
+  let a = go () and b = go () in
+  Alcotest.(check int) "same pass count" a.Montecarlo.n_pass b.Montecarlo.n_pass;
+  Alcotest.(check (float 0.0)) "bit-identical mean ENOB" a.Montecarlo.enob_mean
+    b.Montecarlo.enob_mean;
+  Alcotest.(check (float 0.0)) "bit-identical p05" a.Montecarlo.enob_p05
+    b.Montecarlo.enob_p05;
+  Alcotest.(check (float 0.0)) "bit-identical min" a.Montecarlo.enob_min
+    b.Montecarlo.enob_min
+
+let test_montecarlo_seed_sensitivity () =
+  let spec = Spec.paper_case ~k:10 in
+  let config = Config.of_string "3-2" in
+  let go seed = Montecarlo.run ~trials:8 ~config:mc_config ~seed spec config in
+  let a = go 5 and b = go 6 in
+  Alcotest.(check bool) "different seeds draw different offsets" true
+    (a.Montecarlo.enob_mean <> b.Montecarlo.enob_mean
+    || a.Montecarlo.enob_min <> b.Montecarlo.enob_min)
+
+(* regression: default_trials hard-coded its budget to a 3-bit stage *)
+
+let test_default_trials_tracks_front_stage () =
+  let spec = Spec.paper_case ~k:12 in
+  let budget m =
+    Adc_mdac.Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m
+  in
+  let t4 = Montecarlo.default_trials spec (Config.of_string "4-2-2") in
+  let t3 = Montecarlo.default_trials spec (Config.of_string "3-3-2") in
+  Alcotest.(check (float 0.0)) "4-bit front: quarter of the 4-bit budget"
+    (budget 4 /. 4.0) t4.Montecarlo.offset_sigma;
+  Alcotest.(check (float 0.0)) "3-bit front: quarter of the 3-bit budget"
+    (budget 3 /. 4.0) t3.Montecarlo.offset_sigma;
+  Alcotest.(check bool) "tighter front stage means tighter sigma" true
+    (t4.Montecarlo.offset_sigma < t3.Montecarlo.offset_sigma);
+  Alcotest.(check bool) "empty configuration rejected" true
+    (try
+       ignore (Montecarlo.default_trials spec []);
+       false
+     with Invalid_argument _ -> true)
+
+(* regression: Stats ordered floats with polymorphic compare *)
+
+let test_stats_order_statistics () =
+  let lo, hi = Stats.min_max [| 3.0; -1.5; 2.0; Float.infinity |] in
+  Alcotest.(check (float 0.0)) "min" (-1.5) lo;
+  Alcotest.(check (float 0.0)) "max" Float.infinity hi;
+  Alcotest.(check (float 0.0)) "median of evens interpolates" 2.5
+    (Stats.percentile [| 1.0; 2.0; 3.0; 4.0 |] 50.0);
+  Alcotest.(check (float 0.0)) "p0 is the minimum" 1.0
+    (Stats.percentile [| 4.0; 1.0; 3.0; 2.0 |] 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the maximum" 4.0
+    (Stats.percentile [| 4.0; 1.0; 3.0; 2.0 |] 100.0);
+  Alcotest.(check (float 0.0)) "all-equal arrays are a fixed point" 7.0
+    (Stats.percentile (Array.make 9 7.0) 31.4);
+  Alcotest.(check (float 0.0)) "singleton" 5.0 (Stats.percentile [| 5.0 |] 99.0);
+  (* signed zeros are numerically equal under Float.compare *)
+  let lo0, hi0 = Stats.min_max [| 0.0; -0.0 |] in
+  Alcotest.(check bool) "signed zeros treated as equal" true
+    (lo0 = 0.0 && hi0 = 0.0)
+
+let test_stats_reject_nan () =
+  List.iter
+    (fun (label, f) ->
+      Alcotest.(check bool) label true
+        (try
+           ignore (f [| 1.0; Float.nan; 2.0 |]);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("min_max rejects NaN", fun xs -> fst (Stats.min_max xs));
+      ("percentile rejects NaN", fun xs -> Stats.percentile xs 50.0);
+      ("median rejects NaN", Stats.median);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          quick "parent/child nesting" test_span_nesting;
+          quick "disabled sink is inert" test_disabled_sink_is_inert;
+          quick "with_span tags escaping exceptions" test_with_span_error_attr;
+        ] );
+      ( "sink",
+        [
+          quick "JSON encoding" test_json_encoding;
+          quick "multi-domain file writes stay line-atomic" test_file_sink_multidomain;
+          quick "memory drain partitions runs" test_memory_drain_partitions;
+        ] );
+      ( "metrics",
+        [
+          quick "multi-domain counters" test_metrics_multidomain_counters;
+          quick "histograms and render" test_metrics_histogram_and_render;
+          quick "null registry is a no-op" test_null_metrics_noop;
+        ] );
+      ( "reconciliation",
+        [
+          slow "hybrid spans reconcile with run counters" test_hybrid_span_reconciliation;
+          quick "equation mode traces every job" test_equation_mode_emits_job_spans;
+          slow "tracing never perturbs results" test_tracing_does_not_perturb_results;
+        ] );
+      ( "regressions",
+        [
+          slow "Monte-Carlo runs are repeatable" test_montecarlo_repeatable;
+          slow "Monte-Carlo seed sensitivity" test_montecarlo_seed_sensitivity;
+          quick "default_trials follows the front stage" test_default_trials_tracks_front_stage;
+          quick "order statistics use Float.compare" test_stats_order_statistics;
+          quick "NaN rejected explicitly" test_stats_reject_nan;
+        ] );
+    ]
