@@ -40,6 +40,11 @@ let header title = Printf.printf "%s\n%s\n%s\n" line title line
 let jobs_requested = ref (Adc_exec.Pool.recommended_size ())
 let run_records : string list ref = ref []
 
+(* every span drained from the hybrid runs' memory sinks, in finish
+   order — exported as a Chrome/Perfetto trace next to the JSON summary
+   so a bench run leaves a browsable profile behind *)
+let trace_events : Obs.Sink.event list ref = ref []
+
 (* per-job timing rows, rendered from the "optimize.job" spans of the
    run's trace (a memory sink, drained run by run) *)
 let attr name (e : Obs.Sink.event) = List.assoc_opt name e.Obs.Sink.attrs
@@ -91,6 +96,16 @@ let write_summary () =
     close_out oc;
     Printf.printf "[run summary written to BENCH_SUMMARY.json]\n%!"
 
+let write_trace () =
+  match !trace_events with
+  | [] -> ()
+  | events ->
+    let oc = open_out "BENCH_TRACE.chrome.json" in
+    output_string oc (Adc_report.Trace_export.chrome events);
+    close_out oc;
+    Printf.printf
+      "[chrome trace written to BENCH_TRACE.chrome.json - load in Perfetto]\n%!"
+
 (* ------------------------------------------------------------------ *)
 (* shared hybrid sweep (used by fig1/fig2/fig3 in hybrid mode) *)
 
@@ -107,9 +122,10 @@ let hybrid_run k =
       Optimize.run ~mode:`Hybrid ~seed:11 ~attempts:3 ~jobs:!jobs_requested ~obs
         (Spec.paper_case ~k)
     in
+    let events = Obs.Sink.drain obs.Obs.sink in
+    trace_events := !trace_events @ events;
     let job_spans =
-      Obs.Sink.drain obs.Obs.sink
-      |> List.filter (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = "optimize.job")
+      List.filter (fun (e : Obs.Sink.event) -> e.Obs.Sink.name = "optimize.job") events
     in
     Printf.printf
       "[hybrid %d-bit: %d distinct MDACs, %d evaluations, %.0f s on %d domain(s)]\n%!"
@@ -465,6 +481,7 @@ let () =
   in
   parse 1;
   at_exit write_summary;
+  at_exit write_trace;
   let what = Option.value !target ~default:"all" in
   match what with
   | "fig1" -> fig1 ~hybrid:true ()

@@ -15,6 +15,10 @@ module Metrics = Adc_pipeline.Metrics
 module Synthesizer = Adc_synth.Synthesizer
 module Units = Adc_numerics.Units
 module Pool = Adc_exec.Pool
+module Trace_reader = Adc_report.Trace_reader
+module Trace_analysis = Adc_report.Trace_analysis
+module Trace_export = Adc_report.Trace_export
+module Progress = Adc_report.Progress
 
 open Cmdliner
 
@@ -73,12 +77,34 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-(* build the observability context for one command invocation; callers
-   must [finish_obs] it so the trace file is flushed and the metrics
-   table printed *)
-let obs_of trace metrics = Adc_obs.create ?trace ~metrics ()
+let progress_arg =
+  let doc =
+    "Draw a live status line on stderr (jobs done/total, evaluator calls, \
+     memo hits, elapsed, ETA). The reporter only consumes finished spans — \
+     results stay bit-identical to a silent run."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
 
-let finish_obs (obs : Adc_obs.t) =
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+(* build the observability context for one command invocation; callers
+   must [finish_obs] it so the trace file is flushed, the status line
+   terminated and the metrics table printed. [total]/[domains] feed the
+   progress reporter's ETA when --progress is on. *)
+let obs_of ?(progress = false) ?total ?domains trace metrics =
+  let base =
+    try Adc_obs.create ?trace ~metrics ()
+    with Sys_error msg -> die "adcopt: cannot open trace file: %s" msg
+  in
+  if not progress then (base, None)
+  else begin
+    let p = Progress.create ?total ?domains () in
+    ( { base with Adc_obs.sink = Adc_obs.Sink.tee base.Adc_obs.sink (Progress.sink p) },
+      Some p )
+  end
+
+let finish_obs ((obs : Adc_obs.t), progress) =
+  Option.iter Progress.finish progress;
   if Adc_obs.Metrics.enabled obs.Adc_obs.metrics then
     print_string (Adc_obs.Metrics.render obs.Adc_obs.metrics);
   Adc_obs.close obs
@@ -108,10 +134,16 @@ let enumerate_cmd =
 (* ------------------------------------------------------------------ *)
 (* optimize *)
 
-let optimize k fs mode seed attempts jobs trace metrics =
+let optimize k fs mode seed attempts jobs trace metrics progress =
   let spec = spec_of k fs in
-  let obs = obs_of trace metrics in
-  let run = Optimize.run ~mode ~seed ~attempts ~jobs:(resolve_jobs jobs) ~obs spec in
+  let jobs = resolve_jobs jobs in
+  let total =
+    List.length
+      (Spec.distinct_jobs spec
+         (Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec)))
+  in
+  let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
+  let run = Optimize.run ~mode ~seed ~attempts ~jobs ~obs spec in
   print_string (Report.candidate_summary run);
   print_string (Report.fig1_table run);
   (match mode with
@@ -132,21 +164,36 @@ let optimize k fs mode seed attempts jobs trace metrics =
     (Units.format_power full.Adc_pipeline.Power_model.p_full)
     (Units.format_power full.Adc_pipeline.Power_model.p_sha)
     (List.length full.Adc_pipeline.Power_model.backend);
-  finish_obs obs
+  finish_obs ctx
 
 let optimize_cmd =
   let doc = "Run the topology optimization for one converter spec." in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
-          $ jobs_arg $ trace_arg $ metrics_arg)
+          $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep k_lo k_hi fs mode seed attempts jobs trace metrics =
+let sweep k_lo k_hi fs mode seed attempts jobs trace metrics progress =
   let jobs = resolve_jobs jobs in
-  let obs = obs_of trace metrics in
   let ks = List.init (k_hi - k_lo + 1) (fun i -> k_lo + i) in
+  (* each resolution is optimized twice — once for the Fig. 2 table and
+     once inside the rule derivation — so the progress denominator
+     counts every distinct MDAC job twice *)
+  let total =
+    2
+    * List.fold_left
+        (fun acc k ->
+          let spec = spec_of k fs in
+          acc
+          + List.length
+              (Spec.distinct_jobs spec
+                 (Config.enumerate_leading ~k
+                    ~backend_bits:(Spec.backend_bits spec))))
+        0 ks
+  in
+  let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
   let runs =
     List.map (fun k -> Optimize.run ~mode ~seed ~attempts ~jobs ~obs (spec_of k fs)) ks
   in
@@ -165,7 +212,7 @@ let sweep k_lo k_hi fs mode seed attempts jobs trace metrics =
     Rules.sweep ~mode ~seed ~jobs ~obs ~k_values:ks (fun ~k -> spec_of k fs)
   in
   print_string (Rules.render chart);
-  finish_obs obs
+  finish_obs ctx
 
 let k_lo_arg =
   Arg.(value & opt int 10 & info [ "from" ] ~docv:"BITS" ~doc:"Lowest resolution.")
@@ -177,14 +224,17 @@ let sweep_cmd =
   let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg
-          $ attempts_arg $ jobs_arg $ trace_arg $ metrics_arg)
+          $ attempts_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth: one MDAC job *)
 
-let synth m bits fs seed attempts jobs trace metrics =
+let synth m bits fs seed attempts jobs trace metrics progress =
   let spec = spec_of 13 fs in
-  let obs = obs_of trace metrics in
+  let jobs = resolve_jobs jobs in
+  let ((obs, _) as ctx) =
+    obs_of ~progress ~total:(Stdlib.max 1 attempts) ~domains:jobs trace metrics
+  in
   let job = { Spec.m; input_bits = bits } in
   let req = Spec.stage_requirements spec job in
   Printf.printf "MDAC job %s block specs:\n" (Spec.job_to_string job);
@@ -202,7 +252,7 @@ let synth m bits fs seed attempts jobs trace metrics =
      the same for every --jobs value *)
   let t0 = Unix.gettimeofday () in
   let restarts =
-    Pool.with_pool ~obs ~size:(resolve_jobs jobs) (fun pool ->
+    Pool.with_pool ~obs ~size:jobs (fun pool ->
         Pool.map_ordered pool
           (fun a ->
             Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a) ~obs
@@ -234,7 +284,7 @@ let synth m bits fs seed attempts jobs trace metrics =
        else Printf.sprintf "violation %.3f" sol.Synthesizer.violation)
       attempts evaluations elapsed;
     List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics);
-  finish_obs obs
+  finish_obs ctx
 
 let m_arg =
   Arg.(value & opt int 3 & info [ "m" ] ~docv:"BITS" ~doc:"Stage resolution (2-4).")
@@ -246,7 +296,7 @@ let synth_cmd =
   let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg $ attempts_arg
-          $ jobs_arg $ trace_arg $ metrics_arg)
+          $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* behavioral *)
@@ -303,12 +353,16 @@ let corners_cmd =
 (* ------------------------------------------------------------------ *)
 (* montecarlo *)
 
-let montecarlo k fs config_str trials seed =
+let montecarlo k fs config_str trials seed trace metrics progress =
   let spec = spec_of k fs in
   let config =
     match config_str with
     | Some s -> Config.of_string s
     | None -> Optimize.optimum_config (Optimize.run ~mode:`Equation spec)
+  in
+  let n_sigmas = 5 in
+  let ((obs, _) as ctx) =
+    obs_of ~progress ~total:(trials * n_sigmas) trace metrics
   in
   (* the redundancy budget is set by the front stage actually being
      swept, not a fixed 3-bit assumption *)
@@ -323,7 +377,7 @@ let montecarlo k fs config_str trials seed =
      (redundancy budget %.0f mV; %d trials per point)\n"
     k (Config.to_string config) (budget *. 1e3) trials;
   let sweep =
-    Adc_pipeline.Montecarlo.offset_sweep ~trials ~seed spec config
+    Adc_pipeline.Montecarlo.offset_sweep ~trials ~obs ~seed spec config
       ~sigmas:[ budget /. 8.0; budget /. 4.0; budget /. 2.0; budget; budget *. 1.5 ]
   in
   List.iter
@@ -332,7 +386,8 @@ let montecarlo k fs config_str trials seed =
         (sigma *. 1e3)
         (100.0 *. r.Adc_pipeline.Montecarlo.yield)
         r.Adc_pipeline.Montecarlo.enob_mean r.Adc_pipeline.Montecarlo.enob_p05)
-    sweep
+    sweep;
+  finish_obs ctx
 
 let trials_arg =
   Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials per point.")
@@ -340,7 +395,8 @@ let trials_arg =
 let montecarlo_cmd =
   let doc = "Monte-Carlo yield of a configuration under comparator offsets." in
   Cmd.v (Cmd.info "montecarlo" ~doc)
-    Term.(const montecarlo $ k_arg $ fs_arg $ config_arg $ trials_arg $ seed_arg)
+    Term.(const montecarlo $ k_arg $ fs_arg $ config_arg $ trials_arg $ seed_arg
+          $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* area *)
@@ -361,6 +417,95 @@ let area_cmd =
   Cmd.v (Cmd.info "area" ~doc) Term.(const area $ k_arg $ fs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace: offline analysis of a recorded JSONL trace *)
+
+let load_trace file =
+  match Trace_reader.load_file file with
+  | load -> load
+  | exception Sys_error msg -> die "adcopt: cannot read trace: %s" msg
+
+let trace_file_arg =
+  let doc = "JSONL trace produced by --trace." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let trace_summary file =
+  print_string (Trace_analysis.render_summary (load_trace file))
+
+let trace_summary_cmd =
+  let doc =
+    "Per-span-name self/total time table, job and trial totals, memo hit \
+     rate, and reconciliation of job-span sums against the run's own \
+     counters."
+  in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const trace_summary $ trace_file_arg)
+
+let trace_critical_path file =
+  let tree = Trace_analysis.tree_of_events (load_trace file).Trace_reader.events in
+  print_string
+    (Trace_analysis.render_critical_path (Trace_analysis.critical_path tree))
+
+let trace_critical_path_cmd =
+  let doc = "The latest-ending span chain — the dependency chain that set the makespan." in
+  Cmd.v (Cmd.info "critical-path" ~doc)
+    Term.(const trace_critical_path $ trace_file_arg)
+
+let trace_utilization file =
+  match Trace_analysis.utilization (load_trace file).Trace_reader.events with
+  | Some u -> print_string (Trace_analysis.render_utilization u)
+  | None ->
+    die "adcopt: no pool.task spans in %s (equation-mode runs never build a pool)"
+      file
+
+let trace_utilization_cmd =
+  let doc = "Per-domain busy time and a busy-fraction timeline from the pool.task spans." in
+  Cmd.v (Cmd.info "utilization" ~doc)
+    Term.(const trace_utilization $ trace_file_arg)
+
+let format_arg =
+  let doc =
+    "Output format: $(b,chrome) (trace-event JSON for Perfetto / \
+     chrome://tracing), $(b,folded) (collapsed stacks for flamegraph.pl \
+     and speedscope), or $(b,prometheus) (text exposition of the metrics \
+     reconstructed from the trace)."
+  in
+  let formats = [ ("chrome", `Chrome); ("folded", `Folded); ("prometheus", `Prometheus) ] in
+  Arg.(value & opt (enum formats) `Chrome & info [ "format" ] ~docv:"FMT" ~doc)
+
+let output_arg =
+  let doc = "Write to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_export format output file =
+  let events = (load_trace file).Trace_reader.events in
+  let payload =
+    match format with
+    | `Chrome -> Trace_export.chrome events
+    | `Folded -> Trace_export.folded events
+    | `Prometheus ->
+      Trace_export.prometheus
+        (Adc_obs.Metrics.snapshot (Trace_export.registry_of_trace events))
+  in
+  match output with
+  | None -> print_string payload
+  | Some path ->
+    (try
+       let oc = open_out path in
+       output_string oc payload;
+       close_out oc
+     with Sys_error msg -> die "adcopt: cannot write %s: %s" path msg)
+
+let trace_export_cmd =
+  let doc = "Convert a trace to Chrome/Perfetto JSON, folded stacks, or Prometheus text." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const trace_export $ format_arg $ output_arg $ trace_file_arg)
+
+let trace_cmd =
+  let doc = "Analyze and export a recorded span trace (see docs/OBSERVABILITY.md)." in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_summary_cmd; trace_critical_path_cmd; trace_utilization_cmd;
+      trace_export_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* top level *)
 
 let main_cmd =
@@ -368,7 +513,7 @@ let main_cmd =
   let info = Cmd.info "adcopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ enumerate_cmd; optimize_cmd; sweep_cmd; synth_cmd; behavioral_cmd;
-      corners_cmd; montecarlo_cmd; area_cmd ]
+      corners_cmd; montecarlo_cmd; area_cmd; trace_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -73,7 +73,16 @@ let run ?(trials = 100) ?config ?(obs = Obs.null) ~seed (spec : Spec.t)
   let enobs = Array.make trials 0.0 in
   for i = 0 to trials - 1 do
     let rng = Rng.create (Rng.mix seed i) in
-    enobs.(i) <- one_trial rng config spec stage_config
+    (* one span per trial: these feed the same `adcopt trace summary`
+       aggregation path as the optimizer's job spans (and the live
+       progress reporter counts them). Spans read only the monotonic
+       clock, never an Rng stream, so the report stays bit-identical *)
+    let trial_span = Obs.span obs ~parent:span ~name:"montecarlo.trial" () in
+    enobs.(i) <- one_trial rng config spec stage_config;
+    Obs.Span.finish
+      ~attrs:
+        [ ("trial", Obs.Sink.Int i); ("enob", Obs.Sink.Float enobs.(i)) ]
+      trial_span
   done;
   let target = float_of_int spec.Spec.k -. config.enob_margin in
   let n_pass = Array.fold_left (fun a e -> if e >= target then a + 1 else a) 0 enobs in

@@ -41,7 +41,9 @@ val run :
     stage_config)] — bit-identical across repeated runs, evaluation
     orders and compiler versions. With a live [obs] trace sink each call
     emits one [montecarlo.run] span carrying the trial count and the
-    yield summary. *)
+    yield summary, plus one [montecarlo.trial] child span per trial
+    (attrs [trial], [enob]) — the per-trial decomposition consumed by
+    [adcopt trace summary] and the [--progress] reporter. *)
 
 val offset_sweep :
   ?trials:int ->

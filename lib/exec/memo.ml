@@ -5,6 +5,7 @@ type ('k, 'v) t = {
   table : ('k, 'v Future.t) Hashtbl.t;
   hits : Obs.Metrics.counter;
   misses : Obs.Metrics.counter;
+  trace : Obs.Sink.t;
 }
 
 let create ?(obs = Obs.null) ?(initial_size = 16) () =
@@ -13,14 +14,23 @@ let create ?(obs = Obs.null) ?(initial_size = 16) () =
     table = Hashtbl.create initial_size;
     hits = Obs.Metrics.counter obs.Obs.metrics "memo.hit";
     misses = Obs.Metrics.counter obs.Obs.metrics "memo.miss";
+    trace = obs.Obs.sink;
   }
 
+(* every lookup leaves a (near-zero-duration) [memo.lookup] span in the
+   trace so the hit rate is recoverable from a trace file alone — the
+   metrics registry may not have been enabled for the run *)
 let find_or_run t pool key compute =
+  let span = Obs.Span.start t.trace ~name:"memo.lookup" () in
+  let finish ~hit =
+    Obs.Span.finish ~attrs:[ ("hit", Obs.Sink.Bool hit) ] span
+  in
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some fut ->
     Mutex.unlock t.mutex;
     Obs.Metrics.inc t.hits;
+    finish ~hit:true;
     fut
   | None ->
     (* install the promise before releasing the lock so a racing request
@@ -29,6 +39,7 @@ let find_or_run t pool key compute =
     Hashtbl.add t.table key fut;
     Mutex.unlock t.mutex;
     Obs.Metrics.inc t.misses;
+    finish ~hit:false;
     Pool.async pool (fun () ->
         match compute key with
         | v -> Future.resolve fut v

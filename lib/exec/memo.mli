@@ -25,7 +25,9 @@ val create : ?obs:Adc_obs.t -> ?initial_size:int -> unit -> ('k, 'v) t
     every {!find_or_run} increments either [memo.hit] (promise already
     installed) or [memo.miss] (this call scheduled the computation) —
     misses therefore count {e distinct keys}, and the two together count
-    requests. *)
+    requests. When it carries a live trace sink, each lookup also emits
+    a [memo.lookup] span tagged [hit: bool], so the hit rate is
+    recoverable from a trace file alone ([adcopt trace summary]). *)
 
 val find_or_run : ('k, 'v) t -> Pool.t -> 'k -> ('k -> 'v) -> 'v Future.t
 (** [find_or_run t pool key compute] returns the future for [key],

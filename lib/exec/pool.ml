@@ -20,6 +20,7 @@ type t = {
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   instr : instruments option;
+  trace : Obs.Sink.t;         (* pool.task spans carrying the slot index *)
   created_ns : int64;
 }
 
@@ -43,10 +44,16 @@ let run_task_measured instr ~slot task =
   Obs.Metrics.add instr.busy.(slot)
     (Int64.to_int (Obs.Clock.elapsed_ns ~since:t0))
 
+(* one [pool.task] span per dequeued task, tagged with the execution
+   slot: the per-domain utilization timeline of `adcopt trace
+   utilization` is reconstructed from these. Emitted only when the
+   sink is live, so the bare path still never reads the clock. *)
 let dispatch t ~slot task =
-  match t.instr with
+  let span = Obs.Span.start t.trace ~name:"pool.task" () in
+  (match t.instr with
   | None -> run_task task
-  | Some instr -> run_task_measured instr ~slot task
+  | Some instr -> run_task_measured instr ~slot task);
+  Obs.Span.finish ~attrs:[ ("domain", Obs.Sink.Int slot) ] span
 
 let worker_loop t ~slot =
   let rec next () =
@@ -101,6 +108,7 @@ let create ?(obs = Obs.null) ?size () =
       closed = false;
       workers = [];
       instr = make_instruments obs ~size;
+      trace = obs.Obs.sink;
       created_ns = Obs.Clock.now_ns ();
     }
   in

@@ -41,8 +41,11 @@ val create : ?obs:Adc_obs.t -> ?size:int -> unit -> t
     [pool.queue_latency_ns] (histogram of submission→dequeue latency),
     [pool.domain<i>.busy_ns] (per-slot busy time, the utilization
     numerator) and [pool.wall_ns] (pool lifetime, set at {!shutdown} —
-    the utilization denominator). With a disabled registry the task path
-    performs no clock reads. *)
+    the utilization denominator). When [obs] carries a live trace sink
+    the pool additionally emits one [pool.task] span per executed task,
+    tagged with its execution-slot index — the raw material for the
+    per-domain utilization timeline of [adcopt trace utilization]. With
+    both channels disabled the task path performs no clock reads. *)
 
 val size : t -> int
 (** Number of execution slots ([1] means inline sequential execution). *)

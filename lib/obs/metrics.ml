@@ -106,49 +106,87 @@ let histogram_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.coun
 
 (* upper edge of the first bucket whose cumulative count reaches q —
    an over-estimate by at most one octave, plenty for latency telemetry *)
+let quantile_of ~count ~max_v buckets q =
+  if count = 0 then 0.0
+  else
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int count))) in
+    let n = Array.length buckets in
+    let rec scan i acc =
+      if i >= n then max_v
+      else
+        let acc = acc + buckets.(i) in
+        if acc >= target then Float.min max_v (2.0 ** float_of_int (i + 1))
+        else scan (i + 1) acc
+    in
+    scan 0 0
+
 let quantile h q =
   if h.count = 0 then 0.0
   else begin
     Mutex.lock h.h_mutex;
-    let target =
-      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
-    in
-    let rec scan i acc =
-      if i >= n_buckets then h.max_v
-      else
-        let acc = acc + h.buckets.(i) in
-        if acc >= target then Float.min h.max_v (2.0 ** float_of_int (i + 1))
-        else scan (i + 1) acc
-    in
-    let v = scan 0 0 in
+    let v = quantile_of ~count:h.count ~max_v:h.max_v h.buckets q in
     Mutex.unlock h.h_mutex;
     v
   end
 
-let render t =
-  if not t.on then ""
+(* a consistent point-in-time copy of every instrument, for renderers
+   and the Prometheus exporter in Adc_report *)
+type snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      min_v : float;
+      max_v : float;
+      buckets : int array;
+    }
+
+let bucket_upper i = 2.0 ** float_of_int (i + 1)
+
+let snapshot t =
+  if not t.on then []
   else begin
     Mutex.lock t.mutex;
     let rows = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
     Mutex.unlock t.mutex;
     let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+    List.map
+      (fun (name, m) ->
+        match m with
+        | C c -> (name, Counter (counter_value c))
+        | G g -> (name, Gauge (gauge_value g))
+        | H h ->
+          Mutex.lock h.h_mutex;
+          let s =
+            Histogram
+              { count = h.count; sum = h.sum; min_v = h.min_v; max_v = h.max_v;
+                buckets = Array.copy h.buckets }
+          in
+          Mutex.unlock h.h_mutex;
+          (name, s))
+      rows
+  end
+
+let render t =
+  if not t.on then ""
+  else begin
+    let rows = snapshot t in
     let b = Buffer.create 256 in
     Buffer.add_string b "metrics:\n";
     List.iter
-      (fun (name, m) ->
-        match m with
-        | C c ->
-          Buffer.add_string b
-            (Printf.sprintf "  %-32s %d\n" name (counter_value c))
-        | G g ->
-          Buffer.add_string b
-            (Printf.sprintf "  %-32s %.6g\n" name (gauge_value g))
-        | H h ->
+      (fun (name, s) ->
+        match s with
+        | Counter v -> Buffer.add_string b (Printf.sprintf "  %-32s %d\n" name v)
+        | Gauge v -> Buffer.add_string b (Printf.sprintf "  %-32s %.6g\n" name v)
+        | Histogram { count; sum; max_v; buckets; _ } ->
+          let q p = quantile_of ~count ~max_v buckets p in
+          let mean = if count = 0 then 0.0 else sum /. float_of_int count in
           Buffer.add_string b
             (Printf.sprintf
-               "  %-32s count %d  mean %.3g  p50 %.3g  p95 %.3g  max %.3g\n"
-               name h.count (histogram_mean h) (quantile h 0.50)
-               (quantile h 0.95) (if h.count = 0 then 0.0 else h.max_v)))
+               "  %-32s count %d  mean %.3g  p50 %.3g  p90 %.3g  p99 %.3g  max %.3g\n"
+               name count mean (q 0.50) (q 0.90) (q 0.99)
+               (if count = 0 then 0.0 else max_v)))
       rows;
     Buffer.contents b
   end

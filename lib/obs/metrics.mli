@@ -48,5 +48,32 @@ val quantile : histogram -> float -> float
     holding the [q]-th observation — exact to within one octave, and
     clamped to the true maximum. *)
 
+type snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      min_v : float;               (** [infinity] when count = 0 *)
+      max_v : float;               (** [neg_infinity] when count = 0 *)
+      buckets : int array;         (** log2 buckets, see {!bucket_upper} *)
+    }
+
+val snapshot : t -> (string * snapshot) list
+(** A point-in-time copy of every registered instrument, sorted by name
+    (each histogram copied under its own lock). Empty for a disabled
+    registry. This is what the Prometheus exporter in [Adc_report]
+    serializes. *)
+
+val bucket_upper : int -> float
+(** [bucket_upper i] is the exclusive upper edge [2^(i+1)] of histogram
+    bucket [i]. *)
+
+val quantile_of : count:int -> max_v:float -> int array -> float -> float
+(** {!quantile} computed from snapshot fields instead of a live
+    histogram. *)
+
 val render : t -> string
-(** Human-readable dump, sorted by name; [""] for a disabled registry. *)
+(** Human-readable dump, sorted by name: counters and gauges as single
+    values, histograms as [count/mean/p50/p90/p99/max]; [""] for a
+    disabled registry. *)

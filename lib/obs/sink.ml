@@ -13,8 +13,10 @@ type target =
   | Null
   | File of { oc : out_channel; mutable closed : bool }
   | Memory of event list ref
+  | Callback of (event -> unit)
+  | Tee of t * t
 
-type t = { target : target; mutex : Mutex.t }
+and t = { target : target; mutex : Mutex.t }
 
 let null = { target = Null; mutex = Mutex.create () }
 
@@ -23,8 +25,22 @@ let file path =
 
 let memory () = { target = Memory (ref []); mutex = Mutex.create () }
 
-let enabled t =
-  match t.target with Null -> false | File _ | Memory _ -> true
+let callback f = { target = Callback f; mutex = Mutex.create () }
+
+let rec enabled t =
+  match t.target with
+  | Null -> false
+  | File _ | Memory _ | Callback _ -> true
+  | Tee (a, b) -> enabled a || enabled b
+
+(* collapse disabled branches so a tee of nulls is the null sink and
+   spans stay zero-cost against it *)
+let tee a b =
+  match (enabled a, enabled b) with
+  | false, false -> null
+  | true, false -> a
+  | false, true -> b
+  | true, true -> { target = Tee (a, b); mutex = Mutex.create () }
 
 (* minimal JSON string escaping: the names and attrs we emit are ASCII,
    but user-supplied trace paths or job labels must not break the line
@@ -71,7 +87,7 @@ let event_to_json e =
   Buffer.add_string b "}}";
   Buffer.contents b
 
-let write t e =
+let rec write t e =
   match t.target with
   | Null -> ()
   | File f ->
@@ -86,29 +102,38 @@ let write t e =
     Mutex.lock t.mutex;
     r := e :: !r;
     Mutex.unlock t.mutex
+  | Callback f ->
+    (* the consumer serializes its own state; holding our mutex here
+       would serialize unrelated sinks behind a slow consumer *)
+    f e
+  | Tee (a, b) ->
+    write a e;
+    write b e
 
-let events t =
+let rec events t =
   match t.target with
-  | Null | File _ -> []
+  | Null | File _ | Callback _ -> []
   | Memory r ->
     Mutex.lock t.mutex;
     let es = List.rev !r in
     Mutex.unlock t.mutex;
     es
+  | Tee (a, b) -> events a @ events b
 
-let drain t =
+let rec drain t =
   match t.target with
-  | Null | File _ -> []
+  | Null | File _ | Callback _ -> []
   | Memory r ->
     Mutex.lock t.mutex;
     let es = List.rev !r in
     r := [];
     Mutex.unlock t.mutex;
     es
+  | Tee (a, b) -> drain a @ drain b
 
-let close t =
+let rec close t =
   match t.target with
-  | Null | Memory _ -> ()
+  | Null | Memory _ | Callback _ -> ()
   | File f ->
     Mutex.lock t.mutex;
     if not f.closed then begin
@@ -116,3 +141,6 @@ let close t =
       close_out f.oc
     end;
     Mutex.unlock t.mutex
+  | Tee (a, b) ->
+    close a;
+    close b

@@ -9,7 +9,11 @@
       bytes;
     - {!memory} — keeps the structured events in memory for programmatic
       consumption (bench tables, the reconciliation tests) without a
-      parse step.
+      parse step;
+    - {!callback} — hands every finished span to a consumer function
+      (the live progress reporter in [Adc_report.Progress]);
+    - {!tee} — duplicates writes to two sinks (e.g. a trace file plus a
+      progress callback).
 
     All writes are thread-safe; a sink may be shared freely across
     domains. *)
@@ -35,6 +39,17 @@ val file : string -> t
     failure. *)
 
 val memory : unit -> t
+
+val callback : (event -> unit) -> t
+(** A sink that invokes the consumer on every finished span, from
+    whichever domain finished it. The consumer must be thread-safe; it
+    is called without any sink lock held. *)
+
+val tee : t -> t -> t
+(** [tee a b] writes every event to both sinks. Disabled branches are
+    collapsed: a tee of two disabled sinks {e is} {!null}, so the
+    zero-cost-when-off guarantee survives composition. *)
+
 val enabled : t -> bool
 
 val write : t -> event -> unit
@@ -55,3 +70,13 @@ val close : t -> unit
 val event_to_json : event -> string
 (** The exact JSONL line {!write} produces for a file sink (exposed for
     tests and external serializers). *)
+
+val value_to_json : value -> string
+(** One attribute value in the trace encoding: [%.17g] for finite
+    floats, a quoted [string_of_float] ("nan"/"inf"/"-inf") for
+    non-finite ones. Exposed for the exporters in [Adc_report]. *)
+
+val json_escape : string -> string
+(** The string escaping {!event_to_json} applies (backslash escapes plus
+    [\uXXXX] for control characters; non-ASCII bytes pass through as
+    UTF-8). *)

@@ -1,0 +1,112 @@
+module Sink = Adc_obs.Sink
+module Clock = Adc_obs.Clock
+
+(* The reporter is a pure sink consumer: it observes finished spans via
+   a Sink.callback, reads only the monotonic clock, and draws from no
+   Rng stream — attaching it cannot perturb a result (test_report pins
+   this down). State updates take a private mutex because spans finish
+   on arbitrary pool domains. *)
+
+type t = {
+  mutex : Mutex.t;
+  out : out_channel;
+  total : int option;          (* expected work units, when known *)
+  domains : int;
+  started_ns : int64;
+  mutable units_done : int;    (* optimize.job + montecarlo.trial spans *)
+  mutable dur_sum_ns : int64;  (* summed durations of completed units *)
+  mutable evaluations : int;
+  mutable memo_hits : int;
+  mutable printed : bool;      (* whether the status line is on screen *)
+  mutable closed : bool;
+}
+
+let create ?(out = stderr) ?total ?(domains = 1) () =
+  {
+    mutex = Mutex.create ();
+    out;
+    total;
+    domains = Stdlib.max 1 domains;
+    started_ns = Clock.now_ns ();
+    units_done = 0;
+    dur_sum_ns = 0L;
+    evaluations = 0;
+    memo_hits = 0;
+    printed = false;
+    closed = false;
+  }
+
+let eta_s t =
+  match t.total with
+  | Some total when t.units_done > 0 && total > t.units_done ->
+    (* mean span duration over completed units, divided across the
+       domains still chewing on the remainder *)
+    let mean_s =
+      Int64.to_float t.dur_sum_ns /. 1e9 /. float_of_int t.units_done
+    in
+    Some (mean_s *. float_of_int (total - t.units_done) /. float_of_int t.domains)
+  | _ -> None
+
+let render t =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "\r";
+  (match t.total with
+  | Some total ->
+    Buffer.add_string b (Printf.sprintf "jobs %d/%d" t.units_done total)
+  | None -> Buffer.add_string b (Printf.sprintf "jobs %d/?" t.units_done));
+  if t.evaluations > 0 then
+    Buffer.add_string b (Printf.sprintf "  evals %d" t.evaluations);
+  Buffer.add_string b (Printf.sprintf "  memo hits %d" t.memo_hits);
+  Buffer.add_string b
+    (Printf.sprintf "  elapsed %.1fs"
+       (Int64.to_float (Clock.elapsed_ns ~since:t.started_ns) /. 1e9));
+  (match eta_s t with
+  | Some eta -> Buffer.add_string b (Printf.sprintf "  eta %.0fs" eta)
+  | None -> ());
+  (* pad over the previous, possibly longer, line *)
+  Buffer.add_string b "    ";
+  Buffer.contents b
+
+let on_event t (e : Sink.event) =
+  Mutex.lock t.mutex;
+  let count_unit () =
+    t.units_done <- t.units_done + 1;
+    t.dur_sum_ns <- Int64.add t.dur_sum_ns e.Sink.dur_ns;
+    (match List.assoc_opt "evaluations" e.Sink.attrs with
+    | Some (Sink.Int n) -> t.evaluations <- t.evaluations + n
+    | _ -> ());
+    true
+  in
+  let interesting =
+    match e.Sink.name with
+    | "optimize.job" | "montecarlo.trial" -> count_unit ()
+    (* a parentless search is a direct `adcopt synth` restart; nested
+       ones already roll up into their optimize.job span *)
+    | "synth.search" when e.Sink.parent = None -> count_unit ()
+    | "memo.lookup" ->
+      (match List.assoc_opt "hit" e.Sink.attrs with
+      | Some (Sink.Bool true) ->
+        t.memo_hits <- t.memo_hits + 1;
+        true
+      | _ -> false)
+    | _ -> false
+  in
+  if interesting && not t.closed then begin
+    output_string t.out (render t);
+    flush t.out;
+    t.printed <- true
+  end;
+  Mutex.unlock t.mutex
+
+let sink t = Sink.callback (on_event t)
+
+let finish t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    if t.printed then begin
+      output_string t.out "\n";
+      flush t.out
+    end
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,32 @@
+(** Live progress/ETA reporting for long synthesis runs.
+
+    A reporter is a {e pure sink consumer}: attach {!sink} (usually
+    teed with the real trace sink via {!Adc_obs.Sink.tee}) and it
+    counts finished work-unit spans ([optimize.job],
+    [montecarlo.trial], parentless [synth.search]) and memo hits,
+    redrawing one status line on
+    [out] after each. It reads only the monotonic clock and no
+    {!Adc_numerics.Rng} stream, so [--progress] runs are bit-identical
+    to silent ones (asserted in [test/test_report.ml]).
+
+    The ETA is estimated from completed job spans: mean span duration
+    times remaining units, divided by the domain count (the remaining
+    units run [domains]-wide). It is intentionally simple — hybrid job
+    durations vary by an order of magnitude between the backend and the
+    GHz-class front stages, so treat it as a trend, not a promise. *)
+
+type t
+
+val create : ?out:out_channel -> ?total:int -> ?domains:int -> unit -> t
+(** [out] defaults to [stderr]. [total] is the expected number of work
+    units when the caller knows it upfront (the CLI computes it from
+    the candidate enumeration before the run); without it the line
+    shows [jobs n/?] and no ETA. [domains] (default 1) is the pool
+    width used to scale the ETA. *)
+
+val sink : t -> Adc_obs.Sink.t
+(** The callback sink feeding this reporter. Thread-safe. *)
+
+val finish : t -> unit
+(** Terminate the status line (prints the final newline if anything was
+    drawn). Idempotent; further events are ignored. *)

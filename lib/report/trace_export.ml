@@ -1,0 +1,208 @@
+module Sink = Adc_obs.Sink
+module Metrics = Adc_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (loads in chrome://tracing and Perfetto) *)
+
+(* Complete ("X") events on one thread must nest by containment —
+   Perfetto stacks same-tid slices — but sibling spans from a parallel
+   run overlap without nesting. Assign each span a lane (= tid) such
+   that any two spans sharing a lane are either disjoint or nested:
+   greedy first-fit over spans sorted by start time, each lane keeping
+   its stack of currently-open intervals. Parents sort before their
+   children (earlier start, and longer at equal start), so a child
+   lands in its parent's lane whenever the parent is still open. *)
+let assign_lanes events =
+  let sorted =
+    List.stable_sort
+      (fun (a : Sink.event) (b : Sink.event) ->
+        match Int64.compare a.Sink.start_ns b.Sink.start_ns with
+        | 0 -> Int64.compare b.Sink.dur_ns a.Sink.dur_ns
+        | c -> c)
+      events
+  in
+  let lanes : int64 list ref list ref = ref [] in
+  List.map
+    (fun (e : Sink.event) ->
+      let e_end = Trace_analysis.end_ns e in
+      let rec place i = function
+        | [] ->
+          lanes := !lanes @ [ ref [ e_end ] ];
+          i
+        | stack :: rest ->
+          (* drop intervals that closed before this span starts *)
+          let open_ends =
+            List.filter (fun close -> close > e.Sink.start_ns) !stack
+          in
+          (match open_ends with
+          | [] ->
+            stack := [ e_end ];
+            i
+          | top :: _ when top >= e_end ->
+            stack := e_end :: open_ends;
+            i
+          | _ ->
+            stack := open_ends;
+            place (i + 1) rest)
+      in
+      (e, place 0 !lanes))
+    sorted
+
+let buffer_add_args b (e : Sink.event) =
+  Buffer.add_string b "{\"span_id\":";
+  Buffer.add_string b (string_of_int e.Sink.id);
+  (match e.Sink.parent with
+  | Some p ->
+    Buffer.add_string b ",\"parent\":";
+    Buffer.add_string b (string_of_int p)
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":%s" (Sink.json_escape k) (Sink.value_to_json v)))
+    e.Sink.attrs;
+  Buffer.add_char b '}'
+
+let chrome events =
+  let placed = assign_lanes events in
+  let n_lanes =
+    List.fold_left (fun acc (_, lane) -> Stdlib.max acc (lane + 1)) 0 placed
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n";
+    Buffer.add_string b s
+  in
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"adcopt\"}}";
+  for lane = 0 to n_lanes - 1 do
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"track %d\"}}"
+         (lane + 1) lane)
+  done;
+  List.iter
+    (fun ((e : Sink.event), lane) ->
+      let eb = Buffer.create 160 in
+      Buffer.add_string eb
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"adcopt\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":"
+           (Sink.json_escape e.Sink.name)
+           (Int64.to_float e.Sink.start_ns /. 1e3)
+           (Int64.to_float e.Sink.dur_ns /. 1e3)
+           (lane + 1));
+      buffer_add_args eb e;
+      Buffer.add_char eb '}';
+      emit (Buffer.contents eb))
+    placed;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* collapsed stacks ("folded") for flamegraph.pl / speedscope / inferno *)
+
+let folded events =
+  let tree = Trace_analysis.tree_of_events events in
+  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec visit prefix (n : Trace_analysis.node) =
+    let stack =
+      if prefix = "" then n.Trace_analysis.event.Sink.name
+      else prefix ^ ";" ^ n.Trace_analysis.event.Sink.name
+    in
+    (* flamegraph values are integer sample counts; self-time in
+       microseconds keeps sub-ms spans visible without overflowing *)
+    let self_us =
+      Int64.to_int (Int64.div (Trace_analysis.self_ns n) 1000L)
+    in
+    Hashtbl.replace table stack
+      (self_us + Option.value ~default:0 (Hashtbl.find_opt table stack));
+    List.iter (visit stack) n.Trace_analysis.children
+  in
+  List.iter (visit "") tree.Trace_analysis.roots;
+  Hashtbl.fold (fun stack v acc -> (stack, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (stack, v) -> Printf.sprintf "%s %d\n" stack v)
+  |> String.concat ""
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "adcopt_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let prometheus snapshot =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, s) ->
+      let n = prom_name name in
+      match (s : Metrics.snapshot) with
+      | Metrics.Counter v ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v)
+      | Metrics.Gauge v ->
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (prom_float v))
+      | Metrics.Histogram { count; sum; buckets; _ } ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+        let last_nonempty = ref (-1) in
+        Array.iteri (fun i c -> if c > 0 then last_nonempty := i) buckets;
+        let cum = ref 0 in
+        for i = 0 to !last_nonempty do
+          cum := !cum + buckets.(i);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+               (prom_float (Metrics.bucket_upper i))
+               !cum)
+        done;
+        Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count))
+    snapshot;
+  Buffer.contents b
+
+(* reconstruct a metrics registry from a trace file, so `trace export
+   --format prometheus` works offline: per-span-name duration
+   histograms plus the counters the run spans recorded about
+   themselves *)
+let registry_of_trace events =
+  let m = Metrics.create () in
+  List.iter
+    (fun (e : Sink.event) ->
+      Metrics.observe
+        (Metrics.histogram m (Printf.sprintf "span.%s.dur_ns" e.Sink.name))
+        (Int64.to_float e.Sink.dur_ns);
+      match e.Sink.name with
+      | "optimize.run" ->
+        List.iter
+          (fun (field, counter) ->
+            match Trace_analysis.attr_int field e with
+            | Some v -> Metrics.add (Metrics.counter m counter) v
+            | None -> ())
+          [
+            ("synthesis_evaluations", "optimize.evaluator_calls");
+            ("cold_jobs", "optimize.cold_jobs");
+            ("warm_jobs", "optimize.warm_jobs");
+          ]
+      | "memo.lookup" ->
+        Metrics.inc
+          (Metrics.counter m
+             (if Trace_analysis.attr_bool "hit" e = Some true then "memo.hit"
+              else "memo.miss"))
+      | _ -> ())
+    events;
+  m

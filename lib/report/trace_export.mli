@@ -1,0 +1,38 @@
+(** Trace exporters: Chrome trace-event JSON (Perfetto), collapsed
+    stacks for flamegraph tools, and Prometheus text exposition. *)
+
+val chrome : Adc_obs.Sink.event list -> string
+(** Chrome trace-event JSON ([{"traceEvents":[...]}] with complete
+    ["X"] events, timestamps in microseconds) — loads in Perfetto and
+    [chrome://tracing]. Because same-thread slices must nest, spans are
+    assigned greedily to the first {e lane} (rendered as a thread) in
+    which they are either disjoint from or contained in every other
+    span, so parallel siblings land on separate tracks while call
+    chains stack. Span attributes, ids and parents are carried in
+    [args]. *)
+
+val assign_lanes : Adc_obs.Sink.event list -> (Adc_obs.Sink.event * int) list
+(** The lane assignment {!chrome} uses, exposed for tests: sorted by
+    start time, each span paired with its 0-based lane; two spans in
+    one lane never partially overlap. *)
+
+val folded : Adc_obs.Sink.event list -> string
+(** Collapsed-stack ("folded") format: one line per unique root→span
+    name chain, [stack;names;joined value], value = summed {e
+    self}-time in microseconds — feed to [flamegraph.pl] or
+    speedscope. Lines are sorted for deterministic output. *)
+
+val prometheus : (string * Adc_obs.Metrics.snapshot) list -> string
+(** Prometheus text exposition of a {!Adc_obs.Metrics.snapshot}:
+    counters/gauges verbatim, histograms as cumulative [le] buckets on
+    the registry's power-of-two edges plus [_sum]/[_count]. Metric
+    names are prefixed [adcopt_] and sanitized to the Prometheus
+    charset. *)
+
+val registry_of_trace : Adc_obs.Sink.event list -> Adc_obs.Metrics.t
+(** Rebuild a metrics registry from a trace alone (for offline
+    [trace export --format prometheus]): one duration histogram
+    [span.<name>.dur_ns] per span name, the
+    [optimize.evaluator_calls]/[optimize.cold_jobs]/[optimize.warm_jobs]
+    counters recovered from the [optimize.run] span attributes, and
+    [memo.hit]/[memo.miss] recovered from the [memo.lookup] spans. *)

@@ -1,0 +1,59 @@
+(** Parser for the JSONL trace format written by {!Adc_obs.Sink.file}.
+
+    Dependency-free (recursive descent over the line, no JSON library)
+    and the exact inverse of {!Adc_obs.Sink.event_to_json}, including
+    the non-finite-float convention: the attribute strings
+    ["nan"]/["inf"]/["-inf"] decode back to the corresponding floats.
+
+    Two representational caveats, both inherent to JSON:
+    - an {e integral} float attribute ([Float 2.0]) is printed as ["2"]
+      and therefore decodes as [Int 2];
+    - a genuine [String "nan"] attribute is indistinguishable from an
+      encoded NaN and decodes as [Float nan].
+
+    {!load_file} recovers from a truncated trailing line — the normal
+    state of a trace whose producer was killed mid-write — by skipping
+    unparseable lines and counting them. *)
+
+exception Parse_error of string
+
+(** A minimal JSON value and parser, exposed so the exporter tests can
+    re-parse their own output without adding a JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Raises {!Parse_error} on malformed input (including trailing
+      garbage after the value). Handles the full escape set including
+      [\uXXXX] with surrogate pairs (decoded to UTF-8; lone surrogates
+      become U+FFFD). *)
+
+  val member : string -> t -> t option
+  (** Field lookup on an [Obj]; [None] on other constructors. *)
+end
+
+val parse : string -> Adc_obs.Sink.event
+(** Parse one JSONL trace line. Raises {!Parse_error} if the line is
+    not a well-formed span event. *)
+
+val parse_line : string -> (Adc_obs.Sink.event, string) result
+(** Non-raising variant of {!parse}. *)
+
+type load = {
+  events : Adc_obs.Sink.event list;  (** in file (= finish) order *)
+  skipped : int;  (** unparseable non-blank lines, e.g. a truncated tail *)
+}
+
+val load_file : string -> load
+(** Read a whole trace file. Raises [Sys_error] if the file cannot be
+    opened; never raises on malformed content ([skipped] counts it). *)
+
+val load_channel : in_channel -> load
+(** {!load_file} over an already-open channel (reads to EOF). *)

@@ -70,19 +70,23 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
         raise (Unsupported (Printf.sprintf "VCVS %s not supported by DPI" e_name))
       | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Mos _ | Netlist.Switch _ -> ())
     (Netlist.devices nl);
+  (* resolve [Auto] once, into a variant that cannot carry it: every
+     later match on the input is then exhaustive by construction instead
+     of asserting the Auto case away *)
   let input =
     match input with
     | Auto -> begin
       match !input_candidates with
-      | [ `V node ] -> Voltage_node node
-      | [ `I name ] -> Current_source name
+      | [ `V node ] -> `Voltage node
+      | [ `I name ] -> `Current name
       | [] -> raise (Unsupported "no AC source found for DPI input")
       | _ -> raise (Unsupported "multiple AC sources; specify the DPI input explicitly")
     end
-    | other -> other
+    | Voltage_node v -> `Voltage v
+    | Current_source name -> `Current name
   in
   (* a voltage-driven input node is excluded from the unknowns *)
-  let input_vnode = match input with Voltage_node v -> Some v | Current_source _ | Auto -> None in
+  let input_vnode = match input with `Voltage v -> Some v | `Current _ -> None in
   (* symbolic stamps *)
   List.iter
     (fun d ->
@@ -122,7 +126,10 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
         cap "cdb" op.caps.cdb dd b;
         cap "csb" op.caps.csb sn b
       | Netlist.Vsource _ | Netlist.Isource _ -> ()
-      | Netlist.Vcvs _ -> assert false)
+      | Netlist.Vcvs { e_name; _ } ->
+        (* the classification pass above already rejects VCVS devices;
+           reaching one here means the netlist mutated between passes *)
+        raise (Unsupported (Printf.sprintf "VCVS %s not supported by DPI" e_name)))
     (Netlist.devices nl);
   (* unknown nodes *)
   let is_unknown node =
@@ -160,7 +167,7 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
       done;
       (* current-source input *)
       (match input with
-      | Current_source src_name ->
+      | `Current src_name ->
         List.iter
           (fun d ->
             match d with
@@ -176,7 +183,7 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
             | Netlist.Isource _ | Netlist.Resistor _ | Netlist.Capacitor _
             | Netlist.Vsource _ | Netlist.Vcvs _ | Netlist.Mos _ | Netlist.Switch _ -> ())
           (Netlist.devices nl)
-      | Voltage_node _ | Auto -> ())
+      | `Voltage _ -> ())
   done;
   let env name =
     match Hashtbl.find_opt env_tbl name with
@@ -206,11 +213,11 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
   (* symbolic J column *)
   let jvec = Array.make nu Expr.zero in
   (match input with
-  | Voltage_node u ->
+  | `Voltage u ->
     Array.iteri
       (fun k node -> jvec.(k) <- Expr.neg (yget m node u))
       unknowns
-  | Current_source src_name ->
+  | `Current src_name ->
     List.iter
       (fun d ->
         match d with
@@ -224,8 +231,7 @@ let build ?(input = Auto) ?(switch_time = 0.0) nl (ss : Smallsig.t) =
           add np (-.ac_mag)
         | Netlist.Isource _ | Netlist.Resistor _ | Netlist.Capacitor _
         | Netlist.Vsource _ | Netlist.Vcvs _ | Netlist.Mos _ | Netlist.Switch _ -> ())
-      (Netlist.devices nl)
-  | Auto -> assert false);
+      (Netlist.devices nl));
   let ycell i j = yget m unknowns.(i) unknowns.(j) in
   (* frequency scale: geometric mean of the diagonal g/c corner rates *)
   let omega0 =
