@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- ablation  -- hybrid vs equation-only evaluation
      dune exec bench/main.exe -- overhead  -- tracing cost on/memory/file
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- serve     -- server-mode load (BENCH_SERVE.json)
 
    The Bechamel group holds one Test.make per table/figure pipeline (on
    their fast equation form so the measurements complete in seconds) plus
@@ -28,6 +29,9 @@ module Gp_model = Adc_baseline.Gp_model
 module Classic = Adc_baseline.Classic
 module Units = Adc_numerics.Units
 module Obs = Adc_obs
+module Json = Adc_json.Json
+module Server = Adc_serve.Server
+module Client = Adc_serve.Client
 
 let line = String.make 72 '-'
 let header title = Printf.printf "%s\n%s\n%s\n" line title line
@@ -463,6 +467,140 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* serve: server-mode load scenario.  An in-process daemon on a
+   throwaway Unix socket, N client threads issuing a mixed verb stream;
+   two phases: synchronous round trips for clean per-request latency
+   percentiles, then pipelined bursts against the bounded queue so the
+   rejection path is exercised too.  Results land in BENCH_SERVE.json. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(Stdlib.min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let serve_bench () =
+  header "serve: server-mode load (4 clients, mixed verbs)";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "adcopt-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let srv =
+    Server.create
+      { Server.default_config with
+        socket_path = Some sock;
+        workers = 2;
+        queue_depth = 4;
+        jobs = 1 }
+  in
+  let server_thread = Thread.create Server.run srv in
+  let clients = 4 and per_client = 25 in
+  (* one request per slot in a fixed rotation so every client exercises
+     every verb; optimize k cycles through the paper's range, and the
+     shared memo means later hits measure the cached path *)
+  let request_of i =
+    match i mod 5 with
+    | 0 -> Json.Obj [ ("id", Json.Int i); ("verb", Json.String "ping") ]
+    | 1 -> Json.Obj [ ("id", Json.Int i); ("verb", Json.String "enumerate");
+                      ("k", Json.Int (10 + (i mod 4))) ]
+    | 2 | 3 ->
+      Json.Obj [ ("id", Json.Int i); ("verb", Json.String "optimize");
+                 ("k", Json.Int (10 + (i mod 4))) ]
+    | _ -> Json.Obj [ ("id", Json.Int i); ("verb", Json.String "stats") ]
+  in
+  let latencies = Array.make (clients * per_client) 0.0 in
+  let ok_count = ref 0 and err_count = ref 0 in
+  let tally = Mutex.create () in
+  let is_ok resp = Json.member "ok" resp = Some (Json.Bool true) in
+  let sync_client c =
+    let conn = Client.connect_unix sock in
+    for r = 0 to per_client - 1 do
+      let i = (c * per_client) + r in
+      let t0 = Unix.gettimeofday () in
+      let resp = Client.request conn (request_of i) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock tally;
+      latencies.(i) <- dt *. 1e3;
+      if is_ok resp then incr ok_count else incr err_count;
+      Mutex.unlock tally
+    done;
+    Client.close conn
+  in
+  let wall0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun c -> Thread.create sync_client c) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  (* burst phase: each client pipelines a burst twice the queue depth,
+     so with both workers busy some sends must bounce off admission *)
+  let burst = 8 and burst_rejected = ref 0 and burst_total = ref 0 in
+  let burst_client c =
+    let conn = Client.connect_unix sock in
+    for round = 0 to 1 do
+      for b = 0 to burst - 1 do
+        Client.send conn
+          (Json.Obj [ ("id", Json.Int ((c * 1000) + (round * 100) + b));
+                      ("verb", Json.String "ping");
+                      ("delay_ms", Json.Int 5) ])
+      done;
+      for _ = 0 to burst - 1 do
+        let resp = Client.recv conn in
+        Mutex.lock tally;
+        incr burst_total;
+        if not (is_ok resp) then incr burst_rejected;
+        Mutex.unlock tally
+      done
+    done;
+    Client.close conn
+  in
+  let threads = List.init clients (fun c -> Thread.create burst_client c) in
+  List.iter Thread.join threads;
+  Server.stop srv;
+  Thread.join server_thread;
+  let total = clients * per_client in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50
+  and p90 = percentile latencies 0.90
+  and p99 = percentile latencies 0.99 in
+  let mean = Array.fold_left ( +. ) 0.0 latencies /. float_of_int total in
+  let throughput = float_of_int total /. wall in
+  Printf.printf "  %d requests over %d clients in %.3f s  (%.1f req/s)\n"
+    total clients wall throughput;
+  Printf.printf "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  mean %.2f\n"
+    p50 p90 p99 mean;
+  Printf.printf "  burst phase: %d pipelined requests, %d rejected (overloaded)\n"
+    !burst_total !burst_rejected;
+  Printf.printf "  server counters: %d admitted, %d completed, %d overloaded\n\n"
+    (Server.requests srv) (Server.completed srv) (Server.overloaded srv);
+  let json =
+    Json.Obj
+      [ ("clients", Json.Int clients);
+        ("requests", Json.Int total);
+        ("ok", Json.Int !ok_count);
+        ("errors", Json.Int !err_count);
+        ("wall_s", Json.Float wall);
+        ("throughput_rps", Json.Float throughput);
+        ("latency_ms",
+         Json.Obj
+           [ ("p50", Json.Float p50); ("p90", Json.Float p90);
+             ("p99", Json.Float p99); ("mean", Json.Float mean) ]);
+        ("burst",
+         Json.Obj
+           [ ("requests", Json.Int !burst_total);
+             ("rejected", Json.Int !burst_rejected) ]);
+        ("server",
+         Json.Obj
+           [ ("admitted", Json.Int (Server.requests srv));
+             ("completed", Json.Int (Server.completed srv));
+             ("overloaded", Json.Int (Server.overloaded srv));
+             ("deadline_exceeded", Json.Int (Server.deadline_exceeded srv)) ]) ]
+  in
+  let oc = open_out "BENCH_SERVE.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_SERVE.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* entry point *)
 
 let () =
@@ -492,6 +630,7 @@ let () =
   | "extensions" -> extensions ()
   | "overhead" -> overhead ()
   | "micro" -> micro ()
+  | "serve" -> serve_bench ()
   | "fast" ->
     fig1 ~hybrid:false ();
     fig2 ~hybrid:false ();
@@ -508,5 +647,5 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|fast|all)\n" other;
+      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|serve|fast|all)\n" other;
     exit 1

@@ -15,6 +15,12 @@ module Metrics = Adc_pipeline.Metrics
 module Synthesizer = Adc_synth.Synthesizer
 module Units = Adc_numerics.Units
 module Pool = Adc_exec.Pool
+module Cancel = Adc_exec.Cancel
+module Json = Adc_json.Json
+module Codec = Adc_serve.Codec
+module Store = Adc_serve.Store
+module Server = Adc_serve.Server
+module Client = Adc_serve.Client
 module Trace_reader = Adc_report.Trace_reader
 module Trace_analysis = Adc_report.Trace_analysis
 module Trace_export = Adc_report.Trace_export
@@ -85,7 +91,36 @@ let progress_arg =
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let timeout_arg =
+  let doc =
+    "Give up after $(docv) seconds: the run returns its best-so-far \
+     result, a truncation note goes to stderr, and the exit status is 2. \
+     Expiry is cooperative (polled between jobs and restart attempts), \
+     so the wall time may overshoot by one attempt."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let cancel_of_timeout = function
+  | None -> Cancel.never
+  | Some after_s -> Cancel.with_deadline ~after_s ()
+
+(* --timeout contract shared by optimize/sweep/synth: note + exit 2 *)
+let finish_truncated what =
+  Printf.eprintf
+    "adcopt: %s timed out; results above are the best found so far\n" what;
+  exit 2
+
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let host_port_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> die "adcopt: --listen expects HOST:PORT, got %s" s
+  | Some i ->
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | Some p when p >= 0 -> ((if host = "" then "127.0.0.1" else host), p)
+    | Some _ | None -> die "adcopt: bad port in --listen %s" s)
 
 (* build the observability context for one command invocation; callers
    must [finish_obs] it so the trace file is flushed, the status line
@@ -103,10 +138,14 @@ let obs_of ?(progress = false) ?total ?domains trace metrics =
       Some p )
   end
 
-let finish_obs ((obs : Adc_obs.t), progress) =
+(* [to_stderr] keeps the metrics table off stdout when stdout carries a
+   machine-readable payload (--json) *)
+let finish_obs ?(to_stderr = false) ((obs : Adc_obs.t), progress) =
   Option.iter Progress.finish progress;
-  if Adc_obs.Metrics.enabled obs.Adc_obs.metrics then
-    print_string (Adc_obs.Metrics.render obs.Adc_obs.metrics);
+  if Adc_obs.Metrics.enabled obs.Adc_obs.metrics then begin
+    let table = Adc_obs.Metrics.render obs.Adc_obs.metrics in
+    if to_stderr then prerr_string table else print_string table
+  end;
   Adc_obs.close obs
 
 (* 0 = auto-detect; the pool itself clamps to >= 1 *)
@@ -134,19 +173,10 @@ let enumerate_cmd =
 (* ------------------------------------------------------------------ *)
 (* optimize *)
 
-let optimize k fs mode seed attempts jobs trace metrics progress =
-  let spec = spec_of k fs in
-  let jobs = resolve_jobs jobs in
-  let total =
-    List.length
-      (Spec.distinct_jobs spec
-         (Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec)))
-  in
-  let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
-  let run = Optimize.run ~mode ~seed ~attempts ~jobs ~obs spec in
+let print_optimize_human spec (run : Optimize.run) =
   print_string (Report.candidate_summary run);
   print_string (Report.fig1_table run);
-  (match mode with
+  (match run.Optimize.mode with
   | `Equation -> ()
   | `Hybrid | `Hybrid_verified ->
     Printf.printf
@@ -163,19 +193,84 @@ let optimize k fs mode seed attempts jobs trace metrics progress =
     "full converter (equation model): %s = S/H %s + front stages + %d-stage backend\n"
     (Units.format_power full.Adc_pipeline.Power_model.p_full)
     (Units.format_power full.Adc_pipeline.Power_model.p_sha)
-    (List.length full.Adc_pipeline.Power_model.backend);
-  finish_obs ctx
+    (List.length full.Adc_pipeline.Power_model.backend)
+
+(* summary printed for a design-store hit in human mode (the stored
+   payload has no wall-time or domain figures — they are not part of
+   the deterministic result) *)
+let print_stored_human payload =
+  let str name =
+    match Json.member name payload with Some (Json.String s) -> s | _ -> "?"
+  in
+  let num name =
+    match Json.member name payload with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> Float.nan
+  in
+  Printf.printf "optimum: %s at %s (replayed from the design store)\n"
+    (str "optimum")
+    (Units.format_power (num "p_total"))
+
+let optimize k fs mode seed attempts jobs timeout store json trace metrics
+    progress =
+  let spec = spec_of k fs in
+  let store = Option.map Store.open_dir store in
+  let key = Codec.key_optimize ~k ~fs_mhz:fs ~mode ~seed ~attempts in
+  match Option.bind store (fun s -> Store.find s ~key) with
+  | Some payload ->
+    (* stored bytes are the canonical serialization: print them verbatim
+       so a warm CLI run is byte-identical to the cold one *)
+    if json then print_endline payload
+    else print_stored_human (Json.parse payload)
+  | None ->
+    let jobs = resolve_jobs jobs in
+    let total =
+      List.length
+        (Spec.distinct_jobs spec
+           (Config.enumerate_leading ~k ~backend_bits:(Spec.backend_bits spec)))
+    in
+    let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
+    let cancel = cancel_of_timeout timeout in
+    let run = Optimize.run ~mode ~seed ~attempts ~jobs ~obs ~cancel spec in
+    let payload = Codec.optimize_payload run in
+    if json then print_endline (Json.to_string payload)
+    else print_optimize_human spec run;
+    (match store with
+    | Some s when not run.Optimize.truncated ->
+      Store.add s ~key ~payload:(Json.to_string payload)
+    | _ -> ());
+    finish_obs ~to_stderr:json ctx;
+    if run.Optimize.truncated then finish_truncated "optimization"
+
+let store_arg =
+  let doc =
+    "Persistent design store directory (created if missing): a completed \
+     run is recorded under its (k, fs, mode, seed, attempts) key and \
+     replayed byte-identically by later runs — including a concurrently \
+     running $(b,adcopt serve) pointed at the same directory."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let json_arg =
+  let doc =
+    "Print the result as one line of canonical JSON on stdout (the same \
+     payload the serve daemon returns in its $(b,result) field) instead \
+     of the human tables. Metrics and progress go to stderr."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let optimize_cmd =
   let doc = "Run the topology optimization for one converter spec." in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const optimize $ k_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
-          $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
+          $ jobs_arg $ timeout_arg $ store_arg $ json_arg $ trace_arg
+          $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep k_lo k_hi fs mode seed attempts jobs trace metrics progress =
+let sweep k_lo k_hi fs mode seed attempts jobs timeout trace metrics progress =
   let jobs = resolve_jobs jobs in
   let ks = List.init (k_hi - k_lo + 1) (fun i -> k_lo + i) in
   (* each resolution is optimized twice — once for the Fig. 2 table and
@@ -194,8 +289,13 @@ let sweep k_lo k_hi fs mode seed attempts jobs trace metrics progress =
         0 ks
   in
   let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
+  let cancel = cancel_of_timeout timeout in
   let runs =
-    List.map (fun k -> Optimize.run ~mode ~seed ~attempts ~jobs ~obs (spec_of k fs)) ks
+    List.filter_map
+      (fun k ->
+        if Cancel.cancelled cancel then None
+        else Some (Optimize.run ~mode ~seed ~attempts ~jobs ~obs ~cancel (spec_of k fs)))
+      ks
   in
   print_string (Report.fig2_table runs);
   (match mode with
@@ -209,10 +309,11 @@ let sweep k_lo k_hi fs mode seed attempts jobs trace metrics progress =
           r.Optimize.wall_time_s r.Optimize.domains)
       runs);
   let chart =
-    Rules.sweep ~mode ~seed ~jobs ~obs ~k_values:ks (fun ~k -> spec_of k fs)
+    Rules.sweep ~mode ~seed ~jobs ~obs ~cancel ~k_values:ks (fun ~k -> spec_of k fs)
   in
   print_string (Rules.render chart);
-  finish_obs ctx
+  finish_obs ctx;
+  if Cancel.cancelled cancel then finish_truncated "sweep"
 
 let k_lo_arg =
   Arg.(value & opt int 10 & info [ "from" ] ~docv:"BITS" ~doc:"Lowest resolution.")
@@ -224,12 +325,13 @@ let sweep_cmd =
   let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg
-          $ attempts_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
+          $ attempts_arg $ jobs_arg $ timeout_arg $ trace_arg $ metrics_arg
+          $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth: one MDAC job *)
 
-let synth m bits fs seed attempts jobs trace metrics progress =
+let synth m bits fs seed attempts jobs timeout trace metrics progress =
   let spec = spec_of 13 fs in
   let jobs = resolve_jobs jobs in
   let ((obs, _) as ctx) =
@@ -251,27 +353,34 @@ let synth m bits fs seed attempts jobs trace metrics progress =
      per-attempt seeds derive from the attempt index, so the winner is
      the same for every --jobs value *)
   let t0 = Unix.gettimeofday () in
+  let cancel = cancel_of_timeout timeout in
   let restarts =
     Pool.with_pool ~obs ~size:jobs (fun pool ->
         Pool.map_ordered pool
           (fun a ->
-            Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a) ~obs
-              spec.Spec.process req)
+            if Cancel.cancelled cancel then None
+            else
+              Some
+                (Synthesizer.synthesize ~seed:(Adc_numerics.Rng.mix seed a)
+                   ~obs spec.Spec.process req))
           (List.init (Stdlib.max 1 attempts) Fun.id))
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let truncated = List.exists Option.is_none restarts in
   let evaluations =
     List.fold_left
-      (fun acc -> function Ok s -> acc + s.Synthesizer.evaluations | Error _ -> acc)
+      (fun acc -> function
+        | Some (Ok s) -> acc + s.Synthesizer.evaluations
+        | Some (Error _) | None -> acc)
       0 restarts
   in
   let best =
     List.fold_left
       (fun acc r ->
         match (acc, r) with
-        | None, Ok s -> Some s
-        | Some b, Ok s -> Some (Optimize.better b s)
-        | _, Error _ -> acc)
+        | None, Some (Ok s) -> Some s
+        | Some b, Some (Ok s) -> Some (Optimize.better b s)
+        | _, (Some (Error _) | None) -> acc)
       None restarts
   in
   (match best with
@@ -284,7 +393,8 @@ let synth m bits fs seed attempts jobs trace metrics progress =
        else Printf.sprintf "violation %.3f" sol.Synthesizer.violation)
       attempts evaluations elapsed;
     List.iter (fun (k, v) -> Printf.printf "  %-10s %.4g\n" k v) sol.Synthesizer.metrics);
-  finish_obs ctx
+  finish_obs ctx;
+  if truncated then finish_truncated "synthesis"
 
 let m_arg =
   Arg.(value & opt int 3 & info [ "m" ] ~docv:"BITS" ~doc:"Stage resolution (2-4).")
@@ -296,7 +406,7 @@ let synth_cmd =
   let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(const synth $ m_arg $ bits_arg $ fs_arg $ seed_arg $ attempts_arg
-          $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
+          $ jobs_arg $ timeout_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* behavioral *)
@@ -506,6 +616,146 @@ let trace_cmd =
       trace_export_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve: the synthesis service *)
+
+let default_socket = "/tmp/adcopt.sock"
+
+let serve_socket_arg =
+  let doc = "Unix-domain socket to listen on." in
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let listen_arg =
+  let doc = "Also listen on TCP $(docv) (e.g. 127.0.0.1:7400)." in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+
+let queue_depth_arg =
+  let doc =
+    "Admission queue bound: with $(docv) requests already waiting, new \
+     work is refused immediately with an $(b,overloaded) error."
+  in
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc = "Request worker threads draining the admission queue." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Default per-request deadline in seconds, applied to requests that \
+     carry no $(b,deadline_ms) of their own."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let serve socket listen queue_depth workers jobs store deadline trace metrics =
+  let jobs = resolve_jobs jobs in
+  let tcp = Option.map host_port_of_string listen in
+  let ((obs, _) as ctx) = obs_of trace metrics in
+  let cfg =
+    {
+      Server.socket_path = Some socket;
+      tcp;
+      queue_depth;
+      workers;
+      jobs;
+      store_dir = store;
+      default_deadline_s = deadline;
+      obs;
+    }
+  in
+  let srv =
+    try Server.create cfg
+    with Unix.Unix_error (e, _, arg) ->
+      die "adcopt serve: cannot listen (%s: %s)" arg (Unix.error_message e)
+  in
+  (* SIGTERM/SIGINT begin the graceful drain: stop accepting, finish
+     queued and in-flight work, flush, then Server.run returns *)
+  let request_stop _ = Server.stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.eprintf "adcopt serve: listening on %s%s (%d workers, %d domains%s)\n%!"
+    socket
+    (match (tcp, Server.tcp_port srv) with
+    | Some (h, _), Some p -> Printf.sprintf " and %s:%d" h p
+    | _ -> "")
+    workers jobs
+    (match store with Some d -> ", store " ^ d | None -> "");
+  Server.run srv;
+  Printf.eprintf "adcopt serve: drained, bye\n%!";
+  finish_obs ~to_stderr:true ctx;
+  exit 0
+
+let serve_cmd =
+  let doc =
+    "Serve synthesis requests over a socket (newline-delimited JSON; see \
+     docs/SERVER.md). Results are deterministic and shared: repeated \
+     requests replay from the in-memory cache or the $(b,--store) \
+     directory byte-identically."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve $ serve_socket_arg $ listen_arg $ queue_depth_arg
+          $ workers_arg $ jobs_arg $ store_arg $ deadline_arg $ trace_arg
+          $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* call: one request against a running daemon *)
+
+let connect_arg =
+  let doc = "Connect over TCP to $(docv) instead of the Unix socket." in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let extract_arg =
+  let doc =
+    "Print only this top-level response field (canonical JSON). \
+     $(b,--extract result) of a served $(b,optimize) is byte-identical \
+     to $(b,adcopt optimize --json)."
+  in
+  Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"FIELD" ~doc)
+
+let request_json_arg =
+  let doc = "The request object, e.g. '{\"verb\":\"optimize\",\"k\":12}'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
+
+let call socket connect extract request =
+  let request =
+    match Json.parse request with
+    | json -> json
+    | exception Json.Parse_error msg -> die "adcopt call: bad request: %s" msg
+  in
+  let client =
+    try
+      match connect with
+      | Some hp -> let h, p = host_port_of_string hp in Client.connect_tcp h p
+      | None -> Client.connect_unix socket
+    with Unix.Unix_error (e, _, _) ->
+      die "adcopt call: cannot connect: %s" (Unix.error_message e)
+  in
+  let response =
+    match Client.request client request with
+    | r -> r
+    | exception End_of_file -> die "adcopt call: server closed the connection"
+  in
+  Client.close client;
+  (match extract with
+  | None -> print_endline (Json.to_string response)
+  | Some field -> (
+    match Json.member field response with
+    | Some v -> print_endline (Json.to_string v)
+    | None -> die "adcopt call: no %S field in the response" field));
+  match Json.member "ok" response with
+  | Some (Json.Bool false) -> exit 3
+  | _ -> ()
+
+let call_cmd =
+  let doc =
+    "Send one JSON request to a running $(b,adcopt serve) and print the \
+     response (exit 3 when the daemon answers an error)."
+  in
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(const call $ serve_socket_arg $ connect_arg $ extract_arg
+          $ request_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* top level *)
 
 let main_cmd =
@@ -513,7 +763,7 @@ let main_cmd =
   let info = Cmd.info "adcopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ enumerate_cmd; optimize_cmd; sweep_cmd; synth_cmd; behavioral_cmd;
-      corners_cmd; montecarlo_cmd; area_cmd; trace_cmd ]
+      corners_cmd; montecarlo_cmd; area_cmd; trace_cmd; serve_cmd; call_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -2,6 +2,7 @@ module Synthesizer = Adc_synth.Synthesizer
 module Pool = Adc_exec.Pool
 module Memo = Adc_exec.Memo
 module Future = Adc_exec.Future
+module Cancel = Adc_exec.Cancel
 module Rng = Adc_numerics.Rng
 module Obs = Adc_obs
 
@@ -34,6 +35,7 @@ type run = {
   warm_jobs : int;
   domains : int;
   wall_time_s : float;
+  truncated : bool;
 }
 
 (* prefer feasible solutions, then lowest power; among infeasible ones,
@@ -92,12 +94,21 @@ let donor_preferences jobs =
    solution (None if every attempt failed) and the evaluator calls
    consumed. *)
 let synthesize_one (spec : Spec.t) ~kind ~seed ~attempts ~budget ~warm_start
-    ~obs ~job_span (job : Spec.job) =
+    ~cancel ~obs ~job_span (job : Spec.job) =
   let req = Spec.stage_requirements spec job in
   let job_seed = Rng.mix seed (job_salt job) in
   let attempts = attempts_for ~attempts job in
+  let skipped = ref 0 in
   let runs =
     List.init attempts (fun a ->
+        (* cooperative cancellation, attempt granularity: a tripped
+           deadline skips the remaining restarts and keeps whatever the
+           finished ones found (best-so-far) *)
+        if Cancel.cancelled cancel then begin
+          incr skipped;
+          Error "cancelled"
+        end
+        else
         let s = Rng.mix job_seed a in
         let attempt_span =
           Obs.span obs ~parent:job_span
@@ -146,14 +157,16 @@ let synthesize_one (spec : Spec.t) ~kind ~seed ~attempts ~budget ~warm_start
           (match acc with None -> Some sol | Some b -> Some (better b sol)))
       None runs
   in
-  (best, !evals)
+  (best, !evals, !skipped > 0)
 
 (* one entry per distinct job: solution (None = all attempts failed),
-   evaluator calls, whether a warm-start donor was available *)
+   evaluator calls, whether a warm-start donor was available, and
+   whether a cancellation cut any of its restarts short *)
 type job_outcome = {
   solution : Synthesizer.solution option;
   evaluations : int;
   warm : bool;
+  job_truncated : bool;
 }
 
 (* the trace record of one synthesized job: emitted from whichever
@@ -175,6 +188,7 @@ let finish_job_span span (job : Spec.job) ~attempts ~(outcome : job_outcome) =
         ("evaluations", Int outcome.evaluations);
         ("warm", Bool outcome.warm);
         ("solved", Bool (Option.is_some outcome.solution));
+        ("truncated", Bool outcome.job_truncated);
       ]
     in
     let attrs =
@@ -190,15 +204,42 @@ let finish_job_span span (job : Spec.job) ~attempts ~(outcome : job_outcome) =
     Obs.Span.finish ~attrs span
   end
 
-let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool ~obs
-    ~run_span jobs =
+(* The shared runtime of a long-lived process ([adcopt serve]): one
+   domain pool and one memo cache spanning every run that is handed the
+   same [shared] value. Memo entries are keyed by (context digest, job)
+   where the digest covers {e everything} a job outcome depends on —
+   spec, candidate schedule (donor choice is schedule-determined), mode,
+   seed, attempts, budget — so two requests share an entry if and only
+   if they would compute bit-identical outcomes. *)
+type shared = {
+  sh_pool : Pool.t;
+  sh_memo : (string * Spec.job, job_outcome) Memo.t;
+}
+
+let create_shared ?obs ?jobs () =
+  { sh_pool = Pool.create ?obs ?size:jobs (); sh_memo = Memo.create ?obs () }
+
+let shutdown_shared sh = Pool.shutdown sh.sh_pool
+let shared_pool sh = sh.sh_pool
+let shared_jobs_cached sh = Memo.length sh.sh_memo
+
+let context_key (spec : Spec.t) ~candidates ~mode_name ~seed ~attempts ~budget =
+  (* Marshal is safe here: Spec.t and budget are closure-free records,
+     and the digest only needs in-process stability (the cross-process
+     store builds its keys from explicit request fields instead) *)
+  let fingerprint =
+    Digest.to_hex (Digest.string (Marshal.to_string (spec, candidates, budget) []))
+  in
+  Printf.sprintf "%s|%d|%d|%s" mode_name seed attempts fingerprint
+
+let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
+    ~memo ~ctx ~obs ~run_span jobs =
   let kind =
     match mode with
     | `Equation -> Synthesizer.Equation_only
     | `Hybrid -> Synthesizer.Hybrid
     | `Hybrid_verified -> Synthesizer.Hybrid_verified
   in
-  let memo : (Spec.job, job_outcome) Memo.t = Memo.create ~obs () in
   (* submit in hardest-first schedule order: every donor of a job
      precedes it in the FIFO queue, so a blocked worker always has a
      strictly-earlier task to wait on and the pool cannot deadlock *)
@@ -206,40 +247,70 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool ~obs
     List.map
       (fun (job, donor_jobs) ->
         let donor_futures =
-          List.filter_map (fun d -> Memo.find memo d) donor_jobs
+          List.filter_map (fun d -> Memo.find memo (ctx, d)) donor_jobs
         in
-        Memo.find_or_run memo pool job (fun job ->
+        Memo.find_or_run memo pool (ctx, job) (fun (_, job) ->
             (* the span covers donor-await time too: blocking on a
                warm-start donor is part of the job's critical path *)
             let span = Obs.span obs ~parent:run_span ~name:"optimize.job" () in
-            let donor =
-              List.find_map
-                (fun f ->
-                  match (Future.await f).solution with
-                  | Some sol -> Some sol
-                  | None -> None)
-                donor_futures
-            in
-            let warm_start = Option.map (fun s -> s.Synthesizer.sizing) donor in
-            let solution, evaluations =
-              synthesize_one spec ~kind ~seed ~attempts ~budget ~warm_start ~obs
-                ~job_span:span job
-            in
-            let outcome = { solution; evaluations; warm = warm_start <> None } in
-            finish_job_span span job ~attempts ~outcome;
-            outcome))
+            if Cancel.cancelled cancel then begin
+              (* deadline tripped before this job started: publish an
+                 empty outcome immediately so every future settles, the
+                 queue drains, and the pool stays reusable; the caller
+                 falls back to the equation model for this stage *)
+              let outcome =
+                { solution = None; evaluations = 0; warm = false;
+                  job_truncated = true }
+              in
+              finish_job_span span job ~attempts ~outcome;
+              outcome
+            end
+            else begin
+              let donor =
+                List.find_map
+                  (fun f ->
+                    match (Future.await f).solution with
+                    | Some sol -> Some sol
+                    | None -> None)
+                  donor_futures
+              in
+              let warm_start = Option.map (fun s -> s.Synthesizer.sizing) donor in
+              let solution, evaluations, job_truncated =
+                synthesize_one spec ~kind ~seed ~attempts ~budget ~warm_start
+                  ~cancel ~obs ~job_span:span job
+              in
+              let outcome =
+                { solution; evaluations; warm = warm_start <> None;
+                  job_truncated }
+              in
+              finish_job_span span job ~attempts ~outcome;
+              outcome
+            end))
       (donor_preferences jobs)
   in
   (* deterministic assembly: await and aggregate in schedule order *)
   let cache : (Spec.job, Synthesizer.solution) Hashtbl.t = Hashtbl.create 16 in
   let total_evals = ref 0 and cold = ref 0 and warm = ref 0 in
+  let truncated = ref false in
   List.iter2
     (fun job fut ->
       let outcome = Future.await fut in
       total_evals := !total_evals + outcome.evaluations;
       if outcome.warm then incr warm else incr cold;
+      if outcome.job_truncated then begin
+        truncated := true;
+        (* never let a deadline-truncated outcome persist in a shared
+           cache: evict it so the next request with this key recomputes
+           the complete result (current holders of the future still see
+           the truncated value — and report [truncated] themselves) *)
+        Memo.remove memo (ctx, job)
+      end;
       match outcome.solution with
       | Some sol -> Hashtbl.replace cache job sol
+      | None when outcome.job_truncated ->
+        Logs.warn (fun m ->
+            m "synthesis of %s cancelled before any attempt finished"
+              (Spec.job_to_string job))
       | None ->
         Logs.warn (fun m -> m "synthesis of %s failed" (Spec.job_to_string job)))
     jobs futures;
@@ -249,10 +320,11 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~pool ~obs
   Obs.Metrics.add (Obs.Metrics.counter m "optimize.evaluator_calls") !total_evals;
   Obs.Metrics.add (Obs.Metrics.counter m "optimize.cold_jobs") !cold;
   Obs.Metrics.add (Obs.Metrics.counter m "optimize.warm_jobs") !warm;
-  (cache, !total_evals, !cold, !warm)
+  (cache, !total_evals, !cold, !warm, !truncated)
 
 let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
-    ?(jobs = 1) ?(obs = Obs.null) (spec : Spec.t) =
+    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared
+    (spec : Spec.t) =
   let t_start = Unix.gettimeofday () in
   let candidates =
     match candidates with
@@ -276,8 +348,14 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
   let distinct_jobs =
     candidate_jobs |> List.concat_map snd |> List.sort_uniq Spec.compare_job
   in
-  let domains = if mode = `Equation then 1 else Stdlib.max 1 jobs in
-  let cache, synthesis_evaluations, cold_jobs, warm_jobs =
+  let domains =
+    if mode = `Equation then 1
+    else
+      match shared with
+      | Some sh -> Pool.size sh.sh_pool
+      | None -> Stdlib.max 1 jobs
+  in
+  let cache, synthesis_evaluations, cold_jobs, warm_jobs, truncated =
     match mode with
     | `Equation ->
       (* no synthesis phase — still emit one (near-empty) span per
@@ -297,11 +375,22 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
               ]
             span)
         (if Obs.tracing obs then distinct_jobs else []);
-      (Hashtbl.create 1, 0, 0, 0)
+      (Hashtbl.create 1, 0, 0, 0, Cancel.cancelled cancel)
     | `Hybrid | `Hybrid_verified ->
-      Pool.with_pool ~obs ~size:domains (fun pool ->
-          synthesize_jobs spec ~mode ~seed ~attempts ~budget ~pool ~obs ~run_span
-            distinct_jobs)
+      let ctx =
+        context_key spec ~candidates ~mode_name ~seed ~attempts ~budget
+      in
+      (match shared with
+      | Some sh ->
+        (* long-lived runtime: the pool and memo outlive this run, so
+           a later request with the same context warm-hits every job *)
+        synthesize_jobs spec ~mode ~seed ~attempts ~budget ~cancel
+          ~pool:sh.sh_pool ~memo:sh.sh_memo ~ctx ~obs ~run_span distinct_jobs
+      | None ->
+        Pool.with_pool ~obs ~size:domains (fun pool ->
+            let memo = Memo.create ~obs () in
+            synthesize_jobs spec ~mode ~seed ~attempts ~budget ~cancel ~pool
+              ~memo ~ctx ~obs ~run_span distinct_jobs))
   in
   let stage_result index (job : Spec.job) =
     let p_comparator = Spec.comparator_power spec ~m:job.Spec.m in
@@ -383,6 +472,7 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
         ("warm_jobs", Obs.Sink.Int warm_jobs);
         ("optimum", Obs.Sink.String (Config.to_string optimum.config));
         ("p_total_w", Obs.Sink.Float optimum.p_total);
+        ("truncated", Obs.Sink.Bool truncated);
       ]
     run_span;
   {
@@ -396,6 +486,7 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     warm_jobs;
     domains;
     wall_time_s;
+    truncated;
   }
 
 let optimum_config r = r.optimum.config

@@ -94,7 +94,42 @@ type run = {
   warm_jobs : int;  (** jobs warm-started from a donor's sizing *)
   domains : int;    (** pool size the synthesis phase actually used *)
   wall_time_s : float;  (** wall-clock time of the whole run *)
+  truncated : bool;
+      (** a cancellation token tripped before the synthesis phase
+          finished: one or more jobs lost restarts (their best-so-far
+          was kept) or never ran (their stages fell back to the
+          equation power model). Always [false] without [?cancel]. *)
 }
+
+(** {1 The shared runtime}
+
+    A {!shared} value is the long-lived half of a serving process: one
+    domain pool and one promise-keyed memo cache spanning every run
+    that is handed the same value ([adcopt serve] owns exactly one).
+    Memo entries are keyed by (context digest, job), where the digest
+    covers everything a job outcome depends on — spec, candidate
+    schedule, mode, seed, attempts, budget — so a repeated request
+    warm-hits every job and returns a bit-identical result without
+    recomputing, while any parameter change recomputes from scratch.
+    Outcomes truncated by a request deadline are evicted on completion
+    and never persist in the cache. *)
+
+type shared
+
+val create_shared : ?obs:Adc_obs.t -> ?jobs:int -> unit -> shared
+(** [create_shared ~jobs ()] spawns the pool ([jobs] domains, default
+    {!Adc_exec.Pool.recommended_size}) and an empty cache. *)
+
+val shutdown_shared : shared -> unit
+(** Drain and join the pool. The cache stays readable. *)
+
+val shared_pool : shared -> Adc_exec.Pool.t
+(** The runtime's pool, for callers fanning out their own work (e.g.
+    the serve [synth] verb's restart fan-out). *)
+
+val shared_jobs_cached : shared -> int
+(** Number of distinct (context, job) entries ever cached — the
+    [jobs_cached] figure of [adcopt serve]'s [stats] verb. *)
 
 val run :
   ?mode:mode ->
@@ -104,6 +139,8 @@ val run :
   ?candidates:Config.t list ->
   ?jobs:int ->
   ?obs:Adc_obs.t ->
+  ?cancel:Adc_exec.Cancel.t ->
+  ?shared:shared ->
   Spec.t ->
   run
 (** Optimize one converter spec.
@@ -138,7 +175,21 @@ val run :
       [optimize.warm_jobs] counters plus the pool and memo telemetry
       (see {!Adc_exec.Pool.create} and {!Adc_exec.Memo.create}).
       Instrumentation never reads any RNG stream: enabling it leaves
-      every synthesis result bit-identical. *)
+      every synthesis result bit-identical.
+    - [cancel] (default {!Adc_exec.Cancel.never}) — cooperative
+      cancellation, polled before each job and before each restart
+      attempt. After it trips, in-flight attempts finish, pending jobs
+      publish empty outcomes (their stages fall back to the equation
+      model), every future settles, and the run returns with
+      {!run.truncated} set — nothing leaks and the pool stays usable.
+      Truncated results are best-effort and {e not} deterministic (the
+      cut point depends on the wall clock).
+    - [shared] — run on a long-lived {!shared} runtime instead of a
+      private pool/memo pair. [jobs] is then ignored ({!run.domains}
+      reports the shared pool's size) and job outcomes persist across
+      runs under the full context key, which is what makes a repeated
+      request to [adcopt serve] bit-identical to its first computation
+      at near-zero cost. *)
 
 val optimum_config : run -> Config.t
 (** [optimum_config r] is [r.optimum.config]. *)

@@ -71,12 +71,21 @@ let derive rows =
     summary;
   }
 
-let sweep ?(mode = `Equation) ?(seed = 11) ?budget ?jobs ?obs ~k_values make_spec =
+let sweep ?(mode = `Equation) ?(seed = 11) ?budget ?jobs ?obs ?cancel ?shared
+    ~k_values make_spec =
+  (* a tripped token between resolutions stops cleanly: the chart is
+     derived from the resolutions that completed (callers inspect the
+     token to report the truncation) *)
   let rows =
-    List.map
+    List.filter_map
       (fun k ->
-        let spec = make_spec ~k in
-        row_of_run (Optimize.run ~mode ~seed ?budget ?jobs ?obs spec))
+        match cancel with
+        | Some c when Adc_exec.Cancel.cancelled c -> None
+        | _ ->
+          let spec = make_spec ~k in
+          Some
+            (row_of_run
+               (Optimize.run ~mode ~seed ?budget ?jobs ?obs ?cancel ?shared spec)))
       k_values
   in
   derive rows

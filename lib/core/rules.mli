@@ -23,12 +23,20 @@ type chart = {
 
 val sweep :
   ?mode:Optimize.mode -> ?seed:int -> ?budget:Adc_synth.Synthesizer.budget ->
-  ?jobs:int -> ?obs:Adc_obs.t ->
+  ?jobs:int -> ?obs:Adc_obs.t -> ?cancel:Adc_exec.Cancel.t ->
+  ?shared:Optimize.shared ->
   k_values:int list -> (k:int -> Spec.t) -> chart
 (** Run the optimizer for each resolution and condense the optima into
     rules. [jobs] and [obs] are forwarded to {!Optimize.run} (domain
     count and observability context for the synthesis phase; the derived
-    rules are independent of both). *)
+    rules are independent of both). [cancel] is forwarded too, and
+    additionally polled between resolutions: after it trips, remaining
+    resolutions are skipped and the chart is derived from the completed
+    rows only — callers should check the token and flag the chart as
+    partial (the CLI's [--timeout] prints the note and exits 2).
+    [shared] runs every resolution on a long-lived {!Optimize.shared}
+    runtime (the serve daemon's), so a repeated sweep request replays
+    from the cache. *)
 
 val render : chart -> string
 (** Multi-line text block (the repo's Fig. 3). *)

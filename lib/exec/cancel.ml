@@ -1,0 +1,49 @@
+module Obs = Adc_obs
+
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t;
+  deadline : int64 option;     (* absolute monotonic ns *)
+  parent : t option;
+  can_cancel : bool;           (* false only for [never] *)
+}
+
+let never =
+  { flag = Atomic.make false; deadline = None; parent = None; can_cancel = false }
+
+let create ?parent () =
+  { flag = Atomic.make false; deadline = None; parent; can_cancel = true }
+
+let with_deadline ?parent ~after_s () =
+  let deadline =
+    Int64.add (Obs.Clock.now_ns ())
+      (Int64.of_float (Float.max 0.0 after_s *. 1e9))
+  in
+  { flag = Atomic.make false; deadline = Some deadline; parent; can_cancel = true }
+
+let cancel t = if t.can_cancel then Atomic.set t.flag true
+
+let rec cancelled t =
+  Atomic.get t.flag
+  || (match t.deadline with
+     | Some d when Obs.Clock.now_ns () >= d ->
+       (* latch, so later polls skip the clock read *)
+       Atomic.set t.flag true;
+       true
+     | _ -> false)
+  || match t.parent with Some p -> cancelled p | None -> false
+
+let check t = if cancelled t then raise Cancelled
+
+let deadline_ns t =
+  let rec earliest acc t =
+    let acc =
+      match (acc, t.deadline) with
+      | None, d -> d
+      | acc, None -> acc
+      | Some a, Some b -> Some (if Int64.compare a b <= 0 then a else b)
+    in
+    match t.parent with Some p -> earliest acc p | None -> acc
+  in
+  earliest None t

@@ -1,0 +1,52 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    A token is the one-way "stop now" channel threaded through the
+    long-running entry points ([Optimize.run], the CLI's [--timeout],
+    every request executed by [adcopt serve]). Cancellation is
+    {e cooperative}: nothing is interrupted pre-emptively — instrumented
+    loops poll {!cancelled} at their natural granularity (per synthesis
+    attempt, per job, per Monte-Carlo point) and wind down, publishing
+    whatever they have. That is what makes a deadline-expired request
+    safe: every already-scheduled pool task still runs (it just returns
+    quickly), so every {!Future} settles and the pool stays reusable.
+
+    A token trips when any of the following holds:
+    - {!cancel} was called on it (from any domain or thread);
+    - its deadline (monotonic clock, {!Adc_obs.Clock}) has passed;
+    - its parent token (if any) has tripped.
+
+    Once tripped a token never untrips. Tokens are immutable apart from
+    the flag and may be freely shared across domains. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check}. Carried no payload on purpose: catching sites
+    decide how to report the truncation. *)
+
+val never : t
+(** The token that never trips — the default for every [?cancel]
+    argument, and free to poll (no clock read). *)
+
+val create : ?parent:t -> unit -> t
+(** A fresh token, tripped only by an explicit {!cancel} (or by
+    [parent] tripping). *)
+
+val with_deadline : ?parent:t -> after_s:float -> unit -> t
+(** A token that trips [after_s] seconds (monotonic clock) from now.
+    [after_s <= 0] yields an already-tripped token. *)
+
+val cancel : t -> unit
+(** Trip [t] explicitly. Idempotent; {!never} is immune. *)
+
+val cancelled : t -> bool
+(** Has [t] tripped? Polling cost: one atomic load, plus one monotonic
+    clock read when a deadline is set and the flag is still clear. *)
+
+val check : t -> unit
+(** @raise Cancelled if [t] has tripped. *)
+
+val deadline_ns : t -> int64 option
+(** The absolute monotonic-clock deadline, if [t] (or a parent) carries
+    one — the earliest across the chain. Lets queue admission reject
+    work whose deadline already passed without starting it. *)

@@ -46,6 +46,11 @@ let find_or_run t pool key compute =
         | exception e -> Future.fail fut e);
     fut
 
+let remove t key =
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.table key;
+  Mutex.unlock t.mutex
+
 let find t key =
   Mutex.lock t.mutex;
   let r = Hashtbl.find_opt t.table key in

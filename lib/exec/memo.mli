@@ -40,5 +40,12 @@ val find : ('k, 'v) t -> 'k -> 'v Future.t option
 (** [find t key] is the future installed for [key], if any — without
     scheduling anything. *)
 
+val remove : ('k, 'v) t -> 'k -> unit
+(** [remove t key] drops the entry for [key] (a no-op if absent): the
+    next {!find_or_run} for [key] schedules a fresh computation. The
+    dropped future itself stays valid for whoever already holds it —
+    used by the long-lived serve cache to evict outcomes that were
+    truncated by a request deadline, so only complete results persist. *)
+
 val length : ('k, 'v) t -> int
 (** Number of distinct keys ever requested (pending ones included). *)

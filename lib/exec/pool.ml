@@ -8,6 +8,7 @@ type instruments = {
   queue_latency : Obs.Metrics.histogram;   (* ns *)
   busy : Obs.Metrics.counter array;        (* ns, one per execution slot *)
   wall : Obs.Metrics.gauge;                (* ns, pool lifetime *)
+  errors : Obs.Metrics.counter;            (* uncaught task exceptions *)
 }
 
 type task = { run : unit -> unit; enqueued_ns : int64 }
@@ -27,20 +28,31 @@ type t = {
 let recommended_size () = Domain.recommended_domain_count ()
 
 (* stray exceptions must not kill a worker domain; side-effect tasks
-   publish their own results *)
-let run_task task =
+   publish their own results. The report goes through the obs sink
+   (a zero-duration [pool.error] event) when one is live, so it cannot
+   interleave with the --progress status line on stderr; the raw
+   stderr line remains only as the no-observability fallback. *)
+let run_task t task =
   try task.run ()
   with e ->
-    Printf.eprintf "adc_exec worker: uncaught %s\n%!" (Printexc.to_string e)
+    (match t.instr with None -> () | Some i -> Obs.Metrics.inc i.errors);
+    if Obs.Sink.enabled t.trace then begin
+      let span = Obs.Span.start t.trace ~name:"pool.error" () in
+      Obs.Span.finish
+        ~attrs:[ ("exn", Obs.Sink.String (Printexc.to_string e)) ]
+        span
+    end
+    else
+      Printf.eprintf "adc_exec worker: uncaught %s\n%!" (Printexc.to_string e)
 
 (* the instrumented path reads the monotonic clock twice per task; the
    bare path (instr = None) touches no clock at all *)
-let run_task_measured instr ~slot task =
+let run_task_measured t instr ~slot task =
   let t0 = Obs.Clock.now_ns () in
   Obs.Metrics.observe instr.queue_latency
     (Int64.to_float (Int64.sub t0 task.enqueued_ns));
   Obs.Metrics.inc instr.tasks;
-  run_task task;
+  run_task t task;
   Obs.Metrics.add instr.busy.(slot)
     (Int64.to_int (Obs.Clock.elapsed_ns ~since:t0))
 
@@ -51,8 +63,8 @@ let run_task_measured instr ~slot task =
 let dispatch t ~slot task =
   let span = Obs.Span.start t.trace ~name:"pool.task" () in
   (match t.instr with
-  | None -> run_task task
-  | Some instr -> run_task_measured instr ~slot task);
+  | None -> run_task t task
+  | Some instr -> run_task_measured t instr ~slot task);
   Obs.Span.finish ~attrs:[ ("domain", Obs.Sink.Int slot) ] span
 
 let worker_loop t ~slot =
@@ -93,6 +105,7 @@ let make_instruments (obs : Obs.t) ~size =
           Array.init size (fun i ->
               Obs.Metrics.counter m (Printf.sprintf "pool.domain%d.busy_ns" i));
         wall = Obs.Metrics.gauge m "pool.wall_ns";
+        errors = Obs.Metrics.counter m "pool.errors";
       }
 
 let create ?(obs = Obs.null) ?size () =

@@ -59,8 +59,14 @@ val submit : t -> (unit -> 'a) -> 'a Future.t
 val async : t -> (unit -> unit) -> unit
 (** [async t f] schedules [f] for its side effects only (no future).
     Used by {!Memo}, which installs its own future before submission.
-    Exceptions escaping [f] on a worker are swallowed after being logged
-    to [stderr] — side-effect tasks must do their own error publishing. *)
+    Exceptions escaping [f] on a worker are swallowed after being
+    reported — side-effect tasks must do their own error publishing.
+    The report goes through the pool's observability context when one
+    is live: a zero-duration [pool.error] span (attr [exn]) on the
+    trace sink and a [pool.errors] counter on the metrics registry.
+    Only when both channels are disabled does the report fall back to a
+    raw [stderr] line (which could otherwise interleave with the
+    [--progress] status line). *)
 
 val map_ordered : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_ordered t f xs] evaluates [f] on every element of [xs] on the

@@ -1,0 +1,288 @@
+(* One JSON codec for the whole repo (trace reading, the serve wire
+   protocol, the design store). No external dependencies: the repo rule
+   is "what the container has", and every format involved is our own,
+   so a full-spec parser is neither needed nor wanted. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail "expected '%c' at %d, found '%c'" ch c.pos x
+  | None -> fail "expected '%c' at %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "invalid literal at %d" c.pos
+
+(* UTF-8 encode one code point into the buffer *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 c =
+  if c.pos + 4 > String.length c.s then fail "truncated \\u escape at %d" c.pos;
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d =
+      match c.s.[c.pos + i] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | ch -> fail "invalid hex digit '%c' in \\u escape at %d" ch (c.pos + i)
+    in
+    v := (!v * 16) + d
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then fail "unterminated string";
+    match c.s.[c.pos] with
+    | '"' -> c.pos <- c.pos + 1
+    | '\\' ->
+      c.pos <- c.pos + 1;
+      (if c.pos >= String.length c.s then fail "unterminated escape";
+       match c.s.[c.pos] with
+       | '"' -> Buffer.add_char b '"'; c.pos <- c.pos + 1
+       | '\\' -> Buffer.add_char b '\\'; c.pos <- c.pos + 1
+       | '/' -> Buffer.add_char b '/'; c.pos <- c.pos + 1
+       | 'n' -> Buffer.add_char b '\n'; c.pos <- c.pos + 1
+       | 'r' -> Buffer.add_char b '\r'; c.pos <- c.pos + 1
+       | 't' -> Buffer.add_char b '\t'; c.pos <- c.pos + 1
+       | 'b' -> Buffer.add_char b '\b'; c.pos <- c.pos + 1
+       | 'f' -> Buffer.add_char b '\012'; c.pos <- c.pos + 1
+       | 'u' ->
+         c.pos <- c.pos + 1;
+         let cp = hex4 c in
+         (* surrogate pair: a high surrogate must be followed by
+            \uDC00..\uDFFF; lone surrogates become U+FFFD *)
+         if cp >= 0xD800 && cp <= 0xDBFF then
+           if
+             c.pos + 2 <= String.length c.s
+             && c.s.[c.pos] = '\\'
+             && c.s.[c.pos + 1] = 'u'
+           then begin
+             c.pos <- c.pos + 2;
+             let lo = hex4 c in
+             if lo >= 0xDC00 && lo <= 0xDFFF then
+               add_utf8 b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+             else begin
+               add_utf8 b 0xFFFD;
+               add_utf8 b 0xFFFD
+             end
+           end
+           else add_utf8 b 0xFFFD
+         else if cp >= 0xDC00 && cp <= 0xDFFF then add_utf8 b 0xFFFD
+         else add_utf8 b cp
+       | ch -> fail "invalid escape '\\%c' at %d" ch c.pos);
+      go ()
+    | ch ->
+      Buffer.add_char b ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.s && is_num_char c.s.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail "expected a number at %d" start;
+  let lit = String.sub c.s start (c.pos - start) in
+  let is_float =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) lit
+  in
+  if is_float then
+    match float_of_string_opt lit with
+    | Some f -> Float f
+    | None -> fail "invalid number %S at %d" lit start
+  else
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+      (* out of OCaml int range: degrade to float *)
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "invalid number %S at %d" lit start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input at %d" c.pos
+  | Some '{' ->
+    expect c '{';
+    skip_ws c;
+    if peek c = Some '}' then begin
+      expect c '}';
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          expect c ',';
+          members ((k, v) :: acc)
+        | Some '}' ->
+          expect c '}';
+          List.rev ((k, v) :: acc)
+        | _ -> fail "expected ',' or '}' at %d" c.pos
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    expect c '[';
+    skip_ws c;
+    if peek c = Some ']' then begin
+      expect c ']';
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          expect c ',';
+          elements (v :: acc)
+        | Some ']' ->
+          expect c ']';
+          List.rev (v :: acc)
+        | _ -> fail "expected ',' or ']' at %d" c.pos
+      in
+      List (elements [])
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail "trailing garbage at %d" c.pos;
+  v
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* serialization: compact, deterministic, and closed under
+   parse-then-reprint (one byte representation per parsed value) *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    (* JSON has no NaN/inf literals; the repo-wide convention (shared
+       with Adc_obs.Sink) encodes them as strings *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+    else Buffer.add_string b (Printf.sprintf "\"%s\"" (string_of_float f))
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        to_buffer b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        to_buffer b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** The repo's single JSON codec: a minimal value type, a dependency-free
+    recursive-descent parser, and a deterministic serializer.
+
+    Shared by the trace toolchain ({!Adc_report.Trace_reader}, which
+    needs to invert [Adc_obs.Sink.event_to_json]) and the synthesis
+    service ({!Adc_serve}, whose wire protocol and design store are
+    newline-delimited JSON). Keeping one codec means a stored result, a
+    served response and a re-parsed trace all agree byte-for-byte on how
+    a value prints — the property the cross-run design store's
+    bit-identity contract rests on.
+
+    The serializer is {e canonical} in the sense that
+    [to_string (parse (to_string v)) = to_string (parse s)] for any
+    [s] that parses to [v]: one byte representation per parsed value.
+    (Note [parse] itself normalizes: an integral float like [2.0]
+    prints as ["2"] and therefore re-parses as [Int 2].) *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one complete JSON value. Raises {!Parse_error} on malformed
+    input (including trailing garbage after the value). Handles the
+    full escape set including [\uXXXX] with surrogate pairs (decoded to
+    UTF-8; lone surrogates become U+FFFD). Numbers out of OCaml's [int]
+    range degrade to [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control characters);
+    the input is emitted byte-for-byte otherwise, so valid UTF-8 passes
+    through untouched. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Serialize compactly (no whitespace) into [b]. Finite floats print
+    with ["%.17g"] (lossless round-trip); the non-finite floats print as
+    the strings ["nan"], ["inf"] and ["-inf"] — the same convention as
+    [Adc_obs.Sink.event_to_json], so JSON output never contains an
+    invalid literal. Object fields are emitted in the order given. *)
+
+val to_string : t -> string
+(** [to_string v] is {!to_buffer} into a fresh buffer. *)

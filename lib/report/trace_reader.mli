@@ -16,28 +16,14 @@
     unparseable lines and counting them. *)
 
 exception Parse_error of string
+(** Alias of {!Adc_json.Json.Parse_error}: the codec lives in [lib/json]
+    (shared with the [Adc_serve] wire protocol and design store), and
+    this module re-exports its failure exception so trace-toolchain
+    handlers keep working unchanged. *)
 
-(** A minimal JSON value and parser, exposed so the exporter tests can
-    re-parse their own output without adding a JSON dependency. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val parse : string -> t
-  (** Raises {!Parse_error} on malformed input (including trailing
-      garbage after the value). Handles the full escape set including
-      [\uXXXX] with surrogate pairs (decoded to UTF-8; lone surrogates
-      become U+FFFD). *)
-
-  val member : string -> t -> t option
-  (** Field lookup on an [Obj]; [None] on other constructors. *)
-end
+module Json = Adc_json.Json
+(** The repo-wide JSON codec, re-exported so the exporter tests can
+    re-parse their own output without naming the [lib/json] library. *)
 
 val parse : string -> Adc_obs.Sink.event
 (** Parse one JSONL trace line. Raises {!Parse_error} if the line is

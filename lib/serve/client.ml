@@ -1,0 +1,37 @@
+module Json = Adc_json.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let of_fd fd =
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd fd
+
+let send t json =
+  output_string t.oc (Json.to_string json);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t = input_line t.ic
+
+let recv t = Json.parse (recv_line t)
+
+let request t json =
+  send t json;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

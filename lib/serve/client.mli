@@ -1,0 +1,24 @@
+(** A minimal blocking client for the serve protocol — one connection,
+    newline-delimited JSON both ways. Used by [adcopt call], the serve
+    tests and the server-load bench; scripts can equally drive the
+    daemon with [nc -U] (see docs/SERVER.md). *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : string -> int -> t
+
+val request : t -> Adc_json.Json.t -> Adc_json.Json.t
+(** [send] then [recv] — the simple synchronous round trip. *)
+
+val send : t -> Adc_json.Json.t -> unit
+val recv : t -> Adc_json.Json.t
+(** Split halves for pipelining: queue several [send]s, then [recv]
+    once per request and match responses by [id] (completion order is
+    not submission order). Raises [End_of_file] when the daemon closes
+    the connection. *)
+
+val recv_line : t -> string
+(** The raw response line, for byte-level comparisons. *)
+
+val close : t -> unit

@@ -1,0 +1,201 @@
+module Json = Adc_json.Json
+module Config = Adc_pipeline.Config
+module Spec = Adc_pipeline.Spec
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Montecarlo = Adc_pipeline.Montecarlo
+module Synthesizer = Adc_synth.Synthesizer
+
+(* Bump whenever a payload or key changes shape: a store populated by an
+   older build must miss rather than serve a stale layout. *)
+let schema_version = 1
+
+let mode_name = function
+  | `Equation -> "equation"
+  | `Hybrid -> "hybrid"
+  | `Hybrid_verified -> "verified"
+
+let mode_of_name = function
+  | "equation" -> Some `Equation
+  | "hybrid" -> Some `Hybrid
+  | "verified" -> Some `Hybrid_verified
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* payload builders
+
+   Field sets deliberately exclude everything schedule- or clock-
+   dependent (wall time, domain count): a payload is a pure function of
+   the request parameters, which is what lets the store serve it back
+   byte-identically and lets CI diff a served response against the
+   one-shot CLI. *)
+
+let job_json (j : Spec.job) =
+  Json.Obj [ ("m", Json.Int j.Spec.m); ("input_bits", Json.Int j.Spec.input_bits) ]
+
+let solution_json (s : Synthesizer.solution) =
+  Json.Obj
+    [
+      ("power", Json.Float s.Synthesizer.power);
+      ("feasible", Json.Bool s.Synthesizer.feasible);
+      ("violation", Json.Float s.Synthesizer.violation);
+      ("evaluations", Json.Int s.Synthesizer.evaluations);
+      ( "metrics",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Float v)) s.Synthesizer.metrics) );
+    ]
+
+let stage_json (s : Optimize.stage_result) =
+  Json.Obj
+    [
+      ("index", Json.Int s.Optimize.index);
+      ("m", Json.Int s.Optimize.job.Spec.m);
+      ("input_bits", Json.Int s.Optimize.job.Spec.input_bits);
+      ("p_mdac", Json.Float s.Optimize.p_mdac);
+      ("p_comparator", Json.Float s.Optimize.p_comparator);
+      ("p_stage", Json.Float s.Optimize.p_stage);
+      ( "solution",
+        match s.Optimize.solution with
+        | None -> Json.Null
+        | Some sol -> solution_json sol );
+    ]
+
+let candidate_json (c : Optimize.config_result) =
+  Json.Obj
+    [
+      ("config", Json.String (Config.to_string c.Optimize.config));
+      ("p_total", Json.Float c.Optimize.p_total);
+      ("all_feasible", Json.Bool c.Optimize.all_feasible);
+      ("stages", Json.List (List.map stage_json c.Optimize.stages));
+    ]
+
+let optimize_payload (run : Optimize.run) =
+  Json.Obj
+    [
+      ("k", Json.Int run.Optimize.spec.Spec.k);
+      ("fs_mhz", Json.Float (run.Optimize.spec.Spec.fs /. 1e6));
+      ("mode", Json.String (mode_name run.Optimize.mode));
+      ( "optimum",
+        Json.String (Config.to_string (Optimize.optimum_config run)) );
+      ("p_total", Json.Float run.Optimize.optimum.Optimize.p_total);
+      ( "candidates",
+        Json.List (List.map candidate_json run.Optimize.candidates) );
+      ( "distinct_jobs",
+        Json.List (List.map job_json run.Optimize.distinct_jobs) );
+      ("synthesis_evaluations", Json.Int run.Optimize.synthesis_evaluations);
+      ("cold_jobs", Json.Int run.Optimize.cold_jobs);
+      ("warm_jobs", Json.Int run.Optimize.warm_jobs);
+      ("truncated", Json.Bool run.Optimize.truncated);
+    ]
+
+let chart_payload ~truncated (c : Rules.chart) =
+  let row_json (r : Rules.optimum_row) =
+    Json.Obj
+      [
+        ("k", Json.Int r.Rules.k);
+        ("config", Json.String (Config.to_string r.Rules.config));
+        ("p_total", Json.Float r.Rules.p_total);
+        ( "runner_up",
+          match r.Rules.runner_up with
+          | None -> Json.Null
+          | Some c -> Json.String (Config.to_string c) );
+        ("margin", Json.Float r.Rules.margin);
+      ]
+  in
+  Json.Obj
+    [
+      ("rows", Json.List (List.map row_json c.Rules.rows));
+      ( "first_stage_rule",
+        Json.List
+          (List.map
+             (fun (k, m1) ->
+               Json.Obj [ ("k", Json.Int k); ("m1", Json.Int m1) ])
+             c.Rules.first_stage_rule) );
+      ("last_stage_always_two", Json.Bool c.Rules.last_stage_always_two);
+      ("monotone_non_increasing", Json.Bool c.Rules.monotone_non_increasing);
+      ( "summary",
+        Json.List (List.map (fun s -> Json.String s) c.Rules.summary) );
+      ("truncated", Json.Bool truncated);
+    ]
+
+let synth_payload ~m ~bits ~fs_mhz ~seed ~attempts ~evaluations ~truncated
+    solution =
+  Json.Obj
+    [
+      ("m", Json.Int m);
+      ("bits", Json.Int bits);
+      ("fs_mhz", Json.Float fs_mhz);
+      ("seed", Json.Int seed);
+      ("attempts", Json.Int attempts);
+      ("evaluations", Json.Int evaluations);
+      ( "solution",
+        match solution with None -> Json.Null | Some s -> solution_json s );
+      ("truncated", Json.Bool truncated);
+    ]
+
+let montecarlo_payload ~k ~fs_mhz ~config ~trials ~seed ~budget sweep =
+  let point_json (sigma, (r : Montecarlo.report)) =
+    Json.Obj
+      [
+        ("sigma_mv", Json.Float (sigma *. 1e3));
+        ("n_trials", Json.Int r.Montecarlo.n_trials);
+        ("n_pass", Json.Int r.Montecarlo.n_pass);
+        ("yield", Json.Float r.Montecarlo.yield);
+        ("enob_mean", Json.Float r.Montecarlo.enob_mean);
+        ("enob_min", Json.Float r.Montecarlo.enob_min);
+        ("enob_p05", Json.Float r.Montecarlo.enob_p05);
+      ]
+  in
+  Json.Obj
+    [
+      ("k", Json.Int k);
+      ("fs_mhz", Json.Float fs_mhz);
+      ("config", Json.String (Config.to_string config));
+      ("trials", Json.Int trials);
+      ("seed", Json.Int seed);
+      ("budget_mv", Json.Float (budget *. 1e3));
+      ("sweep", Json.List (List.map point_json sweep));
+    ]
+
+let enumerate_payload (spec : Spec.t) =
+  let cands =
+    Config.enumerate_leading ~k:spec.Spec.k
+      ~backend_bits:(Spec.backend_bits spec)
+  in
+  Json.Obj
+    [
+      ("k", Json.Int spec.Spec.k);
+      ("fs_mhz", Json.Float (spec.Spec.fs /. 1e6));
+      ("backend_bits", Json.Int (Spec.backend_bits spec));
+      ( "candidates",
+        Json.List
+          (List.map (fun c -> Json.String (Config.to_string c)) cands) );
+      ( "distinct_jobs",
+        Json.List (List.map job_json (Spec.distinct_jobs spec cands)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* store keys
+
+   Built only from explicit request fields (never from Marshal of an
+   in-memory value), so a key computed by a restarted daemon — or a
+   different build of the same schema version — addresses the same
+   entry. [%.17g] keeps distinct sampling rates distinct. *)
+
+let key_optimize ~k ~fs_mhz ~mode ~seed ~attempts =
+  Printf.sprintf "adcopt/%d|optimize|k=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d"
+    schema_version k fs_mhz (mode_name mode) seed attempts
+
+let key_sweep ~k_from ~k_to ~fs_mhz ~mode ~seed ~attempts =
+  Printf.sprintf
+    "adcopt/%d|sweep|from=%d|to=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d"
+    schema_version k_from k_to fs_mhz (mode_name mode) seed attempts
+
+let key_synth ~m ~bits ~fs_mhz ~seed ~attempts =
+  Printf.sprintf "adcopt/%d|synth|m=%d|bits=%d|fs_mhz=%.17g|seed=%d|attempts=%d"
+    schema_version m bits fs_mhz seed attempts
+
+let key_montecarlo ~k ~fs_mhz ~config ~trials ~seed =
+  Printf.sprintf
+    "adcopt/%d|montecarlo|k=%d|fs_mhz=%.17g|config=%s|trials=%d|seed=%d"
+    schema_version k fs_mhz config trials seed

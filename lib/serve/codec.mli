@@ -1,0 +1,67 @@
+(** Deterministic JSON payloads and store keys.
+
+    Every payload here is a pure function of the request parameters —
+    wall-clock time and domain counts are deliberately excluded — so the
+    serve daemon, the design store and the one-shot CLI all agree
+    byte-for-byte on the result of a given request. The CI smoke test
+    diffs [adcopt optimize --json] against a served [optimize] response
+    with [cmp]; keep it that way. *)
+
+val schema_version : int
+(** Stamped into every store key; bump on any payload or key shape
+    change so stale stores miss instead of serving the old layout. *)
+
+val mode_name : [ `Equation | `Hybrid | `Hybrid_verified ] -> string
+(** ["equation"] / ["hybrid"] / ["verified"] — the CLI's [--mode] enum. *)
+
+val mode_of_name : string -> [ `Equation | `Hybrid | `Hybrid_verified ] option
+
+(** {1 Payloads} *)
+
+val optimize_payload : Adc_pipeline.Optimize.run -> Adc_json.Json.t
+(** The full ranking: per-candidate stage tables (with synthesized-cell
+    summaries in hybrid modes), the distinct-job work list and the
+    synthesis counters. Excludes [wall_time_s] and [domains]. *)
+
+val chart_payload : truncated:bool -> Adc_pipeline.Rules.chart -> Adc_json.Json.t
+(** The Fig. 3 decision chart: optimum rows, derived rules, and a
+    [truncated] flag for sweeps cut short by a deadline. *)
+
+val synth_payload :
+  m:int -> bits:int -> fs_mhz:float -> seed:int -> attempts:int ->
+  evaluations:int -> truncated:bool ->
+  Adc_synth.Synthesizer.solution option -> Adc_json.Json.t
+(** Best-of-N restart result for one MDAC job ([None] = all attempts
+    failed; the [metrics] list rides along as an object). *)
+
+val montecarlo_payload :
+  k:int -> fs_mhz:float -> config:Adc_pipeline.Config.t -> trials:int ->
+  seed:int -> budget:float ->
+  (float * Adc_pipeline.Montecarlo.report) list -> Adc_json.Json.t
+(** The offset-sigma yield sweep plus the redundancy budget it probes. *)
+
+val enumerate_payload : Adc_pipeline.Spec.t -> Adc_json.Json.t
+(** Candidate configurations and the de-duplicated MDAC job list. *)
+
+(** {1 Store keys}
+
+    Canonical strings built from explicit request fields only (never
+    from marshalled in-memory values), so a restarted daemon — or a
+    sibling process pointed at the same [--store] — computes identical
+    keys. The store hashes these to filenames; the full string is kept
+    in the entry header to make hash collisions harmless. *)
+
+val key_optimize :
+  k:int -> fs_mhz:float -> mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> string
+
+val key_sweep :
+  k_from:int -> k_to:int -> fs_mhz:float ->
+  mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> string
+
+val key_synth :
+  m:int -> bits:int -> fs_mhz:float -> seed:int -> attempts:int -> string
+
+val key_montecarlo :
+  k:int -> fs_mhz:float -> config:string -> trials:int -> seed:int -> string

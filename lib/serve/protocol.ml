@@ -1,0 +1,176 @@
+module Json = Adc_json.Json
+
+type verb =
+  | Ping
+  | Stats
+  | Shutdown
+  | Enumerate
+  | Optimize
+  | Sweep
+  | Synth
+  | Montecarlo
+
+let verb_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Enumerate -> "enumerate"
+  | Optimize -> "optimize"
+  | Sweep -> "sweep"
+  | Synth -> "synth"
+  | Montecarlo -> "montecarlo"
+
+let verb_of_name = function
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | "enumerate" -> Some Enumerate
+  | "optimize" -> Some Optimize
+  | "sweep" -> Some Sweep
+  | "synth" -> Some Synth
+  | "montecarlo" -> Some Montecarlo
+  | _ -> None
+
+type request = {
+  id : Json.t;
+  verb : verb;
+  k : int;
+  k_from : int;
+  k_to : int;
+  fs_mhz : float;
+  mode : [ `Equation | `Hybrid | `Hybrid_verified ];
+  seed : int;
+  attempts : int;
+  trials : int;
+  m : int;
+  bits : int;
+  config : string option;
+  deadline_ms : int option;
+  delay_ms : int;
+}
+
+(* defaults track the CLI flag defaults exactly: a request that names
+   only its verb computes the same thing as the bare subcommand, so the
+   byte-identity contract holds with no hidden knobs *)
+let defaults =
+  {
+    id = Json.Null;
+    verb = Ping;
+    k = 13;
+    k_from = 10;
+    k_to = 13;
+    fs_mhz = 40.0;
+    mode = `Equation;
+    seed = 11;
+    attempts = 3;
+    trials = 50;
+    m = 3;
+    bits = 12;
+    config = None;
+    deadline_ms = None;
+    delay_ms = 0;
+  }
+
+exception Bad_field of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_field s)) fmt
+
+let get_int obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> default
+  | Some (Json.Int n) -> n
+  | Some _ -> bad "field %S must be an integer" name
+
+let get_float obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> default
+  | Some (Json.Float f) -> f
+  | Some (Json.Int n) -> float_of_int n
+  | Some _ -> bad "field %S must be a number" name
+
+let get_string_opt obj name =
+  match Json.member name obj with
+  | None | Some Json.Null -> None
+  | Some (Json.String s) -> Some s
+  | Some _ -> bad "field %S must be a string" name
+
+let get_int_opt obj name =
+  match Json.member name obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Int n) -> Some n
+  | Some _ -> bad "field %S must be an integer" name
+
+let parse_request json =
+  match json with
+  | Json.Obj _ -> (
+    try
+      let id = Option.value (Json.member "id" json) ~default:Json.Null in
+      let verb =
+        match get_string_opt json "verb" with
+        | None -> bad "missing required field \"verb\""
+        | Some name -> (
+          match verb_of_name name with
+          | Some v -> v
+          | None -> bad "unknown verb %S" name)
+      in
+      let mode =
+        match get_string_opt json "mode" with
+        | None -> defaults.mode
+        | Some name -> (
+          match Codec.mode_of_name name with
+          | Some m -> m
+          | None -> bad "unknown mode %S (equation|hybrid|verified)" name)
+      in
+      Ok
+        {
+          id;
+          verb;
+          k = get_int json "k" defaults.k;
+          k_from = get_int json "from" defaults.k_from;
+          k_to = get_int json "to" defaults.k_to;
+          fs_mhz = get_float json "fs_mhz" defaults.fs_mhz;
+          mode;
+          seed = get_int json "seed" defaults.seed;
+          attempts = get_int json "attempts" defaults.attempts;
+          trials = get_int json "trials" defaults.trials;
+          m = get_int json "m" defaults.m;
+          bits = get_int json "bits" defaults.bits;
+          config = get_string_opt json "config";
+          deadline_ms = get_int_opt json "deadline_ms";
+          delay_ms = get_int json "delay_ms" defaults.delay_ms;
+        }
+    with Bad_field msg -> Error msg)
+  | _ -> Error "request must be a JSON object"
+
+let parse_request_line line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error (Printf.sprintf "malformed JSON: %s" msg)
+  | json -> parse_request json
+
+type error_kind = Bad_request | Overloaded | Deadline_exceeded | Shutting_down | Internal
+
+let error_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let ok_response ~id ~verb ~cached result =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("verb", Json.String (verb_name verb));
+      ("cached", Json.Bool cached);
+      ("result", result);
+    ]
+
+let error_response ~id ~kind ~message =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("error", Json.String (error_name kind));
+      ("message", Json.String message);
+    ]

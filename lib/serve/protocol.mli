@@ -1,0 +1,70 @@
+(** The newline-delimited JSON wire protocol.
+
+    One request per line, one JSON object per request; one response
+    object per line back. Responses carry the request's [id] verbatim
+    (clients pipelining several requests over one connection match
+    responses by [id] — completion order is not arrival order). A
+    request names a [verb] plus the same parameters the corresponding
+    CLI subcommand takes, with identical defaults, e.g.:
+
+    {v
+    {"id":1,"verb":"optimize","k":12,"mode":"equation","seed":11}
+    {"id":1,"ok":true,"verb":"optimize","cached":false,"result":{...}}
+    v}
+
+    Errors are [{"id":..,"ok":false,"error":"<kind>","message":".."}];
+    see {!error_kind} and docs/SERVER.md for when each is emitted. *)
+
+module Json = Adc_json.Json
+
+type verb =
+  | Ping        (** liveness; [delay_ms] holds a worker busy — a
+                    load-testing aid used by the backpressure tests *)
+  | Stats       (** daemon counters; handled inline, never queued *)
+  | Shutdown    (** begin graceful drain; handled inline *)
+  | Enumerate   (** candidate configurations and distinct MDAC jobs *)
+  | Optimize    (** the topology optimization — [adcopt optimize] *)
+  | Sweep       (** resolution sweep + rule chart — [adcopt sweep] *)
+  | Synth       (** one MDAC cell, best of N restarts — [adcopt synth] *)
+  | Montecarlo  (** offset-sigma yield sweep — [adcopt montecarlo] *)
+
+val verb_name : verb -> string
+val verb_of_name : string -> verb option
+
+type request = {
+  id : Json.t;                 (** echoed verbatim; [Null] when absent *)
+  verb : verb;
+  k : int;                     (** resolution, default 13 *)
+  k_from : int;                (** sweep range, default 10 ([from]) *)
+  k_to : int;                  (** sweep range, default 13 ([to]) *)
+  fs_mhz : float;              (** default 40.0 *)
+  mode : [ `Equation | `Hybrid | `Hybrid_verified ];  (** default equation *)
+  seed : int;                  (** default 11 *)
+  attempts : int;              (** default 3 *)
+  trials : int;                (** montecarlo, default 50 *)
+  m : int;                     (** synth stage resolution, default 3 *)
+  bits : int;                  (** synth input accuracy, default 12 *)
+  config : string option;      (** montecarlo configuration, e.g. "4-3-2" *)
+  deadline_ms : int option;    (** admission-to-completion budget *)
+  delay_ms : int;              (** ping busy-hold, default 0 *)
+}
+
+val defaults : request
+(** Every field at its CLI default ([verb] = [Ping], [id] = [Null]). *)
+
+val parse_request : Json.t -> (request, string) result
+val parse_request_line : string -> (request, string) result
+(** [Error] carries a human-readable message for a [bad_request]
+    response; unknown fields are ignored, wrongly-typed ones rejected. *)
+
+type error_kind =
+  | Bad_request         (** malformed JSON, unknown verb, bad field *)
+  | Overloaded          (** admission queue at [--queue-depth]; retry *)
+  | Deadline_exceeded   (** [deadline_ms] elapsed before work started *)
+  | Shutting_down       (** daemon draining; no new work accepted *)
+  | Internal            (** computation raised; message carries it *)
+
+val error_name : error_kind -> string
+
+val ok_response : id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
+val error_response : id:Json.t -> kind:error_kind -> message:string -> Json.t

@@ -1,0 +1,605 @@
+module Json = Adc_json.Json
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Optimize = Adc_pipeline.Optimize
+module Rules = Adc_pipeline.Rules
+module Montecarlo = Adc_pipeline.Montecarlo
+module Synthesizer = Adc_synth.Synthesizer
+module Rng = Adc_numerics.Rng
+module Pool = Adc_exec.Pool
+module Cancel = Adc_exec.Cancel
+module Obs = Adc_obs
+module Metrics = Adc_obs.Metrics
+module Span = Adc_obs.Span
+module Clock = Adc_obs.Clock
+
+type config = {
+  socket_path : string option;
+  tcp : (string * int) option;
+  queue_depth : int;
+  workers : int;
+  jobs : int;
+  store_dir : string option;
+  default_deadline_s : float option;
+  obs : Obs.t;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp = None;
+    queue_depth = 64;
+    workers = 2;
+    jobs = 1;
+    store_dir = None;
+    default_deadline_s = None;
+    obs = Obs.null;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+}
+
+type item = {
+  req : Protocol.request;
+  conn : conn;
+  cancel : Cancel.t;
+  queue_span : Span.t;
+  admitted_at : int64;
+}
+
+type t = {
+  cfg : config;
+  listeners : Unix.file_descr list;
+  tcp_port : int option;
+  queue : item Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  stop : bool Atomic.t;
+  shared : Optimize.shared;
+  store : Store.t option;
+  conns : conn list ref;
+  cmutex : Mutex.t;
+  started_at : float;
+  smutex : Mutex.t;
+  mutable n_requests : int;
+  mutable n_completed : int;
+  mutable n_overloaded : int;
+  mutable n_deadline : int;
+  mutable n_failed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* counters and instruments *)
+
+let bump t f =
+  Mutex.lock t.smutex;
+  f t;
+  Mutex.unlock t.smutex
+
+let set_queue_gauge t depth =
+  Metrics.set (Metrics.gauge t.cfg.obs.Obs.metrics "serve.queue_depth")
+    (float_of_int depth)
+
+let observe_latency t verb ms =
+  Metrics.observe
+    (Metrics.histogram t.cfg.obs.Obs.metrics
+       ("serve.latency." ^ Protocol.verb_name verb))
+    ms
+
+(* ------------------------------------------------------------------ *)
+(* connection plumbing *)
+
+let send t conn json =
+  Mutex.lock conn.wmutex;
+  (try
+     if conn.alive then begin
+       output_string conn.oc (Json.to_string json);
+       output_char conn.oc '\n';
+       flush conn.oc
+     end
+   with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wmutex;
+  ignore t
+
+let close_conn t conn =
+  Mutex.lock conn.wmutex;
+  conn.alive <- false;
+  Mutex.unlock conn.wmutex;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.cmutex;
+  t.conns := List.filter (fun c -> c != conn) !(t.conns);
+  Mutex.unlock t.cmutex
+
+(* ------------------------------------------------------------------ *)
+(* the verbs *)
+
+let spec_of (req : Protocol.request) =
+  Spec.make ~k:req.Protocol.k ~fs:(req.Protocol.fs_mhz *. 1e6) ()
+
+let store_key (req : Protocol.request) =
+  match req.Protocol.verb with
+  | Protocol.Optimize ->
+    Some
+      (Codec.key_optimize ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
+         ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+         ~attempts:req.Protocol.attempts)
+  | Protocol.Sweep ->
+    Some
+      (Codec.key_sweep ~k_from:req.Protocol.k_from ~k_to:req.Protocol.k_to
+         ~fs_mhz:req.Protocol.fs_mhz ~mode:req.Protocol.mode
+         ~seed:req.Protocol.seed ~attempts:req.Protocol.attempts)
+  | Protocol.Synth ->
+    Some
+      (Codec.key_synth ~m:req.Protocol.m ~bits:req.Protocol.bits
+         ~fs_mhz:req.Protocol.fs_mhz ~seed:req.Protocol.seed
+         ~attempts:req.Protocol.attempts)
+  | Protocol.Montecarlo -> (
+    (* the default configuration is itself deterministic (the equation
+       optimum), so a config-less request is cacheable under a
+       canonical empty marker *)
+    match req.Protocol.config with
+    | Some c ->
+      Some
+        (Codec.key_montecarlo ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
+           ~config:c ~trials:req.Protocol.trials ~seed:req.Protocol.seed)
+    | None ->
+      Some
+        (Codec.key_montecarlo ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
+           ~config:"(optimum)" ~trials:req.Protocol.trials
+           ~seed:req.Protocol.seed))
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Enumerate ->
+    None
+
+exception Bad_request of string
+
+(* returns the result payload and whether a deadline cut it short
+   (truncated results are served but never stored) *)
+let compute t (req : Protocol.request) ~cancel : Json.t * bool =
+  let obs = t.cfg.obs in
+  match req.Protocol.verb with
+  | Protocol.Ping ->
+    if req.Protocol.delay_ms > 0 then
+      Thread.delay (float_of_int req.Protocol.delay_ms /. 1000.0);
+    ( Json.Obj
+        [ ("pong", Json.Bool true); ("delay_ms", Json.Int req.Protocol.delay_ms) ],
+      false )
+  | Protocol.Enumerate -> (Codec.enumerate_payload (spec_of req), false)
+  | Protocol.Optimize ->
+    let run =
+      Optimize.run ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+        ~attempts:req.Protocol.attempts ~obs ~cancel ~shared:t.shared
+        (spec_of req)
+    in
+    (Codec.optimize_payload run, run.Optimize.truncated)
+  | Protocol.Sweep ->
+    if req.Protocol.k_to < req.Protocol.k_from then
+      raise (Bad_request "sweep: \"to\" must be >= \"from\"");
+    let ks =
+      List.init
+        (req.Protocol.k_to - req.Protocol.k_from + 1)
+        (fun i -> req.Protocol.k_from + i)
+    in
+    let chart =
+      Rules.sweep ~mode:req.Protocol.mode ~seed:req.Protocol.seed ~obs ~cancel
+        ~shared:t.shared ~k_values:ks (fun ~k ->
+          Spec.make ~k ~fs:(req.Protocol.fs_mhz *. 1e6) ())
+    in
+    let truncated = Cancel.cancelled cancel in
+    (Codec.chart_payload ~truncated chart, truncated)
+  | Protocol.Synth ->
+    let spec = spec_of { req with Protocol.k = 13 } in
+    let job = { Spec.m = req.Protocol.m; input_bits = req.Protocol.bits } in
+    let requirements = Spec.stage_requirements spec job in
+    let attempts = Stdlib.max 1 req.Protocol.attempts in
+    (* best-of-N fan-out over the shared pool, per-attempt seeds as in
+       the CLI; a tripped deadline skips the attempts not yet started *)
+    let restarts =
+      Pool.map_ordered
+        (Optimize.shared_pool t.shared)
+        (fun a ->
+          if Cancel.cancelled cancel then None
+          else
+            Some
+              (Synthesizer.synthesize
+                 ~seed:(Rng.mix req.Protocol.seed a)
+                 ~obs spec.Spec.process requirements))
+        (List.init attempts Fun.id)
+    in
+    let truncated = List.exists Option.is_none restarts in
+    let evaluations =
+      List.fold_left
+        (fun acc -> function
+          | Some (Ok s) -> acc + s.Synthesizer.evaluations
+          | Some (Error _) | None -> acc)
+        0 restarts
+    in
+    let best =
+      List.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | None, Some (Ok s) -> Some s
+          | Some b, Some (Ok s) -> Some (Optimize.better b s)
+          | _, (Some (Error _) | None) -> acc)
+        None restarts
+    in
+    ( Codec.synth_payload ~m:req.Protocol.m ~bits:req.Protocol.bits
+        ~fs_mhz:req.Protocol.fs_mhz ~seed:req.Protocol.seed ~attempts
+        ~evaluations ~truncated best,
+      truncated )
+  | Protocol.Montecarlo ->
+    let spec = spec_of req in
+    let config =
+      match req.Protocol.config with
+      | Some s -> (
+        try Config.of_string s
+        with Invalid_argument msg | Failure msg -> raise (Bad_request msg))
+      | None ->
+        Optimize.optimum_config (Optimize.run ~mode:`Equation spec)
+    in
+    let m_front =
+      match config with
+      | m :: _ -> m
+      | [] -> raise (Bad_request "montecarlo: empty configuration")
+    in
+    let budget =
+      Adc_mdac.Comparator.offset_budget ~vref_pp:spec.Spec.vref_pp ~m:m_front
+    in
+    let sweep =
+      Montecarlo.offset_sweep ~trials:req.Protocol.trials ~obs
+        ~seed:req.Protocol.seed spec config
+        ~sigmas:
+          [ budget /. 8.0; budget /. 4.0; budget /. 2.0; budget; budget *. 1.5 ]
+    in
+    ( Codec.montecarlo_payload ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
+        ~config ~trials:req.Protocol.trials ~seed:req.Protocol.seed ~budget
+        sweep,
+      false )
+  | Protocol.Stats | Protocol.Shutdown ->
+    (* handled inline by the reader; never queued *)
+    assert false
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_json t =
+  Mutex.lock t.smutex;
+  let requests = t.n_requests
+  and completed = t.n_completed
+  and overloaded = t.n_overloaded
+  and deadline = t.n_deadline
+  and failed = t.n_failed in
+  Mutex.unlock t.smutex;
+  Mutex.lock t.qmutex;
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.qmutex;
+  Json.Obj
+    [
+      ("requests", Json.Int requests);
+      ("completed", Json.Int completed);
+      ("overloaded", Json.Int overloaded);
+      ("deadline_exceeded", Json.Int deadline);
+      ("failed", Json.Int failed);
+      ("queue_depth", Json.Int depth);
+      ("queue_limit", Json.Int t.cfg.queue_depth);
+      ("workers", Json.Int t.cfg.workers);
+      ("jobs", Json.Int (Pool.size (Optimize.shared_pool t.shared)));
+      ("jobs_cached", Json.Int (Optimize.shared_jobs_cached t.shared));
+      ( "store",
+        match t.store with None -> Json.Null | Some s -> Store.stats_json s );
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("draining", Json.Bool (Atomic.get t.stop));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* workers *)
+
+let process t (item : item) =
+  let req = item.req in
+  let id = req.Protocol.id in
+  Span.finish
+    ~attrs:
+      [
+        ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+        ( "wait_ms",
+          Obs.Sink.Float (Clock.ns_to_ms (Clock.elapsed_ns ~since:item.admitted_at)) );
+      ]
+    item.queue_span;
+  if Cancel.cancelled item.cancel then begin
+    bump t (fun t -> t.n_deadline <- t.n_deadline + 1);
+    Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.deadline_exceeded");
+    send t item.conn
+      (Protocol.error_response ~id ~kind:Protocol.Deadline_exceeded
+         ~message:"deadline elapsed before the request reached a worker")
+  end
+  else begin
+    let span = Obs.span t.cfg.obs ~name:"serve.request" () in
+    let t0 = Clock.now_ns () in
+    let finish ~ok ~cached ~truncated =
+      let ms = Clock.ns_to_ms (Clock.elapsed_ns ~since:t0) in
+      observe_latency t req.Protocol.verb ms;
+      Span.finish
+        ~attrs:
+          [
+            ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+            ("ok", Obs.Sink.Bool ok);
+            ("cached", Obs.Sink.Bool cached);
+            ("truncated", Obs.Sink.Bool truncated);
+          ]
+        span
+    in
+    let key = store_key req in
+    let stored =
+      match (t.store, key) with
+      | Some store, Some key -> Store.find store ~key
+      | _ -> None
+    in
+    match stored with
+    | Some payload ->
+      (* canonical serializer: parse-then-reserialize returns the very
+         bytes that were stored, so a warm hit is byte-identical to the
+         cold computation it replays *)
+      bump t (fun t -> t.n_completed <- t.n_completed + 1);
+      finish ~ok:true ~cached:true ~truncated:false;
+      send t item.conn
+        (Protocol.ok_response ~id ~verb:req.Protocol.verb ~cached:true
+           (Json.parse payload))
+    | None -> (
+      match compute t req ~cancel:item.cancel with
+      | payload, truncated ->
+        (match (t.store, key) with
+        | Some store, Some k when not truncated ->
+          Store.add store ~key:k ~payload:(Json.to_string payload)
+        | _ -> ());
+        bump t (fun t -> t.n_completed <- t.n_completed + 1);
+        finish ~ok:true ~cached:false ~truncated;
+        send t item.conn
+          (Protocol.ok_response ~id ~verb:req.Protocol.verb ~cached:false
+             payload)
+      | exception Bad_request msg ->
+        bump t (fun t -> t.n_failed <- t.n_failed + 1);
+        finish ~ok:false ~cached:false ~truncated:false;
+        send t item.conn
+          (Protocol.error_response ~id ~kind:Protocol.Bad_request ~message:msg)
+      | exception e ->
+        bump t (fun t -> t.n_failed <- t.n_failed + 1);
+        finish ~ok:false ~cached:false ~truncated:false;
+        send t item.conn
+          (Protocol.error_response ~id ~kind:Protocol.Internal
+             ~message:(Printexc.to_string e)))
+  end
+
+let rec worker_loop t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue && not (Atomic.get t.stop) do
+    Condition.wait t.qcond t.qmutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qmutex
+    (* draining and nothing left: exit *)
+  else begin
+    let item = Queue.pop t.queue in
+    set_queue_gauge t (Queue.length t.queue);
+    Mutex.unlock t.qmutex;
+    process t item;
+    worker_loop t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* admission *)
+
+let admit t conn (req : Protocol.request) =
+  let id = req.Protocol.id in
+  bump t (fun t -> t.n_requests <- t.n_requests + 1);
+  Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.requests");
+  match req.Protocol.verb with
+  | Protocol.Stats ->
+    send t conn
+      (Protocol.ok_response ~id ~verb:Protocol.Stats ~cached:false
+         (stats_json t));
+    bump t (fun t -> t.n_completed <- t.n_completed + 1)
+  | Protocol.Shutdown ->
+    send t conn
+      (Protocol.ok_response ~id ~verb:Protocol.Shutdown ~cached:false
+         (Json.Obj [ ("stopping", Json.Bool true) ]));
+    bump t (fun t -> t.n_completed <- t.n_completed + 1);
+    Atomic.set t.stop true;
+    Mutex.lock t.qmutex;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmutex
+  | _ ->
+    (* the deadline clock starts at admission: queueing time counts
+       against the budget, which is what makes backpressure visible to
+       an impatient client as deadline_exceeded rather than a stall *)
+    let deadline_s =
+      match req.Protocol.deadline_ms with
+      | Some ms -> Some (float_of_int ms /. 1000.0)
+      | None -> t.cfg.default_deadline_s
+    in
+    let cancel =
+      match deadline_s with
+      | Some after_s -> Cancel.with_deadline ~after_s ()
+      | None -> Cancel.create ()
+    in
+    let decision =
+      Mutex.lock t.qmutex;
+      let d =
+        if Atomic.get t.stop then
+          `Reject (Protocol.Shutting_down, "server is draining")
+        else if Queue.length t.queue >= t.cfg.queue_depth then
+          `Reject
+            ( Protocol.Overloaded,
+              Printf.sprintf "admission queue full (depth %d)"
+                t.cfg.queue_depth )
+        else begin
+          let item =
+            {
+              req;
+              conn;
+              cancel;
+              queue_span = Obs.span t.cfg.obs ~name:"serve.queue" ();
+              admitted_at = Clock.now_ns ();
+            }
+          in
+          Queue.push item t.queue;
+          set_queue_gauge t (Queue.length t.queue);
+          Condition.signal t.qcond;
+          `Admitted
+        end
+      in
+      Mutex.unlock t.qmutex;
+      d
+    in
+    (match decision with
+    | `Admitted -> ()
+    | `Reject (kind, message) ->
+      (match kind with
+      | Protocol.Overloaded ->
+        bump t (fun t -> t.n_overloaded <- t.n_overloaded + 1);
+        Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.overloaded")
+      | _ -> ());
+      send t conn (Protocol.error_response ~id ~kind ~message))
+
+let handle_line t conn line =
+  match Protocol.parse_request_line line with
+  | Error message ->
+    bump t (fun t ->
+        t.n_requests <- t.n_requests + 1;
+        t.n_failed <- t.n_failed + 1);
+    send t conn
+      (Protocol.error_response ~id:Json.Null ~kind:Protocol.Bad_request
+         ~message)
+  | Ok req -> admit t conn req
+
+(* ------------------------------------------------------------------ *)
+(* listeners *)
+
+let reader t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  (try
+     while conn.alive do
+       let line = input_line ic in
+       if String.trim line <> "" then handle_line t conn line
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  close_conn t conn
+
+let accept_conn t listen_fd =
+  match Unix.accept ~cloexec:true listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+    let conn =
+      { fd; oc = Unix.out_channel_of_descr fd; wmutex = Mutex.create (); alive = true }
+    in
+    Mutex.lock t.cmutex;
+    t.conns := conn :: !(t.conns);
+    Mutex.unlock t.cmutex;
+    ignore (Thread.create (fun () -> reader t conn) ())
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let listen_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 16;
+  fd
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let create cfg =
+  if cfg.socket_path = None && cfg.tcp = None then
+    invalid_arg "Server.create: need a unix socket path or a TCP address";
+  let unix_fd = Option.map listen_unix cfg.socket_path in
+  let tcp_fd = Option.map (fun (h, p) -> listen_tcp h p) cfg.tcp in
+  let tcp_port =
+    Option.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> 0)
+      tcp_fd
+  in
+  {
+    cfg;
+    listeners = List.filter_map Fun.id [ unix_fd; tcp_fd ];
+    tcp_port;
+    queue = Queue.create ();
+    qmutex = Mutex.create ();
+    qcond = Condition.create ();
+    stop = Atomic.make false;
+    shared = Optimize.create_shared ~obs:cfg.obs ~jobs:(Stdlib.max 1 cfg.jobs) ();
+    store = Option.map Store.open_dir cfg.store_dir;
+    conns = ref [];
+    cmutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    smutex = Mutex.create ();
+    n_requests = 0;
+    n_completed = 0;
+    n_overloaded = 0;
+    n_deadline = 0;
+    n_failed = 0;
+  }
+
+let tcp_port t = t.tcp_port
+
+let stop t = Atomic.set t.stop true
+
+let run t =
+  let workers =
+    List.init (Stdlib.max 1 t.cfg.workers) (fun _ ->
+        Thread.create (fun () -> worker_loop t) ())
+  in
+  (* accept until told to stop; the 0.2 s tick bounds how long a stop
+     request (signal or shutdown verb) waits to be noticed *)
+  let rec accept_loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      (match Unix.select t.listeners [] [] 0.2 with
+      | readable, _, _ -> List.iter (accept_conn t) readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* drain: stop admitting (the flag is set), let the workers empty the
+     queue and finish in-flight requests, then tear the rest down *)
+  Mutex.lock t.qmutex;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmutex;
+  List.iter Thread.join workers;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  Option.iter
+    (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    t.cfg.socket_path;
+  (* wake readers blocked mid-line so their threads exit promptly *)
+  Mutex.lock t.cmutex;
+  let open_conns = !(t.conns) in
+  Mutex.unlock t.cmutex;
+  List.iter
+    (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    open_conns;
+  Optimize.shutdown_shared t.shared
+
+let snapshot t f =
+  Mutex.lock t.smutex;
+  let v = f t in
+  Mutex.unlock t.smutex;
+  v
+
+let requests t = snapshot t (fun t -> t.n_requests)
+let completed t = snapshot t (fun t -> t.n_completed)
+let overloaded t = snapshot t (fun t -> t.n_overloaded)
+let deadline_exceeded t = snapshot t (fun t -> t.n_deadline)

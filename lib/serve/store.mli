@@ -1,0 +1,56 @@
+(** The persistent, content-addressed design store.
+
+    One directory of small files, one file per completed result, named
+    by the MD5 of its canonical {!Codec} key. An entry is two lines:
+
+    {v
+    {"format":1,"key":"adcopt/1|optimize|k=13|...","length":N,"digest":"<md5>"}
+    <payload bytes>
+    v}
+
+    The header repeats the {e full} key — a filename (hash) collision
+    therefore resolves to a miss, never to someone else's payload — and
+    pins the payload's length and digest, so truncated or corrupted
+    entries read as misses too (counted in {!rejected}). Writes go
+    through a temp file and [rename], so a crash mid-write or a
+    concurrent reader never observes a torn entry, and two daemons
+    pointed at the same directory can safely race (last writer wins;
+    both wrote identical bytes by the determinism contract).
+
+    Restarting the daemon — or running [adcopt optimize --store DIR] in
+    a sibling process — warm-starts from whatever the directory already
+    holds. *)
+
+type t
+
+val open_dir : string -> t
+(** [open_dir dir] creates [dir] (and parents) if needed. Raises
+    [Invalid_argument] if the path exists and is not a directory. *)
+
+val dir : t -> string
+
+val path_of : t -> key:string -> string
+(** Where [key]'s entry lives (exposed for the corruption tests). *)
+
+val find : t -> key:string -> string option
+(** The stored payload bytes, or [None] on a miss {e or} on any
+    integrity failure. Never raises on a damaged entry. *)
+
+val add : t -> key:string -> payload:string -> unit
+(** Persist [payload] under [key], atomically. Callers must not store
+    truncated (deadline-cut) results — the store is for complete,
+    deterministic payloads only. *)
+
+val hits : t -> int
+
+val misses : t -> int
+(** Includes rejected entries. *)
+
+val writes : t -> int
+
+val rejected : t -> int
+(** Integrity failures observed by {!find}. *)
+
+val stats_json : t -> Adc_json.Json.t
+(** [{"hits":..,"misses":..,"writes":..,"rejected":..}] — embedded in
+    the serve [stats] verb's response. *)

@@ -204,6 +204,36 @@ let attr_bool name (e : Sink.event) =
   | Some (Sink.Bool b) -> b
   | _ -> false
 
+let test_pool_error_routed_through_sink () =
+  (* a worker's uncaught exception must surface as a pool.error event in
+     the structured trace (not a bare stderr print), with the exception
+     text as an attribute and the pool.errors counter bumped *)
+  let obs = Obs.in_memory () in
+  Pool.with_pool ~obs ~size:parallel_size (fun pool ->
+      Pool.async pool (fun () -> failwith "deliberate worker crash");
+      Pool.async pool (fun () -> ()));
+  let events = Sink.drain obs.Obs.sink in
+  let errors =
+    List.filter (fun (e : Sink.event) -> e.Sink.name = "pool.error") events
+  in
+  Alcotest.(check int) "one pool.error event" 1 (List.length errors);
+  let carries_text =
+    match errors with
+    | [ e ] -> (
+      match List.assoc_opt "exn" e.Sink.attrs with
+      | Some (Sink.String s) ->
+        (* substring check: the exception text must be recoverable *)
+        let needle = "deliberate worker crash" in
+        let n = String.length needle and h = String.length s in
+        let rec scan i = i + n <= h && (String.sub s i n = needle || scan (i + 1)) in
+        scan 0
+      | _ -> false)
+    | _ -> false
+  in
+  Alcotest.(check bool) "exception text in the exn attr" true carries_text;
+  Alcotest.(check int) "pool.errors counter" 1
+    (Metrics.counter_value (Metrics.counter obs.Obs.metrics "pool.errors"))
+
 let test_hybrid_span_reconciliation () =
   let obs = Obs.in_memory () in
   let spec = Spec.paper_case ~k:10 in
@@ -405,6 +435,7 @@ let () =
         ] );
       ( "reconciliation",
         [
+          quick "pool errors routed through the sink" test_pool_error_routed_through_sink;
           slow "hybrid spans reconcile with run counters" test_hybrid_span_reconciliation;
           quick "equation mode traces every job" test_equation_mode_emits_job_spans;
           slow "tracing never perturbs results" test_tracing_does_not_perturb_results;

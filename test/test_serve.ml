@@ -1,0 +1,496 @@
+(* Tests for the synthesis service: wire protocol, the persistent design
+   store's integrity contract, request deadlines/cancellation against the
+   shared runtime, and an end-to-end daemon over a Unix socket (served
+   results must be byte-identical to the one-shot computation, cold and
+   store-warmed; overload must reject predictably; shutdown must drain). *)
+
+module Json = Adc_json.Json
+module Protocol = Adc_serve.Protocol
+module Codec = Adc_serve.Codec
+module Store = Adc_serve.Store
+module Server = Adc_serve.Server
+module Client = Adc_serve.Client
+module Cancel = Adc_exec.Cancel
+module Pool = Adc_exec.Pool
+module Spec = Adc_pipeline.Spec
+module Config = Adc_pipeline.Config
+module Optimize = Adc_pipeline.Optimize
+module Synthesizer = Adc_synth.Synthesizer
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let tiny_budget =
+  { Synthesizer.sa_iterations = 12; pattern_evals = 20; space_factor = 0.6 }
+
+(* ------------------------------------------------------------------ *)
+(* protocol *)
+
+let test_request_defaults () =
+  match Protocol.parse_request_line {|{"verb":"optimize"}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+    Alcotest.(check int) "k" 13 r.Protocol.k;
+    Alcotest.(check (float 0.0)) "fs" 40.0 r.Protocol.fs_mhz;
+    Alcotest.(check int) "seed" 11 r.Protocol.seed;
+    Alcotest.(check int) "attempts" 3 r.Protocol.attempts;
+    Alcotest.(check bool) "mode" true (r.Protocol.mode = `Equation);
+    Alcotest.(check bool) "id defaults to null" true (r.Protocol.id = Json.Null);
+    Alcotest.(check bool) "no deadline" true (r.Protocol.deadline_ms = None)
+
+let test_request_fields () =
+  match
+    Protocol.parse_request_line
+      {|{"id":7,"verb":"sweep","from":11,"to":12,"fs_mhz":25.5,"mode":"hybrid","seed":3,"deadline_ms":250}|}
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+    Alcotest.(check bool) "verb" true (r.Protocol.verb = Protocol.Sweep);
+    Alcotest.(check int) "from" 11 r.Protocol.k_from;
+    Alcotest.(check int) "to" 12 r.Protocol.k_to;
+    Alcotest.(check (float 1e-9)) "fs" 25.5 r.Protocol.fs_mhz;
+    Alcotest.(check bool) "mode" true (r.Protocol.mode = `Hybrid);
+    Alcotest.(check bool) "deadline" true (r.Protocol.deadline_ms = Some 250);
+    Alcotest.(check bool) "id echo" true (r.Protocol.id = Json.Int 7)
+
+let test_request_rejects () =
+  let bad s =
+    match Protocol.parse_request_line s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "malformed json" true (bad "{nope");
+  Alcotest.(check bool) "not an object" true (bad "[1,2]");
+  Alcotest.(check bool) "missing verb" true (bad {|{"k":12}|});
+  Alcotest.(check bool) "unknown verb" true (bad {|{"verb":"frobnicate"}|});
+  Alcotest.(check bool) "bad field type" true
+    (bad {|{"verb":"optimize","k":"thirteen"}|});
+  Alcotest.(check bool) "bad mode" true
+    (bad {|{"verb":"optimize","mode":"psychic"}|})
+
+let test_verb_names_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Protocol.verb_name v) true
+        (Protocol.verb_of_name (Protocol.verb_name v) = Some v))
+    [
+      Protocol.Ping; Protocol.Stats; Protocol.Shutdown; Protocol.Enumerate;
+      Protocol.Optimize; Protocol.Sweep; Protocol.Synth; Protocol.Montecarlo;
+    ]
+
+let test_response_shapes () =
+  let ok =
+    Protocol.ok_response ~id:(Json.Int 3) ~verb:Protocol.Ping ~cached:false
+      (Json.Obj [ ("pong", Json.Bool true) ])
+  in
+  Alcotest.(check string) "ok line"
+    {|{"id":3,"ok":true,"verb":"ping","cached":false,"result":{"pong":true}}|}
+    (Json.to_string ok);
+  let err =
+    Protocol.error_response ~id:Json.Null ~kind:Protocol.Overloaded
+      ~message:"queue full"
+  in
+  Alcotest.(check string) "error line"
+    {|{"id":null,"ok":false,"error":"overloaded","message":"queue full"}|}
+    (Json.to_string err)
+
+(* ------------------------------------------------------------------ *)
+(* store *)
+
+let test_store_roundtrip_restart () =
+  let dir = tmp_dir "adcopt-store" in
+  let key = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
+  let payload = {|{"k":12,"optimum":"4-3-2","p_total":0.00123}|} in
+  let s = Store.open_dir dir in
+  Alcotest.(check bool) "miss before add" true (Store.find s ~key = None);
+  Store.add s ~key ~payload;
+  Alcotest.(check bool) "hit after add" true (Store.find s ~key = Some payload);
+  (* a killed-and-restarted daemon reopens the same directory *)
+  let s2 = Store.open_dir dir in
+  Alcotest.(check bool) "bit-identical across restart" true
+    (Store.find s2 ~key = Some payload);
+  Alcotest.(check int) "restart hit counted" 1 (Store.hits s2);
+  Alcotest.(check int) "no rejects" 0 (Store.rejected s2)
+
+let test_store_distinct_keys () =
+  let k1 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
+  let k2 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Hybrid ~seed:11 ~attempts:3 in
+  let k3 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:12 ~attempts:3 in
+  let k4 = Codec.key_sweep ~k_from:10 ~k_to:13 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
+  let keys = [ k1; k2; k3; k4 ] in
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare keys));
+  let dir = tmp_dir "adcopt-store" in
+  let s = Store.open_dir dir in
+  List.iteri (fun i k -> Store.add s ~key:k ~payload:(string_of_int i)) keys;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check bool) (Printf.sprintf "key %d isolated" i) true
+        (Store.find s ~key:k = Some (string_of_int i)))
+    keys
+
+let test_store_rejects_wrong_key () =
+  (* an entry whose header names a different key (the collision case)
+     must read as a miss, never as the other key's payload *)
+  let dir = tmp_dir "adcopt-store" in
+  let s = Store.open_dir dir in
+  let key_a = "adcopt/1|optimize|a" and key_b = "adcopt/1|optimize|b" in
+  Store.add s ~key:key_a ~payload:"payload-for-a";
+  let contents =
+    let ic = open_in_bin (Store.path_of s ~key:key_a) in
+    let c = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    c
+  in
+  let oc = open_out_bin (Store.path_of s ~key:key_b) in
+  output_string oc contents;
+  close_out oc;
+  Alcotest.(check bool) "foreign header is a miss" true
+    (Store.find s ~key:key_b = None);
+  Alcotest.(check int) "counted as rejected" 1 (Store.rejected s)
+
+let prop_store_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"store round-trips arbitrary payloads"
+    QCheck.(string_of_size (Gen.int_range 0 300))
+    (fun payload ->
+      let dir = tmp_dir "adcopt-store-q" in
+      let s = Store.open_dir dir in
+      let key = "adcopt/1|test|" ^ string_of_int (Hashtbl.hash payload) in
+      Store.add s ~key ~payload;
+      let back = Store.find s ~key in
+      Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+      Unix.rmdir dir;
+      back = Some payload)
+
+let prop_store_rejects_corruption =
+  (* flip any single byte of the stored file: find must answer None (or,
+     for a flip inside the payload that MD5 still... it cannot — the
+     digest pins every payload byte; header flips break the JSON or the
+     key/length/digest match) *)
+  QCheck.Test.make ~count:100 ~name:"store rejects any 1-byte corruption"
+    QCheck.(pair (string_of_size (Gen.int_range 1 120)) (int_bound 1000))
+    (fun (payload, pos_seed) ->
+      let dir = tmp_dir "adcopt-store-q" in
+      let s = Store.open_dir dir in
+      let key = "adcopt/1|test|corrupt" in
+      Store.add s ~key ~payload;
+      let path = Store.path_of s ~key in
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let pos = pos_seed mod String.length contents in
+      let corrupted = Bytes.of_string contents in
+      Bytes.set corrupted pos (Char.chr (Char.code (Bytes.get corrupted pos) lxor 0x20));
+      let oc = open_out_bin path in
+      output_bytes oc corrupted;
+      close_out oc;
+      let back = Store.find s ~key in
+      Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+      Unix.rmdir dir;
+      (* flipping a byte may leave a semantically identical file only if
+         it produced the same string back *)
+      back = None || back = Some payload)
+
+let prop_store_rejects_truncation =
+  QCheck.Test.make ~count:100 ~name:"store rejects truncated entries"
+    QCheck.(pair (string_of_size (Gen.int_range 1 120)) (int_bound 1000))
+    (fun (payload, cut_seed) ->
+      let dir = tmp_dir "adcopt-store-q" in
+      let s = Store.open_dir dir in
+      let key = "adcopt/1|test|trunc" in
+      Store.add s ~key ~payload;
+      let path = Store.path_of s ~key in
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let keep = cut_seed mod String.length contents in
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 keep);
+      close_out oc;
+      let back = Store.find s ~key in
+      Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+      Unix.rmdir dir;
+      back = None)
+
+(* ------------------------------------------------------------------ *)
+(* deadlines and the shared runtime *)
+
+let spec10 = Spec.make ~k:10 ~fs:40e6 ()
+
+let fingerprint (r : Optimize.run) =
+  ( Config.to_string (Optimize.optimum_config r),
+    List.map
+      (fun (c : Optimize.config_result) ->
+        (Config.to_string c.Optimize.config, c.Optimize.p_total))
+      r.Optimize.candidates,
+    r.Optimize.synthesis_evaluations )
+
+let test_cancelled_run_truncates () =
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  let r =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~cancel
+      spec10
+  in
+  Alcotest.(check bool) "truncated" true r.Optimize.truncated;
+  Alcotest.(check int) "no evaluator calls" 0 r.Optimize.synthesis_evaluations
+
+let test_shared_runtime_survives_cancellation () =
+  (* a deadline-cut request must not poison the long-lived runtime: the
+     truncated outcomes are evicted, the pool stays usable, and the next
+     identical request computes the full bit-identical result *)
+  let shared = Optimize.create_shared ~jobs:2 () in
+  let cancel = Cancel.create () in
+  Cancel.cancel cancel;
+  let truncated =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~cancel
+      ~shared spec10
+  in
+  Alcotest.(check bool) "first run truncated" true truncated.Optimize.truncated;
+  let clean =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~shared
+      spec10
+  in
+  let reference =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~jobs:1
+      spec10
+  in
+  Alcotest.(check bool) "clean run complete" false clean.Optimize.truncated;
+  Alcotest.(check bool) "bit-identical to a fresh runtime" true
+    (fingerprint clean = fingerprint reference);
+  (* replay: now every job is cached, so a repeat costs no evaluations
+     but reports the same totals (cache-transparent counters) *)
+  let replay =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~shared
+      spec10
+  in
+  Alcotest.(check bool) "replay bit-identical" true
+    (fingerprint replay = fingerprint reference);
+  Optimize.shutdown_shared shared
+
+let test_deadline_leaves_pool_reusable () =
+  (* expire mid-run: whatever was cut must still settle every future
+     (run returns), and the pool must execute later work normally *)
+  let shared = Optimize.create_shared ~jobs:2 () in
+  let cancel = Cancel.with_deadline ~after_s:0.005 () in
+  let r =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:4 ~budget:tiny_budget ~cancel
+      ~shared spec10
+  in
+  ignore r.Optimize.truncated;
+  let pool = Optimize.shared_pool shared in
+  let doubled = Pool.map_ordered pool (fun x -> 2 * x) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "pool reusable after expiry" [ 2; 4; 6 ] doubled;
+  Optimize.shutdown_shared shared
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end daemon *)
+
+let with_server ?(queue_depth = 8) ?(workers = 2) ?store_dir f =
+  let dir = tmp_dir "adcopt-serve" in
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket_path = Some socket;
+      queue_depth;
+      workers;
+      store_dir;
+    }
+  in
+  let srv = Server.create cfg in
+  let thread = Thread.create Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join thread)
+    (fun () -> f srv socket)
+
+let member_exn name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string json)
+
+let test_server_ping_and_stats () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp = Client.request c (Json.parse {|{"id":41,"verb":"ping"}|}) in
+      Alcotest.(check bool) "id echoed" true (member_exn "id" resp = Json.Int 41);
+      Alcotest.(check bool) "ok" true (member_exn "ok" resp = Json.Bool true);
+      let stats = Client.request c (Json.parse {|{"verb":"stats"}|}) in
+      let result = member_exn "result" stats in
+      Alcotest.(check bool) "requests counted" true
+        (match member_exn "requests" result with
+        | Json.Int n -> n >= 1
+        | _ -> false);
+      Client.close c)
+
+let test_server_optimize_byte_identical () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp =
+        Client.request c (Json.parse {|{"id":1,"verb":"optimize","k":10}|})
+      in
+      Alcotest.(check bool) "ok" true (member_exn "ok" resp = Json.Bool true);
+      Alcotest.(check bool) "cold" true
+        (member_exn "cached" resp = Json.Bool false);
+      let served = Json.to_string (member_exn "result" resp) in
+      let direct =
+        Json.to_string
+          (Codec.optimize_payload
+             (Optimize.run ~mode:`Equation ~seed:11 ~attempts:3
+                (Spec.make ~k:10 ~fs:40e6 ())))
+      in
+      Alcotest.(check string) "served == one-shot, byte for byte" direct served;
+      Client.close c)
+
+let test_server_backpressure () =
+  (* one worker, queue bound 1: occupy the worker, fill the queue slot,
+     then two more must be refused as overloaded — deterministically *)
+  with_server ~workers:1 ~queue_depth:1 (fun srv socket ->
+      let c = Client.connect_unix socket in
+      Client.send c (Json.parse {|{"id":1,"verb":"ping","delay_ms":600}|});
+      Thread.delay 0.25;
+      (* worker is busy with id 1; these three race only with each other:
+         one is admitted, two bounce off the full queue immediately *)
+      Client.send c (Json.parse {|{"id":2,"verb":"ping","delay_ms":10}|});
+      Client.send c (Json.parse {|{"id":3,"verb":"ping","delay_ms":10}|});
+      Client.send c (Json.parse {|{"id":4,"verb":"ping","delay_ms":10}|});
+      let responses = List.init 4 (fun _ -> Client.recv c) in
+      let by_id n =
+        List.find
+          (fun r -> member_exn "id" r = Json.Int n)
+          responses
+      in
+      Alcotest.(check bool) "id 1 served" true
+        (member_exn "ok" (by_id 1) = Json.Bool true);
+      let rejected =
+        List.filter
+          (fun r ->
+            member_exn "ok" r = Json.Bool false
+            && member_exn "error" r = Json.String "overloaded")
+          responses
+      in
+      Alcotest.(check int) "exactly two overloaded" 2 (List.length rejected);
+      Alcotest.(check int) "server counter agrees" 2 (Server.overloaded srv);
+      Client.close c)
+
+let test_server_deadline_exceeded () =
+  (* the worker is busy and the queued request's budget expires before
+     it is picked up: answered deadline_exceeded, never computed *)
+  with_server ~workers:1 ~queue_depth:4 (fun srv socket ->
+      let c = Client.connect_unix socket in
+      Client.send c (Json.parse {|{"id":1,"verb":"ping","delay_ms":500}|});
+      Thread.delay 0.2;
+      Client.send c
+        (Json.parse {|{"id":2,"verb":"optimize","k":10,"deadline_ms":20}|});
+      let responses = List.init 2 (fun _ -> Client.recv c) in
+      let r2 =
+        List.find (fun r -> member_exn "id" r = Json.Int 2) responses
+      in
+      Alcotest.(check bool) "rejected" true (member_exn "ok" r2 = Json.Bool false);
+      Alcotest.(check bool) "deadline_exceeded" true
+        (member_exn "error" r2 = Json.String "deadline_exceeded");
+      Alcotest.(check int) "counted" 1 (Server.deadline_exceeded srv);
+      Client.close c)
+
+let test_server_store_warm_restart () =
+  let dir = tmp_dir "adcopt-serve-store" in
+  let request = {|{"id":1,"verb":"optimize","k":10,"seed":5}|} in
+  let cold =
+    with_server ~store_dir:dir (fun _srv socket ->
+        let c = Client.connect_unix socket in
+        let resp = Client.request c (Json.parse request) in
+        Alcotest.(check bool) "cold miss" true
+          (member_exn "cached" resp = Json.Bool false);
+        let r = Json.to_string (member_exn "result" resp) in
+        Client.close c;
+        r)
+  in
+  (* a brand-new daemon process state, same store directory *)
+  with_server ~store_dir:dir (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp = Client.request c (Json.parse request) in
+      Alcotest.(check bool) "warm hit" true
+        (member_exn "cached" resp = Json.Bool true);
+      Alcotest.(check string) "byte-identical across restart" cold
+        (Json.to_string (member_exn "result" resp));
+      Client.close c)
+
+let test_server_shutdown_verb_drains () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp = Client.request c (Json.parse {|{"id":1,"verb":"shutdown"}|}) in
+      Alcotest.(check bool) "ack" true (member_exn "ok" resp = Json.Bool true);
+      (* after the drain the daemon closes the connection *)
+      let closed =
+        try
+          ignore (Client.recv c);
+          false
+        with End_of_file | Sys_error _ -> true
+      in
+      Alcotest.(check bool) "connection closed" true closed;
+      Client.close c)
+
+let test_server_bad_requests () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp = Client.request c (Json.parse {|{"verb":"warp"}|}) in
+      Alcotest.(check bool) "bad verb refused" true
+        (member_exn "error" resp = Json.String "bad_request");
+      let resp2 =
+        Client.request c
+          (Json.parse {|{"id":5,"verb":"montecarlo","k":10,"trials":2,"config":"9-9"}|})
+      in
+      Alcotest.(check bool) "bad config refused" true
+        (member_exn "ok" resp2 = Json.Bool false);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          quick "defaults match the CLI" test_request_defaults;
+          quick "field extraction" test_request_fields;
+          quick "malformed requests rejected" test_request_rejects;
+          quick "verb names round-trip" test_verb_names_roundtrip;
+          quick "response shapes" test_response_shapes;
+        ] );
+      ( "store",
+        [
+          quick "round-trip across restart" test_store_roundtrip_restart;
+          quick "distinct keys isolated" test_store_distinct_keys;
+          quick "foreign-key entry is a miss" test_store_rejects_wrong_key;
+          QCheck_alcotest.to_alcotest prop_store_roundtrip;
+          QCheck_alcotest.to_alcotest prop_store_rejects_corruption;
+          QCheck_alcotest.to_alcotest prop_store_rejects_truncation;
+        ] );
+      ( "deadlines",
+        [
+          slow "pre-cancelled run is truncated" test_cancelled_run_truncates;
+          slow "shared runtime survives cancellation"
+            test_shared_runtime_survives_cancellation;
+          slow "pool reusable after expiry" test_deadline_leaves_pool_reusable;
+        ] );
+      ( "daemon",
+        [
+          quick "ping and stats" test_server_ping_and_stats;
+          quick "served == one-shot (bytes)" test_server_optimize_byte_identical;
+          quick "backpressure rejects deterministically" test_server_backpressure;
+          quick "queued deadline expiry" test_server_deadline_exceeded;
+          quick "store-warm restart replays" test_server_store_warm_restart;
+          quick "shutdown verb drains" test_server_shutdown_verb_drains;
+          quick "bad requests answered" test_server_bad_requests;
+        ] );
+    ]
