@@ -601,6 +601,30 @@ let serve_bench () =
   Printf.printf "wrote BENCH_SERVE.json\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* batch: the fused multi-spec synthesis pass *)
+
+let batch_bench () =
+  header "batch: fused k=10..13 hybrid pass vs summed per-spec work lists";
+  let ks = [ 10; 11; 12; 13 ] in
+  let specs = List.map (fun k -> Spec.paper_case ~k) ks in
+  let obs = Obs.in_memory () in
+  let b =
+    Optimize.run_batch ~mode:`Hybrid ~seed:11 ~attempts:3
+      ~jobs:!jobs_requested ~obs specs
+  in
+  trace_events := !trace_events @ Obs.Sink.drain obs.Obs.sink;
+  Printf.printf
+    "[batch %s: %d job occurrences fused into %d distinct syntheses \
+     (%d shared), %.0f s on %d domain(s)]\n%!"
+    (String.concat "," (List.map string_of_int ks))
+    b.Optimize.job_occurrences b.Optimize.distinct_syntheses
+    (b.Optimize.job_occurrences - b.Optimize.distinct_syntheses)
+    b.Optimize.batch_wall_s b.Optimize.batch_domains;
+  List.iter2
+    (fun k r -> record_run (Printf.sprintf "batch-%dbit" k) r)
+    ks b.Optimize.batch_runs
+
+(* ------------------------------------------------------------------ *)
 (* entry point *)
 
 let () =
@@ -631,6 +655,7 @@ let () =
   | "overhead" -> overhead ()
   | "micro" -> micro ()
   | "serve" -> serve_bench ()
+  | "batch" -> batch_bench ()
   | "fast" ->
     fig1 ~hybrid:false ();
     fig2 ~hybrid:false ();
@@ -647,5 +672,5 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|serve|fast|all)\n" other;
+      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|serve|batch|fast|all)\n" other;
     exit 1

@@ -17,6 +17,7 @@ module Units = Adc_numerics.Units
 module Pool = Adc_exec.Pool
 module Cancel = Adc_exec.Cancel
 module Json = Adc_json.Json
+module Api = Adc_api
 module Codec = Adc_serve.Codec
 module Store = Adc_serve.Store
 module Server = Adc_serve.Server
@@ -29,34 +30,30 @@ module Progress = Adc_report.Progress
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
-(* shared arguments *)
+(* shared arguments
 
-let k_arg =
-  let doc = "Target resolution in bits (10-13 covers the paper's sweep)." in
-  Arg.(value & opt int 13 & info [ "k"; "resolution" ] ~docv:"BITS" ~doc)
+   Verb parameters (flag spellings, defaults, documentation) are defined
+   once in [Adc_api]; [term_of] turns a descriptor into a Cmdliner term,
+   so the CLI cannot drift from the daemon's wire decoding — both read
+   the same table. Flags that exist only on the CLI (--jobs, --trace,
+   --timeout, ...) keep local definitions below. *)
 
-let fs_arg =
-  let doc = "Sampling rate in MHz." in
-  Arg.(value & opt float 40.0 & info [ "fs" ] ~docv:"MHZ" ~doc)
+let term_of : type a. a Api.param -> a Term.t =
+ fun p ->
+  let ainfo = Arg.info p.Api.flags ~docv:p.Api.docv ~doc:p.Api.doc in
+  match p.Api.ty with
+  | Api.Int -> Arg.(value & opt int p.Api.default & ainfo)
+  | Api.Float -> Arg.(value & opt float p.Api.default & ainfo)
+  | Api.Mode -> Arg.(value & opt (enum Api.mode_choices) p.Api.default & ainfo)
+  | Api.Opt_int -> Arg.(value & opt (some int) p.Api.default & ainfo)
+  | Api.Opt_string -> Arg.(value & opt (some string) p.Api.default & ainfo)
+  | Api.Int_list -> Arg.(value & opt (list int) p.Api.default & ainfo)
 
-let mode_arg =
-  let doc =
-    "Evaluation mode: $(b,equation) (fast closed forms), $(b,hybrid) (cell \
-     synthesis with the simulation-backed evaluator), or $(b,verified) \
-     (hybrid plus transient settling checks)."
-  in
-  let modes =
-    [ ("equation", `Equation); ("hybrid", `Hybrid); ("verified", `Hybrid_verified) ]
-  in
-  Arg.(value & opt (enum modes) `Equation & info [ "mode" ] ~docv:"MODE" ~doc)
-
-let seed_arg =
-  let doc = "Random seed for the synthesis searches." in
-  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc)
-
-let attempts_arg =
-  let doc = "Independent searches per distinct MDAC job (best kept)." in
-  Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"N" ~doc)
+let k_arg = term_of Api.k
+let fs_arg = term_of Api.fs_mhz
+let mode_arg = term_of Api.mode
+let seed_arg = term_of Api.seed
+let attempts_arg = term_of Api.attempts
 
 let jobs_arg =
   let doc =
@@ -216,7 +213,7 @@ let optimize k fs mode seed attempts jobs timeout store json trace metrics
     progress =
   let spec = spec_of k fs in
   let store = Option.map Store.open_dir store in
-  let key = Codec.key_optimize ~k ~fs_mhz:fs ~mode ~seed ~attempts in
+  let key = Codec.key_optimize ~k ~fs_mhz:fs ~mode ~seed ~attempts () in
   match Option.bind store (fun s -> Store.find s ~key) with
   | Some payload ->
     (* stored bytes are the canonical serialization: print them verbatim
@@ -315,17 +312,82 @@ let sweep k_lo k_hi fs mode seed attempts jobs timeout trace metrics progress =
   finish_obs ctx;
   if Cancel.cancelled cancel then finish_truncated "sweep"
 
-let k_lo_arg =
-  Arg.(value & opt int 10 & info [ "from" ] ~docv:"BITS" ~doc:"Lowest resolution.")
-
-let k_hi_arg =
-  Arg.(value & opt int 13 & info [ "to" ] ~docv:"BITS" ~doc:"Highest resolution.")
+let k_lo_arg = term_of Api.k_from
+let k_hi_arg = term_of Api.k_to
 
 let sweep_cmd =
   let doc = "Sweep resolutions and derive the optimum-candidate rules (Fig. 2/3)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const sweep $ k_lo_arg $ k_hi_arg $ fs_arg $ mode_arg $ seed_arg
           $ attempts_arg $ jobs_arg $ timeout_arg $ trace_arg $ metrics_arg
+          $ progress_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch: many specs, one fused synthesis pass *)
+
+let batch ks fs mode seed attempts jobs timeout json trace metrics progress =
+  if ks = [] then die "adcopt batch: need at least one resolution";
+  let jobs = resolve_jobs jobs in
+  let specs =
+    List.map
+      (fun k ->
+        try spec_of k fs with Invalid_argument msg -> die "adcopt batch: %s" msg)
+      ks
+  in
+  (* progress denominator: the per-spec work lists; global dedup means
+     the bar can finish early, never late *)
+  let total =
+    List.fold_left
+      (fun acc spec ->
+        acc
+        + List.length
+            (Spec.distinct_jobs spec
+               (Config.enumerate_leading ~k:spec.Spec.k
+                  ~backend_bits:(Spec.backend_bits spec))))
+      0 specs
+  in
+  let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
+  let cancel = cancel_of_timeout timeout in
+  let b = Optimize.run_batch ~mode ~seed ~attempts ~jobs ~obs ~cancel specs in
+  if json then
+    (* one optimize payload per line, input order: line i is
+       byte-identical to `adcopt optimize -k <ks_i> --json` *)
+    List.iter
+      (fun run -> print_endline (Json.to_string (Codec.optimize_payload run)))
+      b.Optimize.batch_runs
+  else begin
+    List.iter2
+      (fun spec run ->
+        Printf.printf "=== %d-bit converter ===\n" spec.Spec.k;
+        print_optimize_human spec run)
+      specs b.Optimize.batch_runs;
+    Printf.printf
+      "batch: %d specs, %d job occurrences fused into %d distinct syntheses, \
+       %.1f s on %d domain(s)\n"
+      (List.length specs) b.Optimize.job_occurrences
+      b.Optimize.distinct_syntheses b.Optimize.batch_wall_s
+      b.Optimize.batch_domains
+  end;
+  (* the fusion counters always go to stderr so --json stdout stays a
+     clean payload stream for cmp *)
+  Printf.eprintf "adcopt batch: %d specs, %d job occurrences, %d distinct syntheses\n"
+    (List.length specs) b.Optimize.job_occurrences b.Optimize.distinct_syntheses;
+  finish_obs ~to_stderr:json ctx;
+  if b.Optimize.batch_truncated then finish_truncated "batch"
+
+let ks_arg = term_of Api.ks
+
+let batch_cmd =
+  let doc =
+    "Optimize several resolutions as one fused batch: each spec's distinct \
+     MDAC jobs are keyed, deduplicated across the whole batch, and the \
+     union is synthesized once, hardest-first, over a shared domain pool. \
+     Every per-spec result is byte-identical to its own one-shot \
+     $(b,adcopt optimize) run."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const batch $ ks_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
+          $ jobs_arg $ timeout_arg $ json_arg $ trace_arg $ metrics_arg
           $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -396,11 +458,8 @@ let synth m bits fs seed attempts jobs timeout trace metrics progress =
   finish_obs ctx;
   if truncated then finish_truncated "synthesis"
 
-let m_arg =
-  Arg.(value & opt int 3 & info [ "m" ] ~docv:"BITS" ~doc:"Stage resolution (2-4).")
-
-let bits_arg =
-  Arg.(value & opt int 12 & info [ "bits" ] ~docv:"BITS" ~doc:"Accuracy at the stage input.")
+let m_arg = term_of Api.m
+let bits_arg = term_of Api.bits
 
 let synth_cmd =
   let doc = "Synthesize one MDAC amplifier with the hybrid flow." in
@@ -429,9 +488,7 @@ let behavioral k fs config_str =
   Printf.printf "  SNDR %.1f dB, ENOB %.2f bits, SFDR %.1f dB (bin %d of %d)\n"
     d.Metrics.sndr_db d.Metrics.enob d.Metrics.sfdr_db d.Metrics.signal_bin d.Metrics.n_fft
 
-let config_arg =
-  Arg.(value & opt (some string) None
-       & info [ "config" ] ~docv:"M1-M2-..." ~doc:"Stage configuration, e.g. 4-3-2.")
+let config_arg = term_of Api.config
 
 let behavioral_cmd =
   let doc = "Behavioral verification (digital correction, INL/DNL, ENOB)." in
@@ -499,8 +556,7 @@ let montecarlo k fs config_str trials seed trace metrics progress =
     sweep;
   finish_obs ctx
 
-let trials_arg =
-  Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials per point.")
+let trials_arg = term_of Api.trials
 
 let montecarlo_cmd =
   let doc = "Monte-Carlo yield of a configuration under comparator offsets." in
@@ -706,11 +762,13 @@ let connect_arg =
 
 let extract_arg =
   let doc =
-    "Print only this top-level response field (canonical JSON). \
-     $(b,--extract result) of a served $(b,optimize) is byte-identical \
-     to $(b,adcopt optimize --json)."
+    "Print only this response field (canonical JSON). Dotted paths \
+     descend into nested objects and arrays: $(b,--extract result) of a \
+     served $(b,optimize) is byte-identical to $(b,adcopt optimize \
+     --json), and $(b,--extract result.p_total) or \
+     $(b,--extract result.runs.0) reach inside it."
   in
-  Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"FIELD" ~doc)
+  Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"PATH" ~doc)
 
 let request_json_arg =
   let doc = "The request object, e.g. '{\"verb\":\"optimize\",\"k\":12}'." in
@@ -721,6 +779,14 @@ let call socket connect extract request =
     match Json.parse request with
     | json -> json
     | exception Json.Parse_error msg -> die "adcopt call: bad request: %s" msg
+  in
+  (* stamp the protocol version this client speaks, unless the caller
+     pinned one explicitly (the version-mismatch CI check does) *)
+  let request =
+    match request with
+    | Json.Obj fields when not (List.mem_assoc "version" fields) ->
+      Json.Obj (fields @ [ ("version", Json.Int Api.protocol_version) ])
+    | _ -> request
   in
   let client =
     try
@@ -738,12 +804,25 @@ let call socket connect extract request =
   Client.close client;
   (match extract with
   | None -> print_endline (Json.to_string response)
-  | Some field -> (
-    match Json.member field response with
+  | Some path -> (
+    match Json.member_path path response with
     | Some v -> print_endline (Json.to_string v)
-    | None -> die "adcopt call: no %S field in the response" field));
+    | None -> die "adcopt call: no %S field in the response" path));
   match Json.member "ok" response with
-  | Some (Json.Bool false) -> exit 3
+  | Some (Json.Bool false) ->
+    (match Json.member "error" response with
+    | Some (Json.String "unsupported_version") ->
+      let pp = function
+        | Some (Json.Int v) -> string_of_int v
+        | _ -> "?"
+      in
+      Printf.eprintf
+        "adcopt call: protocol version mismatch — the request spoke version \
+         %s, the daemon speaks %s; upgrade whichever is older\n"
+        (pp (Json.member "version" request))
+        (pp (Json.member "version" response))
+    | _ -> ());
+    exit 3
   | _ -> ()
 
 let call_cmd =
@@ -762,8 +841,9 @@ let main_cmd =
   let doc = "designer-driven topology optimization for pipelined ADCs (DATE 2005)" in
   let info = Cmd.info "adcopt" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ enumerate_cmd; optimize_cmd; sweep_cmd; synth_cmd; behavioral_cmd;
-      corners_cmd; montecarlo_cmd; area_cmd; trace_cmd; serve_cmd; call_cmd ]
+    [ enumerate_cmd; optimize_cmd; sweep_cmd; batch_cmd; synth_cmd;
+      behavioral_cmd; corners_cmd; montecarlo_cmd; area_cmd; trace_cmd;
+      serve_cmd; call_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

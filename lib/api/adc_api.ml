@@ -1,0 +1,177 @@
+module Json = Adc_json.Json
+module Synthesizer = Adc_synth.Synthesizer
+
+(* Bump when a request/response shape changes incompatibly. Version 1
+   was the implicit (unversioned) PR-4 protocol; version 2 added the
+   [version] envelope field, the [batch] verb and the [budget] knob. *)
+let protocol_version = 2
+
+type mode = [ `Equation | `Hybrid | `Hybrid_verified ]
+
+let mode_name = function
+  | `Equation -> "equation"
+  | `Hybrid -> "hybrid"
+  | `Hybrid_verified -> "verified"
+
+let mode_of_name = function
+  | "equation" -> Some `Equation
+  | "hybrid" -> Some `Hybrid
+  | "verified" -> Some `Hybrid_verified
+  | _ -> None
+
+let mode_choices =
+  [ ("equation", `Equation); ("hybrid", `Hybrid); ("verified", `Hybrid_verified) ]
+
+type _ ty =
+  | Int : int ty
+  | Float : float ty
+  | Mode : mode ty
+  | Opt_int : int option ty
+  | Opt_string : string option ty
+  | Int_list : int list ty
+
+type 'a param = {
+  ty : 'a ty;
+  key : string;
+  flags : string list;
+  docv : string;
+  doc : string;
+  default : 'a;
+}
+
+(* ------------------------------------------------------------------ *)
+(* the parameter table — the single place a verb parameter's name,
+   wire field, default and documentation are defined *)
+
+let k =
+  { ty = Int; key = "k"; flags = [ "k"; "resolution" ]; docv = "BITS";
+    doc = "Target resolution in bits (10-13 covers the paper's sweep).";
+    default = 13 }
+
+let k_from =
+  { ty = Int; key = "from"; flags = [ "from" ]; docv = "BITS";
+    doc = "Lowest resolution."; default = 10 }
+
+let k_to =
+  { ty = Int; key = "to"; flags = [ "to" ]; docv = "BITS";
+    doc = "Highest resolution."; default = 13 }
+
+let fs_mhz =
+  { ty = Float; key = "fs_mhz"; flags = [ "fs" ]; docv = "MHZ";
+    doc = "Sampling rate in MHz."; default = 40.0 }
+
+let mode =
+  { ty = Mode; key = "mode"; flags = [ "mode" ]; docv = "MODE";
+    doc =
+      "Evaluation mode: $(b,equation) (fast closed forms), $(b,hybrid) \
+       (cell synthesis with the simulation-backed evaluator), or \
+       $(b,verified) (hybrid plus transient settling checks).";
+    default = `Equation }
+
+let seed =
+  { ty = Int; key = "seed"; flags = [ "seed" ]; docv = "N";
+    doc = "Random seed for the synthesis searches."; default = 11 }
+
+let attempts =
+  { ty = Int; key = "attempts"; flags = [ "attempts" ]; docv = "N";
+    doc = "Independent searches per distinct MDAC job (best kept).";
+    default = 3 }
+
+let trials =
+  { ty = Int; key = "trials"; flags = [ "trials" ]; docv = "N";
+    doc = "Monte-Carlo trials per point."; default = 50 }
+
+let m =
+  { ty = Int; key = "m"; flags = [ "m" ]; docv = "BITS";
+    doc = "Stage resolution (2-4)."; default = 3 }
+
+let bits =
+  { ty = Int; key = "bits"; flags = [ "bits" ]; docv = "BITS";
+    doc = "Accuracy at the stage input."; default = 12 }
+
+let config =
+  { ty = Opt_string; key = "config"; flags = [ "config" ]; docv = "M1-M2-...";
+    doc = "Stage configuration, e.g. 4-3-2."; default = None }
+
+let ks =
+  { ty = Int_list; key = "ks"; flags = [ "k"; "resolutions" ]; docv = "BITS,...";
+    doc =
+      "Comma-separated target resolutions to optimize as one fused \
+       batch (each gets its own full result).";
+    default = [ 10; 11; 12; 13 ] }
+
+(* wire-only parameters: no CLI flag ([flags = []]) *)
+
+let deadline_ms =
+  { ty = Opt_int; key = "deadline_ms"; flags = []; docv = "MS";
+    doc = "Per-request deadline budget, milliseconds, from admission.";
+    default = None }
+
+let delay_ms =
+  { ty = Int; key = "delay_ms"; flags = []; docv = "MS";
+    doc = "ping only: busy-hold a worker this long (load-test aid).";
+    default = 0 }
+
+let version =
+  { ty = Opt_int; key = "version"; flags = []; docv = "N";
+    doc = "Protocol version the client speaks; omit to mean current.";
+    default = None }
+
+(* ------------------------------------------------------------------ *)
+(* wire decoding *)
+
+exception Bad_field of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_field s)) fmt
+
+let of_json : type a. Json.t -> a param -> a =
+ fun obj p ->
+  match (p.ty, Json.member p.key obj) with
+  | _, (None | Some Json.Null) -> p.default
+  | Int, Some (Json.Int n) -> n
+  | Int, Some _ -> bad "field %S must be an integer" p.key
+  | Float, Some (Json.Float f) -> f
+  | Float, Some (Json.Int n) -> float_of_int n
+  | Float, Some _ -> bad "field %S must be a number" p.key
+  | Mode, Some (Json.String name) -> (
+    match mode_of_name name with
+    | Some m -> m
+    | None -> bad "unknown mode %S (equation|hybrid|verified)" name)
+  | Mode, Some _ -> bad "field %S must be a string" p.key
+  | Opt_int, Some (Json.Int n) -> Some n
+  | Opt_int, Some _ -> bad "field %S must be an integer" p.key
+  | Opt_string, Some (Json.String s) -> Some s
+  | Opt_string, Some _ -> bad "field %S must be a string" p.key
+  | Int_list, Some (Json.List items) ->
+    List.map
+      (function
+        | Json.Int n -> n
+        | _ -> bad "field %S must be a list of integers" p.key)
+      items
+  | Int_list, Some _ -> bad "field %S must be a list of integers" p.key
+
+(* a [budget] override rides along as a nested object; all three fields
+   are required so a typo'd partial budget fails loudly instead of
+   silently mixing with defaults *)
+let budget_of_json obj =
+  match Json.member "budget" obj with
+  | None | Some Json.Null -> None
+  | Some (Json.Obj _ as b) ->
+    let geti name =
+      match Json.member name b with
+      | Some (Json.Int n) -> n
+      | _ -> bad "budget field %S must be an integer" name
+    in
+    let getf name =
+      match Json.member name b with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int n) -> float_of_int n
+      | _ -> bad "budget field %S must be a number" name
+    in
+    Some
+      {
+        Synthesizer.sa_iterations = geti "sa_iterations";
+        pattern_evals = geti "pattern_evals";
+        space_factor = getf "space_factor";
+      }
+  | Some _ -> bad "field \"budget\" must be an object"

@@ -206,14 +206,15 @@ let finish_job_span span (job : Spec.job) ~attempts ~(outcome : job_outcome) =
 
 (* The shared runtime of a long-lived process ([adcopt serve]): one
    domain pool and one memo cache spanning every run that is handed the
-   same [shared] value. Memo entries are keyed by (context digest, job)
-   where the digest covers {e everything} a job outcome depends on —
-   spec, candidate schedule (donor choice is schedule-determined), mode,
-   seed, attempts, budget — so two requests share an entry if and only
-   if they would compute bit-identical outcomes. *)
+   same [shared] value. Memo entries are keyed by {!Job_key.t} — the
+   physics of the derived block spec plus the search identity plus the
+   warm-start lineage — so two requests share an entry if and only if
+   they would compute bit-identical outcomes, {e regardless} of the
+   enclosing run (a 12-bit and a 13-bit request share their common
+   MDACs). *)
 type shared = {
   sh_pool : Pool.t;
-  sh_memo : (string * Spec.job, job_outcome) Memo.t;
+  sh_memo : (Job_key.t, job_outcome) Memo.t;
 }
 
 let create_shared ?obs ?jobs () =
@@ -222,37 +223,59 @@ let create_shared ?obs ?jobs () =
 let shutdown_shared sh = Pool.shutdown sh.sh_pool
 let shared_pool sh = sh.sh_pool
 let shared_jobs_cached sh = Memo.length sh.sh_memo
+let shared_job_stats sh = Memo.stats sh.sh_memo
 
-let context_key (spec : Spec.t) ~candidates ~mode_name ~seed ~attempts ~budget =
-  (* Marshal is safe here: Spec.t and budget are closure-free records,
-     and the digest only needs in-process stability (the cross-process
-     store builds its keys from explicit request fields instead) *)
-  let fingerprint =
-    Digest.to_hex (Digest.string (Marshal.to_string (spec, candidates, budget) []))
-  in
-  Printf.sprintf "%s|%d|%d|%s" mode_name seed attempts fingerprint
+(* one entry of the keyed work list: the job, its canonical outcome
+   identity, and the keys of its warm-start donors in preference order *)
+type keyed_job = {
+  kj_job : Spec.job;
+  kj_key : Job_key.t;
+  kj_donors : Job_key.t list;
+}
 
-let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
-    ~memo ~ctx ~obs ~run_span jobs =
+(* Resolve the schedule's donor preferences into explicit [Job_key]s: a
+   pure function of (spec, search identity, work list) — never of
+   completion order or batch composition. Donors are scheduled earlier
+   (hardest-first order), so their keys are already bound when a job's
+   own key is formed; the key therefore pins the whole warm-start chain
+   recursively, which is what makes cross-request cache hits
+   bit-identical to cold computation. *)
+let keyed_schedule (spec : Spec.t) ~mode_name ~seed ~attempts ~budget jobs =
+  let bound : (Spec.job, Job_key.t) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun (job, donor_jobs) ->
+      let donors = List.map (Hashtbl.find bound) donor_jobs in
+      let key =
+        Job_key.make spec ~job ~mode_name ~seed ~attempts ~budget ~donors
+      in
+      Hashtbl.replace bound job key;
+      { kj_job = job; kj_key = key; kj_donors = donors })
+    (donor_preferences jobs)
+
+(* Submit a keyed work list in its given (hardest-first) order: every
+   donor of a job precedes it in the FIFO queue, so a blocked worker
+   always has a strictly-earlier task to wait on and the pool cannot
+   deadlock. Returns the submissions in schedule order, each paired
+   with its future. *)
+let submit_keyed (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
+    ~memo ~obs ~span_parent keyed =
   let kind =
     match mode with
     | `Equation -> Synthesizer.Equation_only
     | `Hybrid -> Synthesizer.Hybrid
     | `Hybrid_verified -> Synthesizer.Hybrid_verified
   in
-  (* submit in hardest-first schedule order: every donor of a job
-     precedes it in the FIFO queue, so a blocked worker always has a
-     strictly-earlier task to wait on and the pool cannot deadlock *)
-  let futures =
-    List.map
-      (fun (job, donor_jobs) ->
-        let donor_futures =
-          List.filter_map (fun d -> Memo.find memo (ctx, d)) donor_jobs
-        in
-        Memo.find_or_run memo pool (ctx, job) (fun (_, job) ->
+  List.map
+    (fun kj ->
+      let donor_futures = List.filter_map (Memo.find memo) kj.kj_donors in
+      let job = kj.kj_job in
+      let fut =
+        Memo.find_or_run memo pool kj.kj_key (fun _ ->
             (* the span covers donor-await time too: blocking on a
                warm-start donor is part of the job's critical path *)
-            let span = Obs.span obs ~parent:run_span ~name:"optimize.job" () in
+            let span =
+              Obs.span obs ~parent:span_parent ~name:"optimize.job" ()
+            in
             if Cancel.cancelled cancel then begin
               (* deadline tripped before this job started: publish an
                  empty outcome immediately so every future settles, the
@@ -285,15 +308,21 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
               in
               finish_job_span span job ~attempts ~outcome;
               outcome
-            end))
-      (donor_preferences jobs)
-  in
-  (* deterministic assembly: await and aggregate in schedule order *)
+            end)
+      in
+      (kj, fut))
+    keyed
+
+(* deterministic assembly: await and aggregate in schedule order. Also
+   counts cached outcomes — a run that warm-hits a job still reports
+   that job's evaluator calls, so a served result is byte-identical to
+   the cold computation it replays. *)
+let collect_outcomes ~memo ~obs submissions =
   let cache : (Spec.job, Synthesizer.solution) Hashtbl.t = Hashtbl.create 16 in
   let total_evals = ref 0 and cold = ref 0 and warm = ref 0 in
   let truncated = ref false in
-  List.iter2
-    (fun job fut ->
+  List.iter
+    (fun (kj, fut) ->
       let outcome = Future.await fut in
       total_evals := !total_evals + outcome.evaluations;
       if outcome.warm then incr warm else incr cold;
@@ -303,17 +332,18 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
            cache: evict it so the next request with this key recomputes
            the complete result (current holders of the future still see
            the truncated value — and report [truncated] themselves) *)
-        Memo.remove memo (ctx, job)
+        Memo.remove memo kj.kj_key
       end;
       match outcome.solution with
-      | Some sol -> Hashtbl.replace cache job sol
+      | Some sol -> Hashtbl.replace cache kj.kj_job sol
       | None when outcome.job_truncated ->
         Logs.warn (fun m ->
             m "synthesis of %s cancelled before any attempt finished"
-              (Spec.job_to_string job))
+              (Spec.job_to_string kj.kj_job))
       | None ->
-        Logs.warn (fun m -> m "synthesis of %s failed" (Spec.job_to_string job)))
-    jobs futures;
+        Logs.warn (fun m ->
+            m "synthesis of %s failed" (Spec.job_to_string kj.kj_job)))
+    submissions;
   (* the metrics view of the same three totals (names mirror the run
      fields, see docs/OBSERVABILITY.md) *)
   let m = obs.Obs.metrics in
@@ -322,76 +352,35 @@ let synthesize_jobs (spec : Spec.t) ~mode ~seed ~attempts ~budget ~cancel ~pool
   Obs.Metrics.add (Obs.Metrics.counter m "optimize.warm_jobs") !warm;
   (cache, !total_evals, !cold, !warm, !truncated)
 
-let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
-    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared
-    (spec : Spec.t) =
-  let t_start = Unix.gettimeofday () in
-  let candidates =
-    match candidates with
-    | Some cs -> cs
-    | None -> Config.enumerate_leading ~k:spec.Spec.k ~backend_bits:(Spec.backend_bits spec)
-  in
-  if candidates = [] then invalid_arg "Optimize.run: no candidates";
-  let mode_name =
-    match mode with
-    | `Equation -> "equation"
-    | `Hybrid -> "hybrid"
-    | `Hybrid_verified -> "hybrid_verified"
-  in
-  let run_span = Obs.span obs ~name:"optimize.run" () in
-  (* hoist the per-candidate job lists: the synthesis work list and the
-     per-candidate assembly below must derive from the same translation,
-     or the two phases could disagree *)
-  let candidate_jobs =
-    List.map (fun c -> (c, Spec.jobs_of_config spec c)) candidates
-  in
-  let distinct_jobs =
-    candidate_jobs |> List.concat_map snd |> List.sort_uniq Spec.compare_job
-  in
-  let domains =
-    if mode = `Equation then 1
-    else
-      match shared with
-      | Some sh -> Pool.size sh.sh_pool
-      | None -> Stdlib.max 1 jobs
-  in
-  let cache, synthesis_evaluations, cold_jobs, warm_jobs, truncated =
-    match mode with
-    | `Equation ->
-      (* no synthesis phase — still emit one (near-empty) span per
-         distinct job so a trace always carries the full work list and
-         the per-job reconciliation holds in every mode (0 = 0) *)
-      List.iter
-        (fun (job : Spec.job) ->
-          let span = Obs.span obs ~parent:run_span ~name:"optimize.job" () in
-          Obs.Span.finish
-            ~attrs:
-              [
-                ("job", Obs.Sink.String (Spec.job_to_string job));
-                ("m", Obs.Sink.Int job.Spec.m);
-                ("input_bits", Obs.Sink.Int job.Spec.input_bits);
-                ("evaluations", Obs.Sink.Int 0);
-                ("path", Obs.Sink.String "equation");
-              ]
-            span)
-        (if Obs.tracing obs then distinct_jobs else []);
-      (Hashtbl.create 1, 0, 0, 0, Cancel.cancelled cancel)
-    | `Hybrid | `Hybrid_verified ->
-      let ctx =
-        context_key spec ~candidates ~mode_name ~seed ~attempts ~budget
-      in
-      (match shared with
-      | Some sh ->
-        (* long-lived runtime: the pool and memo outlive this run, so
-           a later request with the same context warm-hits every job *)
-        synthesize_jobs spec ~mode ~seed ~attempts ~budget ~cancel
-          ~pool:sh.sh_pool ~memo:sh.sh_memo ~ctx ~obs ~run_span distinct_jobs
-      | None ->
-        Pool.with_pool ~obs ~size:domains (fun pool ->
-            let memo = Memo.create ~obs () in
-            synthesize_jobs spec ~mode ~seed ~attempts ~budget ~cancel ~pool
-              ~memo ~ctx ~obs ~run_span distinct_jobs))
-  in
+(* equation mode has no synthesis phase — still emit one (near-empty)
+   span per distinct job so a trace always carries the full work list
+   and the per-job reconciliation holds in every mode (0 = 0) *)
+let equation_phase ~obs ~cancel ~span_parent distinct_jobs =
+  List.iter
+    (fun (job : Spec.job) ->
+      let span = Obs.span obs ~parent:span_parent ~name:"optimize.job" () in
+      Obs.Span.finish
+        ~attrs:
+          [
+            ("job", Obs.Sink.String (Spec.job_to_string job));
+            ("m", Obs.Sink.Int job.Spec.m);
+            ("input_bits", Obs.Sink.Int job.Spec.input_bits);
+            ("evaluations", Obs.Sink.Int 0);
+            ("path", Obs.Sink.String "equation");
+          ]
+        span)
+    (if Obs.tracing obs then distinct_jobs else []);
+  ((Hashtbl.create 1 : (Spec.job, Synthesizer.solution) Hashtbl.t),
+   0, 0, 0, Cancel.cancelled cancel)
+
+(* the per-spec assembly: stage tables, candidate totals, ranking, the
+   summary span. Shared between [run] (span name [optimize.run]) and
+   [run_batch] (span name [batch.spec]) — the phase upstream differs,
+   the assembly must not. *)
+let assemble (spec : Spec.t) ~mode ~mode_name ~obs ~run_span ~domains ~t_start
+    ~candidate_jobs ~distinct_jobs
+    ~(cache : (Spec.job, Synthesizer.solution) Hashtbl.t)
+    ~synthesis_evaluations ~cold_jobs ~warm_jobs ~truncated =
   let stage_result index (job : Spec.job) =
     let p_comparator = Spec.comparator_power spec ~m:job.Spec.m in
     match mode with
@@ -488,5 +477,202 @@ let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
     wall_time_s;
     truncated;
   }
+
+let mode_name_of = function
+  | `Equation -> "equation"
+  | `Hybrid -> "hybrid"
+  | `Hybrid_verified -> "hybrid_verified"
+
+(* hoist the per-candidate job lists: the synthesis work list and the
+   per-candidate assembly must derive from the same translation, or the
+   two phases could disagree *)
+let plan_of_spec (spec : Spec.t) ?candidates () =
+  let candidates =
+    match candidates with
+    | Some cs -> cs
+    | None ->
+      Config.enumerate_leading ~k:spec.Spec.k
+        ~backend_bits:(Spec.backend_bits spec)
+  in
+  let candidate_jobs =
+    List.map (fun c -> (c, Spec.jobs_of_config spec c)) candidates
+  in
+  let distinct_jobs =
+    candidate_jobs |> List.concat_map snd |> List.sort_uniq Spec.compare_job
+  in
+  (candidate_jobs, distinct_jobs)
+
+let run ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget ?candidates
+    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared
+    (spec : Spec.t) =
+  let t_start = Unix.gettimeofday () in
+  (match candidates with
+  | Some [] -> invalid_arg "Optimize.run: no candidates"
+  | _ -> ());
+  let mode_name = mode_name_of mode in
+  let run_span = Obs.span obs ~name:"optimize.run" () in
+  let candidate_jobs, distinct_jobs = plan_of_spec spec ?candidates () in
+  let domains =
+    if mode = `Equation then 1
+    else
+      match shared with
+      | Some sh -> Pool.size sh.sh_pool
+      | None -> Stdlib.max 1 jobs
+  in
+  let cache, synthesis_evaluations, cold_jobs, warm_jobs, truncated =
+    match mode with
+    | `Equation ->
+      equation_phase ~obs ~cancel ~span_parent:run_span distinct_jobs
+    | `Hybrid | `Hybrid_verified -> (
+      let keyed =
+        keyed_schedule spec ~mode_name ~seed ~attempts ~budget distinct_jobs
+      in
+      match shared with
+      | Some sh ->
+        (* long-lived runtime: the pool and memo outlive this run, so
+           any later request deriving the same job keys — same physics,
+           search identity and warm-start lineage, whatever its k or
+           candidate set — warm-hits those jobs *)
+        submit_keyed spec ~mode ~seed ~attempts ~budget ~cancel
+          ~pool:sh.sh_pool ~memo:sh.sh_memo ~obs ~span_parent:run_span keyed
+        |> collect_outcomes ~memo:sh.sh_memo ~obs
+      | None ->
+        Pool.with_pool ~obs ~size:domains (fun pool ->
+            let memo = Memo.create ~obs () in
+            submit_keyed spec ~mode ~seed ~attempts ~budget ~cancel ~pool
+              ~memo ~obs ~span_parent:run_span keyed
+            |> collect_outcomes ~memo ~obs))
+  in
+  assemble spec ~mode ~mode_name ~obs ~run_span ~domains ~t_start
+    ~candidate_jobs ~distinct_jobs ~cache ~synthesis_evaluations ~cold_jobs
+    ~warm_jobs ~truncated
+
+type batch = {
+  batch_runs : run list;
+  job_occurrences : int;
+  distinct_syntheses : int;
+  batch_domains : int;
+  batch_wall_s : float;
+  batch_truncated : bool;
+}
+
+let run_batch ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget
+    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared specs =
+  if specs = [] then invalid_arg "Optimize.run_batch: no specs";
+  let t_start = Unix.gettimeofday () in
+  match mode with
+  | `Equation ->
+    (* no synthesis phase, hence nothing to fuse: each spec is its own
+       (microsecond) run, complete with its [optimize.run] span *)
+    let runs =
+      List.map (fun spec -> run ~mode ~seed ~attempts ~obs ~cancel spec) specs
+    in
+    {
+      batch_runs = runs;
+      job_occurrences = 0;
+      distinct_syntheses = 0;
+      batch_domains = 1;
+      batch_wall_s = Unix.gettimeofday () -. t_start;
+      batch_truncated = List.exists (fun r -> r.truncated) runs;
+    }
+  | (`Hybrid | `Hybrid_verified) as mode ->
+    let mode_name = mode_name_of mode in
+    let batch_span = Obs.span obs ~name:"optimize.batch" () in
+    (* Per-spec planning is a pure function of each spec alone — a
+       spec's keyed schedule (and therefore its result) cannot depend
+       on what else is in the batch. *)
+    let plans =
+      List.map
+        (fun spec ->
+          let candidate_jobs, distinct_jobs = plan_of_spec spec () in
+          let keyed =
+            keyed_schedule spec ~mode_name ~seed ~attempts ~budget
+              distinct_jobs
+          in
+          (spec, candidate_jobs, distinct_jobs, keyed))
+        specs
+    in
+    (* Fuse the work lists: dedup globally by Job_key (equal keys mean
+       bit-identical outcomes, so either spec's closure may compute the
+       shared entry) and schedule the union hardest-first. A donor
+       always has strictly more input bits than its dependent, so every
+       donor sorts — and is submitted — before any job that awaits it,
+       batch-wide. *)
+    let union =
+      plans
+      |> List.concat_map (fun (spec, _, _, keyed) ->
+             List.map (fun kj -> (spec, kj)) keyed)
+      |> List.sort_uniq (fun (_, a) (_, b) ->
+             match Spec.compare_job a.kj_job b.kj_job with
+             | 0 -> Job_key.compare a.kj_key b.kj_key
+             | c -> c)
+    in
+    let job_occurrences =
+      List.fold_left (fun n (_, _, _, keyed) -> n + List.length keyed) 0 plans
+    in
+    let distinct_syntheses = List.length union in
+    let submit_union ~pool ~memo =
+      let futures : (Job_key.t, _) Hashtbl.t =
+        Hashtbl.create (2 * distinct_syntheses)
+      in
+      List.iter
+        (fun (spec, kj) ->
+          let subs =
+            submit_keyed spec ~mode ~seed ~attempts ~budget ~cancel ~pool
+              ~memo ~obs ~span_parent:batch_span [ kj ]
+          in
+          List.iter
+            (fun (kj, fut) -> Hashtbl.replace futures kj.kj_key fut)
+            subs)
+        union;
+      (* per-spec assembly in batch order, each spec awaiting exactly
+         its own schedule — the same collection a sequential run over a
+         shared runtime would perform, so results are byte-identical to
+         N one-at-a-time runs *)
+      List.map
+        (fun (spec, candidate_jobs, distinct_jobs, keyed) ->
+          let spec_span =
+            Obs.span obs ~parent:batch_span ~name:"batch.spec" ()
+          in
+          let submissions =
+            List.map (fun kj -> (kj, Hashtbl.find futures kj.kj_key)) keyed
+          in
+          let cache, synthesis_evaluations, cold_jobs, warm_jobs, truncated =
+            collect_outcomes ~memo ~obs submissions
+          in
+          assemble spec ~mode ~mode_name ~obs ~run_span:spec_span
+            ~domains:(Pool.size pool) ~t_start ~candidate_jobs ~distinct_jobs
+            ~cache ~synthesis_evaluations ~cold_jobs ~warm_jobs ~truncated)
+        plans
+    in
+    let runs =
+      match shared with
+      | Some sh -> submit_union ~pool:sh.sh_pool ~memo:sh.sh_memo
+      | None ->
+        Pool.with_pool ~obs ~size:(Stdlib.max 1 jobs) (fun pool ->
+            submit_union ~pool ~memo:(Memo.create ~obs ()))
+    in
+    let batch_truncated = List.exists (fun r -> r.truncated) runs in
+    Obs.Span.finish
+      ~attrs:
+        [
+          ("specs", Obs.Sink.Int (List.length specs));
+          ("mode", Obs.Sink.String mode_name);
+          ("job_occurrences", Obs.Sink.Int job_occurrences);
+          ("distinct_syntheses", Obs.Sink.Int distinct_syntheses);
+          ("truncated", Obs.Sink.Bool batch_truncated);
+        ]
+      batch_span;
+    {
+      batch_runs = runs;
+      job_occurrences;
+      distinct_syntheses;
+      batch_domains =
+        (match shared with
+        | Some sh -> Pool.size sh.sh_pool
+        | None -> Stdlib.max 1 jobs);
+      batch_wall_s = Unix.gettimeofday () -. t_start;
+      batch_truncated;
+    }
 
 let optimum_config r = r.optimum.config

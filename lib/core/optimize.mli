@@ -106,13 +106,17 @@ type run = {
     A {!shared} value is the long-lived half of a serving process: one
     domain pool and one promise-keyed memo cache spanning every run
     that is handed the same value ([adcopt serve] owns exactly one).
-    Memo entries are keyed by (context digest, job), where the digest
-    covers everything a job outcome depends on — spec, candidate
-    schedule, mode, seed, attempts, budget — so a repeated request
-    warm-hits every job and returns a bit-identical result without
-    recomputing, while any parameter change recomputes from scratch.
-    Outcomes truncated by a request deadline are evicted on completion
-    and never persist in the cache. *)
+    Memo entries are keyed by {!Job_key.t} — the physics of the derived
+    block spec ({!Spec.stage_fingerprint}), the search identity (mode,
+    seed, attempts, budget) and the warm-start lineage (the donors'
+    own keys, recursively) — {e not} by the enclosing run. Two requests
+    therefore share an entry exactly when they would compute
+    bit-identical outcomes: a repeated request warm-hits every job, and
+    a request with a {e different} [k] still warm-hits the jobs whose
+    derived block specs it has in common with earlier requests (the
+    paper's MDAC-reuse economy, extended across requests). Outcomes
+    truncated by a request deadline are evicted on completion and never
+    persist in the cache. *)
 
 type shared
 
@@ -128,8 +132,15 @@ val shared_pool : shared -> Adc_exec.Pool.t
     the serve [synth] verb's restart fan-out). *)
 
 val shared_jobs_cached : shared -> int
-(** Number of distinct (context, job) entries ever cached — the
+(** Number of distinct {!Job_key.t} entries ever cached — the
     [jobs_cached] figure of [adcopt serve]'s [stats] verb. *)
+
+val shared_job_stats : shared -> int * int
+(** [(hits, misses)] over every job lookup on the shared cache since
+    creation ({!Adc_exec.Memo.stats}): hits are job-level reuse —
+    within a run, across runs, and across requests — misses are actual
+    syntheses scheduled. Served as [job_hits]/[job_misses] in the
+    daemon's [stats] verb. *)
 
 val run :
   ?mode:mode ->
@@ -187,9 +198,62 @@ val run :
     - [shared] — run on a long-lived {!shared} runtime instead of a
       private pool/memo pair. [jobs] is then ignored ({!run.domains}
       reports the shared pool's size) and job outcomes persist across
-      runs under the full context key, which is what makes a repeated
-      request to [adcopt serve] bit-identical to its first computation
-      at near-zero cost. *)
+      runs under their {!Job_key}, which is what makes a repeated — or
+      merely {e overlapping} — request to [adcopt serve] reuse prior
+      syntheses while staying bit-identical to computing cold. *)
+
+(** {1 Batch optimization}
+
+    [run_batch] turns N overlapping requests into one near-minimal
+    synthesis pass: each spec's keyed work list is derived independently
+    (a pure function of that spec alone), the lists are fused and
+    deduplicated globally by {!Job_key}, the union is scheduled
+    hardest-first across one domain pool, and per-spec results are
+    assembled from the shared outcomes. Because equal keys guarantee
+    bit-identical outcomes, every run in {!batch.batch_runs} is
+    byte-identical to the run a sequential [run] over the same spec
+    would produce — the batch changes only the wall-clock cost.
+    [adcopt batch] and the serve [batch] verb are thin wrappers. *)
+
+type batch = {
+  batch_runs : run list;  (** one {!run} per input spec, input order *)
+  job_occurrences : int;
+      (** summed per-spec work-list lengths — what N sequential cold
+          runs would have synthesized *)
+  distinct_syntheses : int;
+      (** size of the fused, key-deduplicated work list actually
+          scheduled; [job_occurrences - distinct_syntheses] jobs were
+          shared between specs *)
+  batch_domains : int;
+  batch_wall_s : float;
+  batch_truncated : bool;  (** some run lost work to [?cancel] *)
+}
+
+val run_batch :
+  ?mode:mode ->
+  ?seed:int ->
+  ?attempts:int ->
+  ?budget:Adc_synth.Synthesizer.budget ->
+  ?jobs:int ->
+  ?obs:Adc_obs.t ->
+  ?cancel:Adc_exec.Cancel.t ->
+  ?shared:shared ->
+  Spec.t list ->
+  batch
+(** Optimize several converter specs in one fused synthesis pass.
+    Parameters have the same meaning (and defaults) as {!run}; the
+    candidate set is always each spec's paper enumeration. In
+    [`Equation] mode there is nothing to fuse — the batch degenerates
+    to N independent (microsecond) runs and both counters are 0.
+    Raises [Invalid_argument] on an empty spec list.
+
+    With a live trace sink a hybrid batch emits one [optimize.batch]
+    root span (fused-work-list counters), the usual [optimize.job]
+    spans for the union, and one [batch.spec] span per input spec
+    carrying the same summary attributes an [optimize.run] span would
+    ([adcopt trace summary] reconciliation deliberately skips these:
+    in a batch the per-job spans decompose the {e union}, not any
+    single spec's counters). *)
 
 val optimum_config : run -> Config.t
 (** [optimum_config r] is [r.optimum.config]. *)

@@ -97,6 +97,35 @@ let stage_requirements t job =
   Mdac_stage.requirements t.process spec ~c_load_ext
     ~c_in_ratio:t.calibration.c_in_ratio
 
+(* Canonical fingerprint of everything a synthesis of [job] under [t]
+   can observe: the derived block requirements (spec + caps + loop/load
+   constraints, all fields spelled out at full %.17g precision so two
+   specs agree iff the numbers agree bit-for-bit) plus the process
+   corner the sizing runs against. The enclosing run — k, the candidate
+   set, the other calibration knobs — is deliberately absent: that is
+   what lets a 12-bit and a 13-bit request share an MDAC. *)
+let stage_fingerprint t job =
+  let r = stage_requirements t job in
+  let s = r.Mdac_stage.spec in
+  let c = r.Mdac_stage.caps in
+  let proc =
+    Digest.to_hex (Digest.string (Marshal.to_string t.process []))
+  in
+  Printf.sprintf
+    "m=%d,b=%d,fs=%.17g,vref=%.17g,nf=%.17g,tm=%.17g,sf=%.17g,srf=%.17g|\
+     cu=%.17g,nu=%d,cs=%.17g,cf=%.17g,ct=%.17g,beta=%.17g,g=%.17g|\
+     cle=%.17g,clf=%.17g,a0=%.17g,gbw=%.17g,sr=%.17g,pm=%.17g,\
+     ts=%.17g,tl=%.17g,nt=%.17g,tol=%.17g,sw=%.17g|proc=%s"
+    s.Mdac_stage.m s.Mdac_stage.accuracy_bits s.Mdac_stage.fs
+    s.Mdac_stage.vref_pp s.Mdac_stage.noise_fraction s.Mdac_stage.t_margin
+    s.Mdac_stage.slew_fraction s.Mdac_stage.sr_step_fraction
+    c.Caps.c_unit c.Caps.n_units c.Caps.c_sample c.Caps.c_feedback
+    c.Caps.c_total c.Caps.beta c.Caps.gain r.Mdac_stage.c_load_ext
+    r.Mdac_stage.c_load_eff r.Mdac_stage.a0_min r.Mdac_stage.gbw_min_hz
+    r.Mdac_stage.sr_min r.Mdac_stage.pm_min_deg r.Mdac_stage.t_settle
+    r.Mdac_stage.t_linear r.Mdac_stage.n_tau r.Mdac_stage.settle_tol
+    r.Mdac_stage.swing_pp proc
+
 let stage_fixed_power t = t.calibration.p_stage_fixed
 
 let comparator_power t ~m =

@@ -61,6 +61,16 @@ val stage_requirements : t -> job -> Adc_mdac.Mdac_stage.requirements
 (** Full translation: spec plus the output-load model (the following
     stage samples at [input_bits - (m-1)] resolution). *)
 
+val stage_fingerprint : t -> job -> string
+(** Canonical text rendering of {e everything a synthesis of [job] can
+    observe} under this spec: the derived {!stage_requirements} (block
+    spec, capacitor sizing, loop and load constraints — every float at
+    full [%.17g] precision) plus a digest of the process corner. Two
+    [(spec, job)] pairs with equal fingerprints hand the synthesizer
+    bit-identical inputs, so their outcomes are interchangeable even
+    when the enclosing runs differ (different [k], different candidate
+    sets). This is the physics half of [Optimize]'s [Job_key]. *)
+
 val stage_fixed_power : t -> float
 (** Per-stage fixed overhead (clock drivers, switches, local bias). *)
 

@@ -5,6 +5,8 @@ type ('k, 'v) t = {
   table : ('k, 'v Future.t) Hashtbl.t;
   hits : Obs.Metrics.counter;
   misses : Obs.Metrics.counter;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
   trace : Obs.Sink.t;
 }
 
@@ -14,6 +16,8 @@ let create ?(obs = Obs.null) ?(initial_size = 16) () =
     table = Hashtbl.create initial_size;
     hits = Obs.Metrics.counter obs.Obs.metrics "memo.hit";
     misses = Obs.Metrics.counter obs.Obs.metrics "memo.miss";
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
     trace = obs.Obs.sink;
   }
 
@@ -29,6 +33,7 @@ let find_or_run t pool key compute =
   match Hashtbl.find_opt t.table key with
   | Some fut ->
     Mutex.unlock t.mutex;
+    Atomic.incr t.n_hits;
     Obs.Metrics.inc t.hits;
     finish ~hit:true;
     fut
@@ -38,6 +43,7 @@ let find_or_run t pool key compute =
     let fut = Future.create () in
     Hashtbl.add t.table key fut;
     Mutex.unlock t.mutex;
+    Atomic.incr t.n_misses;
     Obs.Metrics.inc t.misses;
     finish ~hit:false;
     Pool.async pool (fun () ->
@@ -62,3 +68,5 @@ let length t =
   let n = Hashtbl.length t.table in
   Mutex.unlock t.mutex;
   n
+
+let stats t = (Atomic.get t.n_hits, Atomic.get t.n_misses)

@@ -49,3 +49,11 @@ val remove : ('k, 'v) t -> 'k -> unit
 
 val length : ('k, 'v) t -> int
 (** Number of distinct keys ever requested (pending ones included). *)
+
+val stats : ('k, 'v) t -> int * int
+(** [stats t] is [(hits, misses)] over every {!find_or_run} since
+    {!create} — counted unconditionally, independent of whether [obs]
+    carries a live metrics registry. {!find} does not count (it is a
+    probe, not a request). The serve daemon surfaces these as
+    [job_hits]/[job_misses] so cross-request reuse is visible without
+    tracing. *)

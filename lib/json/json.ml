@@ -228,6 +228,23 @@ let member name = function
   | Obj fields -> List.assoc_opt name fields
   | _ -> None
 
+(* dotted descent: each segment selects an object field, or — when the
+   current value is a list and the segment is all digits — an element *)
+let member_path path json =
+  let segment json seg =
+    match json with
+    | Obj fields -> List.assoc_opt seg fields
+    | List items -> (
+      match int_of_string_opt seg with
+      | Some i when i >= 0 -> List.nth_opt items i
+      | _ -> None)
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc seg -> Option.bind acc (fun j -> segment j seg))
+    (Some json)
+    (String.split_on_char '.' path)
+
 (* ------------------------------------------------------------------ *)
 (* serialization: compact, deterministic, and closed under
    parse-then-reprint (one byte representation per parsed value) *)

@@ -36,6 +36,14 @@ val parse : string -> t
 val member : string -> t -> t option
 (** Field lookup on an [Obj]; [None] on other constructors. *)
 
+val member_path : string -> t -> t option
+(** Dotted-path descent: [member_path "optimum.p_total" v] follows one
+    {!member} step per [.]-separated segment. A segment that is all
+    digits additionally indexes into a [List] (so
+    ["runs.0.p_total"] reaches into an array); [None] as soon as a
+    segment fails to resolve. A path without a dot behaves exactly like
+    {!member}. *)
+
 val escape : string -> string
 (** JSON string-body escaping (quotes, backslash, control characters);
     the input is emitted byte-for-byte otherwise, so valid UTF-8 passes

@@ -10,16 +10,10 @@ module Synthesizer = Adc_synth.Synthesizer
    older build must miss rather than serve a stale layout. *)
 let schema_version = 1
 
-let mode_name = function
-  | `Equation -> "equation"
-  | `Hybrid -> "hybrid"
-  | `Hybrid_verified -> "verified"
-
-let mode_of_name = function
-  | "equation" -> Some `Equation
-  | "hybrid" -> Some `Hybrid
-  | "verified" -> Some `Hybrid_verified
-  | _ -> None
+(* the one spelling of the mode names lives in Adc_api; these aliases
+   keep the codec self-contained for its callers *)
+let mode_name = Adc_api.mode_name
+let mode_of_name = Adc_api.mode_of_name
 
 (* ------------------------------------------------------------------ *)
 (* payload builders
@@ -157,6 +151,23 @@ let montecarlo_payload ~k ~fs_mhz ~config ~trials ~seed ~budget sweep =
       ("sweep", Json.List (List.map point_json sweep));
     ]
 
+let batch_payload (b : Optimize.batch) =
+  Json.Obj
+    [
+      ( "ks",
+        Json.List
+          (List.map
+             (fun (r : Optimize.run) -> Json.Int r.Optimize.spec.Spec.k)
+             b.Optimize.batch_runs) );
+      ( "runs",
+        (* full per-spec optimize payloads: runs[i] is byte-identical to
+           the one-shot optimize result for that spec (CI cmp's them) *)
+        Json.List (List.map optimize_payload b.Optimize.batch_runs) );
+      ("job_occurrences", Json.Int b.Optimize.job_occurrences);
+      ("distinct_syntheses", Json.Int b.Optimize.distinct_syntheses);
+      ("truncated", Json.Bool b.Optimize.batch_truncated);
+    ]
+
 let enumerate_payload (spec : Spec.t) =
   let cands =
     Config.enumerate_leading ~k:spec.Spec.k
@@ -182,20 +193,40 @@ let enumerate_payload (spec : Spec.t) =
    different build of the same schema version — addresses the same
    entry. [%.17g] keeps distinct sampling rates distinct. *)
 
-let key_optimize ~k ~fs_mhz ~mode ~seed ~attempts =
-  Printf.sprintf "adcopt/%d|optimize|k=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d"
-    schema_version k fs_mhz (mode_name mode) seed attempts
+(* the optional explicit-budget suffix: absent for default-budget
+   requests, so every pre-existing key (and the CLI's, which has no
+   budget flag) is unchanged — no schema bump needed *)
+let budget_suffix = function
+  | None -> ""
+  | Some b ->
+    Printf.sprintf "|budget=sa:%d,pe:%d,sf:%.17g" b.Synthesizer.sa_iterations
+      b.Synthesizer.pattern_evals b.Synthesizer.space_factor
 
-let key_sweep ~k_from ~k_to ~fs_mhz ~mode ~seed ~attempts =
+let key_optimize ?budget ~k ~fs_mhz ~mode ~seed ~attempts () =
   Printf.sprintf
-    "adcopt/%d|sweep|from=%d|to=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d"
-    schema_version k_from k_to fs_mhz (mode_name mode) seed attempts
+    "adcopt/%d|optimize|k=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d%s"
+    schema_version k fs_mhz (mode_name mode) seed attempts
+    (budget_suffix budget)
 
-let key_synth ~m ~bits ~fs_mhz ~seed ~attempts =
-  Printf.sprintf "adcopt/%d|synth|m=%d|bits=%d|fs_mhz=%.17g|seed=%d|attempts=%d"
-    schema_version m bits fs_mhz seed attempts
+let key_sweep ?budget ~k_from ~k_to ~fs_mhz ~mode ~seed ~attempts () =
+  Printf.sprintf
+    "adcopt/%d|sweep|from=%d|to=%d|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d%s"
+    schema_version k_from k_to fs_mhz (mode_name mode) seed attempts
+    (budget_suffix budget)
+
+let key_synth ?budget ~m ~bits ~fs_mhz ~seed ~attempts () =
+  Printf.sprintf
+    "adcopt/%d|synth|m=%d|bits=%d|fs_mhz=%.17g|seed=%d|attempts=%d%s"
+    schema_version m bits fs_mhz seed attempts (budget_suffix budget)
 
 let key_montecarlo ~k ~fs_mhz ~config ~trials ~seed =
   Printf.sprintf
     "adcopt/%d|montecarlo|k=%d|fs_mhz=%.17g|config=%s|trials=%d|seed=%d"
     schema_version k fs_mhz config trials seed
+
+let key_batch ?budget ~ks ~fs_mhz ~mode ~seed ~attempts () =
+  Printf.sprintf
+    "adcopt/%d|batch|ks=%s|fs_mhz=%.17g|mode=%s|seed=%d|attempts=%d%s"
+    schema_version
+    (String.concat "," (List.map string_of_int ks))
+    fs_mhz (mode_name mode) seed attempts (budget_suffix budget)

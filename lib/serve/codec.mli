@@ -12,7 +12,7 @@ val schema_version : int
     change so stale stores miss instead of serving the old layout. *)
 
 val mode_name : [ `Equation | `Hybrid | `Hybrid_verified ] -> string
-(** ["equation"] / ["hybrid"] / ["verified"] — the CLI's [--mode] enum. *)
+(** = {!Adc_api.mode_name} — the one spelling of the mode names. *)
 
 val mode_of_name : string -> [ `Equation | `Hybrid | `Hybrid_verified ] option
 
@@ -40,6 +40,12 @@ val montecarlo_payload :
   (float * Adc_pipeline.Montecarlo.report) list -> Adc_json.Json.t
 (** The offset-sigma yield sweep plus the redundancy budget it probes. *)
 
+val batch_payload : Adc_pipeline.Optimize.batch -> Adc_json.Json.t
+(** Per-spec [runs] (each byte-identical to the one-shot [optimize]
+    payload for that spec — CI [cmp]s them) plus the fused-schedule
+    counters: [job_occurrences] over all specs vs [distinct_syntheses]
+    actually performed. *)
+
 val enumerate_payload : Adc_pipeline.Spec.t -> Adc_json.Json.t
 (** Candidate configurations and the de-duplicated MDAC job list. *)
 
@@ -49,19 +55,30 @@ val enumerate_payload : Adc_pipeline.Spec.t -> Adc_json.Json.t
     from marshalled in-memory values), so a restarted daemon — or a
     sibling process pointed at the same [--store] — computes identical
     keys. The store hashes these to filenames; the full string is kept
-    in the entry header to make hash collisions harmless. *)
+    in the entry header to make hash collisions harmless.
+
+    [?budget] appends an explicit-budget suffix only when present, so
+    default-budget keys are byte-identical to the pre-budget layout (no
+    schema bump). *)
 
 val key_optimize :
-  k:int -> fs_mhz:float -> mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
-  seed:int -> attempts:int -> string
+  ?budget:Adc_synth.Synthesizer.budget -> k:int -> fs_mhz:float ->
+  mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> unit -> string
 
 val key_sweep :
-  k_from:int -> k_to:int -> fs_mhz:float ->
-  mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
-  seed:int -> attempts:int -> string
+  ?budget:Adc_synth.Synthesizer.budget -> k_from:int -> k_to:int ->
+  fs_mhz:float -> mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> unit -> string
 
 val key_synth :
-  m:int -> bits:int -> fs_mhz:float -> seed:int -> attempts:int -> string
+  ?budget:Adc_synth.Synthesizer.budget -> m:int -> bits:int -> fs_mhz:float ->
+  seed:int -> attempts:int -> unit -> string
 
 val key_montecarlo :
   k:int -> fs_mhz:float -> config:string -> trials:int -> seed:int -> string
+
+val key_batch :
+  ?budget:Adc_synth.Synthesizer.budget -> ks:int list -> fs_mhz:float ->
+  mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> unit -> string

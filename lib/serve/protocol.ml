@@ -1,4 +1,7 @@
 module Json = Adc_json.Json
+module Api = Adc_api
+
+let version = Api.protocol_version
 
 type verb =
   | Ping
@@ -9,6 +12,7 @@ type verb =
   | Sweep
   | Synth
   | Montecarlo
+  | Batch
 
 let verb_name = function
   | Ping -> "ping"
@@ -19,6 +23,7 @@ let verb_name = function
   | Sweep -> "sweep"
   | Synth -> "synth"
   | Montecarlo -> "montecarlo"
+  | Batch -> "batch"
 
 let verb_of_name = function
   | "ping" -> Some Ping
@@ -29,6 +34,7 @@ let verb_of_name = function
   | "sweep" -> Some Sweep
   | "synth" -> Some Synth
   | "montecarlo" -> Some Montecarlo
+  | "batch" -> Some Batch
   | _ -> None
 
 type request = {
@@ -37,130 +43,103 @@ type request = {
   k : int;
   k_from : int;
   k_to : int;
+  ks : int list;
   fs_mhz : float;
-  mode : [ `Equation | `Hybrid | `Hybrid_verified ];
+  mode : Api.mode;
   seed : int;
   attempts : int;
   trials : int;
   m : int;
   bits : int;
   config : string option;
+  budget : Adc_synth.Synthesizer.budget option;
   deadline_ms : int option;
   delay_ms : int;
 }
 
-(* defaults track the CLI flag defaults exactly: a request that names
-   only its verb computes the same thing as the bare subcommand, so the
-   byte-identity contract holds with no hidden knobs *)
-let defaults =
-  {
-    id = Json.Null;
-    verb = Ping;
-    k = 13;
-    k_from = 10;
-    k_to = 13;
-    fs_mhz = 40.0;
-    mode = `Equation;
-    seed = 11;
-    attempts = 3;
-    trials = 50;
-    m = 3;
-    bits = 12;
-    config = None;
-    deadline_ms = None;
-    delay_ms = 0;
-  }
-
-exception Bad_field of string
-
-let bad fmt = Printf.ksprintf (fun s -> raise (Bad_field s)) fmt
-
-let get_int obj name default =
-  match Json.member name obj with
-  | None | Some Json.Null -> default
-  | Some (Json.Int n) -> n
-  | Some _ -> bad "field %S must be an integer" name
-
-let get_float obj name default =
-  match Json.member name obj with
-  | None | Some Json.Null -> default
-  | Some (Json.Float f) -> f
-  | Some (Json.Int n) -> float_of_int n
-  | Some _ -> bad "field %S must be a number" name
-
-let get_string_opt obj name =
-  match Json.member name obj with
-  | None | Some Json.Null -> None
-  | Some (Json.String s) -> Some s
-  | Some _ -> bad "field %S must be a string" name
-
-let get_int_opt obj name =
-  match Json.member name obj with
-  | None | Some Json.Null -> None
-  | Some (Json.Int n) -> Some n
-  | Some _ -> bad "field %S must be an integer" name
-
-let parse_request json =
-  match json with
-  | Json.Obj _ -> (
-    try
-      let id = Option.value (Json.member "id" json) ~default:Json.Null in
-      let verb =
-        match get_string_opt json "verb" with
-        | None -> bad "missing required field \"verb\""
-        | Some name -> (
-          match verb_of_name name with
-          | Some v -> v
-          | None -> bad "unknown verb %S" name)
-      in
-      let mode =
-        match get_string_opt json "mode" with
-        | None -> defaults.mode
-        | Some name -> (
-          match Codec.mode_of_name name with
-          | Some m -> m
-          | None -> bad "unknown mode %S (equation|hybrid|verified)" name)
-      in
-      Ok
-        {
-          id;
-          verb;
-          k = get_int json "k" defaults.k;
-          k_from = get_int json "from" defaults.k_from;
-          k_to = get_int json "to" defaults.k_to;
-          fs_mhz = get_float json "fs_mhz" defaults.fs_mhz;
-          mode;
-          seed = get_int json "seed" defaults.seed;
-          attempts = get_int json "attempts" defaults.attempts;
-          trials = get_int json "trials" defaults.trials;
-          m = get_int json "m" defaults.m;
-          bits = get_int json "bits" defaults.bits;
-          config = get_string_opt json "config";
-          deadline_ms = get_int_opt json "deadline_ms";
-          delay_ms = get_int json "delay_ms" defaults.delay_ms;
-        }
-    with Bad_field msg -> Error msg)
-  | _ -> Error "request must be a JSON object"
-
-let parse_request_line line =
-  match Json.parse line with
-  | exception Json.Parse_error msg -> Error (Printf.sprintf "malformed JSON: %s" msg)
-  | json -> parse_request json
-
-type error_kind = Bad_request | Overloaded | Deadline_exceeded | Shutting_down | Internal
+type error_kind =
+  | Bad_request
+  | Unsupported_version
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
 
 let error_name = function
   | Bad_request -> "bad_request"
+  | Unsupported_version -> "unsupported_version"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+
+(* Every parameter decodes through its [Adc_api] descriptor — the same
+   record the CLI derives its flags from — so a request naming only its
+   verb computes exactly what the bare subcommand computes, with no
+   default table of our own to drift. *)
+let parse_request json =
+  match json with
+  | Json.Obj _ -> (
+    (* version gate first: an incompatible client gets the typed
+       [unsupported_version] answer even if the rest of its request
+       would not decode under this build's schema *)
+    match Api.of_json json Api.version with
+    | exception Api.Bad_field msg -> Error (Bad_request, msg)
+    | Some v when v <> version ->
+      Error
+        ( Unsupported_version,
+          Printf.sprintf
+            "unsupported protocol version %d (this daemon speaks %d)" v
+            version )
+    | _ -> (
+      try
+        let id = Option.value (Json.member "id" json) ~default:Json.Null in
+        let verb =
+          match Json.member "verb" json with
+          | None | Some Json.Null ->
+            raise (Api.Bad_field "missing required field \"verb\"")
+          | Some (Json.String name) -> (
+            match verb_of_name name with
+            | Some v -> v
+            | None ->
+              raise (Api.Bad_field (Printf.sprintf "unknown verb %S" name)))
+          | Some _ -> raise (Api.Bad_field "field \"verb\" must be a string")
+        in
+        Ok
+          {
+            id;
+            verb;
+            k = Api.of_json json Api.k;
+            k_from = Api.of_json json Api.k_from;
+            k_to = Api.of_json json Api.k_to;
+            ks = Api.of_json json Api.ks;
+            fs_mhz = Api.of_json json Api.fs_mhz;
+            mode = Api.of_json json Api.mode;
+            seed = Api.of_json json Api.seed;
+            attempts = Api.of_json json Api.attempts;
+            trials = Api.of_json json Api.trials;
+            m = Api.of_json json Api.m;
+            bits = Api.of_json json Api.bits;
+            config = Api.of_json json Api.config;
+            budget = Api.budget_of_json json;
+            deadline_ms = Api.of_json json Api.deadline_ms;
+            delay_ms = Api.of_json json Api.delay_ms;
+          }
+      with Api.Bad_field msg -> Error (Bad_request, msg)))
+  | _ -> Error (Bad_request, "request must be a JSON object")
+
+let parse_request_line line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+    Error (Bad_request, Printf.sprintf "malformed JSON: %s" msg)
+  | json -> parse_request json
 
 let ok_response ~id ~verb ~cached result =
   Json.Obj
     [
       ("id", id);
       ("ok", Json.Bool true);
+      ("version", Json.Int version);
       ("verb", Json.String (verb_name verb));
       ("cached", Json.Bool cached);
       ("result", result);
@@ -171,6 +150,7 @@ let error_response ~id ~kind ~message =
     [
       ("id", id);
       ("ok", Json.Bool false);
+      ("version", Json.Int version);
       ("error", Json.String (error_name kind));
       ("message", Json.String message);
     ]

@@ -3,23 +3,37 @@
     One request per line, one JSON object per request; one response
     object per line back. Responses carry the request's [id] verbatim
     (clients pipelining several requests over one connection match
-    responses by [id] — completion order is not arrival order). A
-    request names a [verb] plus the same parameters the corresponding
-    CLI subcommand takes, with identical defaults, e.g.:
+    responses by [id] — completion order is not arrival order) and the
+    daemon's protocol {!version}. A request names a [verb] plus the
+    same parameters the corresponding CLI subcommand takes, with
+    identical defaults — both sides decode through the {e same}
+    {!Adc_api} descriptors, so they cannot drift. E.g.:
 
     {v
     {"id":1,"verb":"optimize","k":12,"mode":"equation","seed":11}
-    {"id":1,"ok":true,"verb":"optimize","cached":false,"result":{...}}
+    {"id":1,"ok":true,"version":2,"verb":"optimize","cached":false,"result":{...}}
     v}
 
-    Errors are [{"id":..,"ok":false,"error":"<kind>","message":".."}];
-    see {!error_kind} and docs/SERVER.md for when each is emitted. *)
+    Errors are
+    [{"id":..,"ok":false,"version":N,"error":"<kind>","message":".."}];
+    see {!error_kind} and docs/SERVER.md for when each is emitted.
+
+    {b Versioning}: a request may carry a [version] field naming the
+    protocol generation the client speaks; a mismatch is answered with
+    the typed [unsupported_version] error (and the envelope's [version]
+    tells the client what the daemon does speak). Requests without the
+    field are taken at the current version — the CLI client injects it
+    automatically. *)
 
 module Json = Adc_json.Json
 
+val version : int
+(** = {!Adc_api.protocol_version}; stamped into every response. *)
+
 type verb =
   | Ping        (** liveness; [delay_ms] holds a worker busy — a
-                    load-testing aid used by the backpressure tests *)
+                    load-testing aid used by the backpressure tests.
+                    The reply carries the daemon's protocol version. *)
   | Stats       (** daemon counters; handled inline, never queued *)
   | Shutdown    (** begin graceful drain; handled inline *)
   | Enumerate   (** candidate configurations and distinct MDAC jobs *)
@@ -27,6 +41,8 @@ type verb =
   | Sweep       (** resolution sweep + rule chart — [adcopt sweep] *)
   | Synth       (** one MDAC cell, best of N restarts — [adcopt synth] *)
   | Montecarlo  (** offset-sigma yield sweep — [adcopt montecarlo] *)
+  | Batch       (** many resolutions, one fused deduplicated synthesis
+                    pass — [adcopt batch] *)
 
 val verb_name : verb -> string
 val verb_of_name : string -> verb option
@@ -34,37 +50,41 @@ val verb_of_name : string -> verb option
 type request = {
   id : Json.t;                 (** echoed verbatim; [Null] when absent *)
   verb : verb;
-  k : int;                     (** resolution, default 13 *)
-  k_from : int;                (** sweep range, default 10 ([from]) *)
-  k_to : int;                  (** sweep range, default 13 ([to]) *)
-  fs_mhz : float;              (** default 40.0 *)
-  mode : [ `Equation | `Hybrid | `Hybrid_verified ];  (** default equation *)
-  seed : int;                  (** default 11 *)
-  attempts : int;              (** default 3 *)
-  trials : int;                (** montecarlo, default 50 *)
-  m : int;                     (** synth stage resolution, default 3 *)
-  bits : int;                  (** synth input accuracy, default 12 *)
+  k : int;                     (** resolution *)
+  k_from : int;                (** sweep range ([from]) *)
+  k_to : int;                  (** sweep range ([to]) *)
+  ks : int list;               (** batch resolutions ([ks]) *)
+  fs_mhz : float;
+  mode : Adc_api.mode;
+  seed : int;
+  attempts : int;
+  trials : int;                (** montecarlo *)
+  m : int;                     (** synth stage resolution *)
+  bits : int;                  (** synth input accuracy *)
   config : string option;      (** montecarlo configuration, e.g. "4-3-2" *)
+  budget : Adc_synth.Synthesizer.budget option;
+      (** explicit synthesis budget override (testing/CI knob) *)
   deadline_ms : int option;    (** admission-to-completion budget *)
-  delay_ms : int;              (** ping busy-hold, default 0 *)
+  delay_ms : int;              (** ping busy-hold *)
 }
-
-val defaults : request
-(** Every field at its CLI default ([verb] = [Ping], [id] = [Null]). *)
-
-val parse_request : Json.t -> (request, string) result
-val parse_request_line : string -> (request, string) result
-(** [Error] carries a human-readable message for a [bad_request]
-    response; unknown fields are ignored, wrongly-typed ones rejected. *)
+(** Defaults live on the {!Adc_api} descriptors — there is deliberately
+    no default table here to drift from the CLI's. *)
 
 type error_kind =
-  | Bad_request         (** malformed JSON, unknown verb, bad field *)
-  | Overloaded          (** admission queue at [--queue-depth]; retry *)
-  | Deadline_exceeded   (** [deadline_ms] elapsed before work started *)
-  | Shutting_down       (** daemon draining; no new work accepted *)
-  | Internal            (** computation raised; message carries it *)
+  | Bad_request          (** malformed JSON, unknown verb, bad field *)
+  | Unsupported_version  (** request's [version] is not {!version} *)
+  | Overloaded           (** admission queue at [--queue-depth]; retry *)
+  | Deadline_exceeded    (** [deadline_ms] elapsed before work started *)
+  | Shutting_down        (** daemon draining; no new work accepted *)
+  | Internal             (** computation raised; message carries it *)
 
 val error_name : error_kind -> string
+
+val parse_request : Json.t -> (request, error_kind * string) result
+val parse_request_line : string -> (request, error_kind * string) result
+(** [Error] carries the typed kind ([Bad_request] or
+    [Unsupported_version]) plus a human-readable message; unknown
+    fields are ignored, wrongly-typed ones rejected. *)
 
 val ok_response : id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
 val error_response : id:Json.t -> kind:error_kind -> message:string -> Json.t

@@ -121,22 +121,29 @@ let spec_of (req : Protocol.request) =
   Spec.make ~k:req.Protocol.k ~fs:(req.Protocol.fs_mhz *. 1e6) ()
 
 let store_key (req : Protocol.request) =
+  let budget = req.Protocol.budget in
   match req.Protocol.verb with
   | Protocol.Optimize ->
     Some
-      (Codec.key_optimize ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
+      (Codec.key_optimize ?budget ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
          ~mode:req.Protocol.mode ~seed:req.Protocol.seed
-         ~attempts:req.Protocol.attempts)
+         ~attempts:req.Protocol.attempts ())
   | Protocol.Sweep ->
     Some
-      (Codec.key_sweep ~k_from:req.Protocol.k_from ~k_to:req.Protocol.k_to
-         ~fs_mhz:req.Protocol.fs_mhz ~mode:req.Protocol.mode
-         ~seed:req.Protocol.seed ~attempts:req.Protocol.attempts)
+      (Codec.key_sweep ?budget ~k_from:req.Protocol.k_from
+         ~k_to:req.Protocol.k_to ~fs_mhz:req.Protocol.fs_mhz
+         ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+         ~attempts:req.Protocol.attempts ())
   | Protocol.Synth ->
     Some
-      (Codec.key_synth ~m:req.Protocol.m ~bits:req.Protocol.bits
+      (Codec.key_synth ?budget ~m:req.Protocol.m ~bits:req.Protocol.bits
          ~fs_mhz:req.Protocol.fs_mhz ~seed:req.Protocol.seed
-         ~attempts:req.Protocol.attempts)
+         ~attempts:req.Protocol.attempts ())
+  | Protocol.Batch ->
+    Some
+      (Codec.key_batch ?budget ~ks:req.Protocol.ks ~fs_mhz:req.Protocol.fs_mhz
+         ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+         ~attempts:req.Protocol.attempts ())
   | Protocol.Montecarlo -> (
     (* the default configuration is itself deterministic (the equation
        optimum), so a config-less request is cacheable under a
@@ -165,16 +172,36 @@ let compute t (req : Protocol.request) ~cancel : Json.t * bool =
     if req.Protocol.delay_ms > 0 then
       Thread.delay (float_of_int req.Protocol.delay_ms /. 1000.0);
     ( Json.Obj
-        [ ("pong", Json.Bool true); ("delay_ms", Json.Int req.Protocol.delay_ms) ],
+        [
+          ("pong", Json.Bool true);
+          ("version", Json.Int Protocol.version);
+          ("delay_ms", Json.Int req.Protocol.delay_ms);
+        ],
       false )
   | Protocol.Enumerate -> (Codec.enumerate_payload (spec_of req), false)
   | Protocol.Optimize ->
     let run =
       Optimize.run ~mode:req.Protocol.mode ~seed:req.Protocol.seed
-        ~attempts:req.Protocol.attempts ~obs ~cancel ~shared:t.shared
-        (spec_of req)
+        ~attempts:req.Protocol.attempts ?budget:req.Protocol.budget ~obs
+        ~cancel ~shared:t.shared (spec_of req)
     in
     (Codec.optimize_payload run, run.Optimize.truncated)
+  | Protocol.Batch ->
+    if req.Protocol.ks = [] then
+      raise (Bad_request "batch: \"ks\" must name at least one resolution");
+    let specs =
+      List.map
+        (fun k ->
+          try Spec.make ~k ~fs:(req.Protocol.fs_mhz *. 1e6) ()
+          with Invalid_argument msg -> raise (Bad_request msg))
+        req.Protocol.ks
+    in
+    let batch =
+      Optimize.run_batch ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+        ~attempts:req.Protocol.attempts ?budget:req.Protocol.budget ~obs
+        ~cancel ~shared:t.shared specs
+    in
+    (Codec.batch_payload batch, batch.Optimize.batch_truncated)
   | Protocol.Sweep ->
     if req.Protocol.k_to < req.Protocol.k_from then
       raise (Bad_request "sweep: \"to\" must be >= \"from\"");
@@ -184,9 +211,9 @@ let compute t (req : Protocol.request) ~cancel : Json.t * bool =
         (fun i -> req.Protocol.k_from + i)
     in
     let chart =
-      Rules.sweep ~mode:req.Protocol.mode ~seed:req.Protocol.seed ~obs ~cancel
-        ~shared:t.shared ~k_values:ks (fun ~k ->
-          Spec.make ~k ~fs:(req.Protocol.fs_mhz *. 1e6) ())
+      Rules.sweep ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+        ?budget:req.Protocol.budget ~obs ~cancel ~shared:t.shared ~k_values:ks
+        (fun ~k -> Spec.make ~k ~fs:(req.Protocol.fs_mhz *. 1e6) ())
     in
     let truncated = Cancel.cancelled cancel in
     (Codec.chart_payload ~truncated chart, truncated)
@@ -206,7 +233,8 @@ let compute t (req : Protocol.request) ~cancel : Json.t * bool =
             Some
               (Synthesizer.synthesize
                  ~seed:(Rng.mix req.Protocol.seed a)
-                 ~obs spec.Spec.process requirements))
+                 ?budget:req.Protocol.budget ~obs spec.Spec.process
+                 requirements))
         (List.init attempts Fun.id)
     in
     let truncated = List.exists Option.is_none restarts in
@@ -276,6 +304,7 @@ let stats_json t =
   Mutex.lock t.qmutex;
   let depth = Queue.length t.queue in
   Mutex.unlock t.qmutex;
+  let job_hits, job_misses = Optimize.shared_job_stats t.shared in
   Json.Obj
     [
       ("requests", Json.Int requests);
@@ -288,6 +317,8 @@ let stats_json t =
       ("workers", Json.Int t.cfg.workers);
       ("jobs", Json.Int (Pool.size (Optimize.shared_pool t.shared)));
       ("jobs_cached", Json.Int (Optimize.shared_jobs_cached t.shared));
+      ("job_hits", Json.Int job_hits);
+      ("job_misses", Json.Int job_misses);
       ( "store",
         match t.store with None -> Json.Null | Some s -> Store.stats_json s );
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
@@ -464,13 +495,18 @@ let admit t conn (req : Protocol.request) =
 
 let handle_line t conn line =
   match Protocol.parse_request_line line with
-  | Error message ->
+  | Error (kind, message) ->
+    (* [kind] is [Bad_request] or [Unsupported_version]; either way the
+       envelope carries the version this daemon does speak *)
     bump t (fun t ->
         t.n_requests <- t.n_requests + 1;
         t.n_failed <- t.n_failed + 1);
-    send t conn
-      (Protocol.error_response ~id:Json.Null ~kind:Protocol.Bad_request
-         ~message)
+    let id =
+      match Json.parse line with
+      | exception Json.Parse_error _ -> Json.Null
+      | json -> Option.value (Json.member "id" json) ~default:Json.Null
+    in
+    send t conn (Protocol.error_response ~id ~kind ~message)
   | Ok req -> admit t conn req
 
 (* ------------------------------------------------------------------ *)

@@ -152,7 +152,11 @@ let test_memo_computes_each_key_once () =
       Alcotest.(check int) "10 distinct keys computed" 10 (Atomic.get computed);
       Alcotest.(check int) "cache holds 10 keys" 10 (Memo.length memo);
       Alcotest.(check bool) "find returns installed futures" true
-        (Memo.find memo 3 <> None && Memo.find memo 11 = None))
+        (Memo.find memo 3 <> None && Memo.find memo 11 = None);
+      (* 40 find_or_run calls over 10 keys: 10 misses, 30 hits; the
+         un-counting Memo.find calls above must not move the counters *)
+      Alcotest.(check (pair int int)) "hit/miss counters" (30, 10)
+        (Memo.stats memo))
 
 let test_memo_caches_failures () =
   Pool.with_pool ~size:1 (fun pool ->
@@ -234,6 +238,39 @@ let test_parallel_matches_sequential_10_11 () =
 let test_parallel_matches_sequential_12_13 () =
   List.iter check_parallel_equals_sequential [ 12; 13 ]
 
+let test_batch_deterministic_any_jobs () =
+  (* run_batch must be a pure function of the spec list: the same batch
+     at any --jobs, and each member equal to its own sequential run *)
+  let ks = [ 10; 11; 12 ] in
+  let specs = List.map (fun k -> Spec.paper_case ~k) ks in
+  let go jobs =
+    Optimize.run_batch ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+      ~jobs specs
+  in
+  let seq = go 1 and par = go parallel_size in
+  Alcotest.(check bool) "fusion saves syntheses" true
+    (seq.Optimize.distinct_syntheses < seq.Optimize.job_occurrences);
+  Alcotest.(check (pair int int)) "fusion counters independent of jobs"
+    (seq.Optimize.job_occurrences, seq.Optimize.distinct_syntheses)
+    (par.Optimize.job_occurrences, par.Optimize.distinct_syntheses);
+  List.iteri
+    (fun i (spec : Spec.t) ->
+      let solo =
+        Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+          ~jobs:1 spec
+      in
+      let b_seq = List.nth seq.Optimize.batch_runs i in
+      let b_par = List.nth par.Optimize.batch_runs i in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: batch jobs=1 == solo run" spec.Spec.k)
+        true
+        (run_fingerprint b_seq = run_fingerprint solo);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: batch jobs=N == batch jobs=1" spec.Spec.k)
+        true
+        (run_fingerprint b_par = run_fingerprint b_seq))
+    specs
+
 let test_seed_changes_results () =
   (* guards against the per-job seeding degenerating into a constant;
      needs attempts >= 2 because attempt 0 is deliberately seed-free
@@ -275,6 +312,7 @@ let () =
         [
           slow "jobs=N == jobs=1 (k=10,11)" test_parallel_matches_sequential_10_11;
           slow "jobs=N == jobs=1 (k=12,13)" test_parallel_matches_sequential_12_13;
+          slow "batch deterministic at any jobs" test_batch_deterministic_any_jobs;
           slow "seed sensitivity" test_seed_changes_results;
         ] );
     ]

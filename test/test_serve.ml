@@ -33,7 +33,7 @@ let tiny_budget =
 
 let test_request_defaults () =
   match Protocol.parse_request_line {|{"verb":"optimize"}|} with
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error (_, e) -> Alcotest.failf "parse failed: %s" e
   | Ok r ->
     Alcotest.(check int) "k" 13 r.Protocol.k;
     Alcotest.(check (float 0.0)) "fs" 40.0 r.Protocol.fs_mhz;
@@ -48,7 +48,7 @@ let test_request_fields () =
     Protocol.parse_request_line
       {|{"id":7,"verb":"sweep","from":11,"to":12,"fs_mhz":25.5,"mode":"hybrid","seed":3,"deadline_ms":250}|}
   with
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error (_, e) -> Alcotest.failf "parse failed: %s" e
   | Ok r ->
     Alcotest.(check bool) "verb" true (r.Protocol.verb = Protocol.Sweep);
     Alcotest.(check int) "from" 11 r.Protocol.k_from;
@@ -73,6 +73,53 @@ let test_request_rejects () =
   Alcotest.(check bool) "bad mode" true
     (bad {|{"verb":"optimize","mode":"psychic"}|})
 
+let test_request_version_gate () =
+  (* the current version and the absent field are both accepted; any
+     other version gets the typed unsupported_version error *)
+  (match
+     Protocol.parse_request_line
+       (Printf.sprintf {|{"verb":"ping","version":%d}|} Protocol.version)
+   with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "current version refused: %s" m);
+  (match Protocol.parse_request_line {|{"verb":"ping"}|} with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "unversioned request refused: %s" m);
+  match Protocol.parse_request_line {|{"verb":"ping","version":99}|} with
+  | Error (Protocol.Unsupported_version, _) -> ()
+  | Error (k, m) ->
+    Alcotest.failf "wrong error kind %s: %s" (Protocol.error_name k) m
+  | Ok _ -> Alcotest.fail "version 99 accepted"
+
+let test_request_budget () =
+  (match
+     Protocol.parse_request_line
+       {|{"verb":"optimize","budget":{"sa_iterations":12,"pattern_evals":20,"space_factor":0.6}}|}
+   with
+  | Error (_, m) -> Alcotest.failf "parse failed: %s" m
+  | Ok r ->
+    Alcotest.(check bool) "budget decoded" true
+      (r.Protocol.budget = Some tiny_budget));
+  (match Protocol.parse_request_line {|{"verb":"optimize"}|} with
+  | Ok r -> Alcotest.(check bool) "no budget" true (r.Protocol.budget = None)
+  | Error (_, m) -> Alcotest.failf "parse failed: %s" m);
+  (* a partial budget must fail loudly, never mix with defaults *)
+  match
+    Protocol.parse_request_line
+      {|{"verb":"optimize","budget":{"sa_iterations":12}}|}
+  with
+  | Error (Protocol.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "partial budget accepted"
+
+let test_member_path () =
+  let j = Json.parse {|{"a":{"b":[{"c":3},{"c":4}]},"x":1}|} in
+  let get p = Option.map Json.to_string (Json.member_path p j) in
+  Alcotest.(check (option string)) "top-level" (Some "1") (get "x");
+  Alcotest.(check (option string)) "nested + index" (Some "4") (get "a.b.1.c");
+  Alcotest.(check (option string)) "array element" (Some {|{"c":3}|}) (get "a.b.0");
+  Alcotest.(check (option string)) "missing field" None (get "a.z");
+  Alcotest.(check (option string)) "index out of bounds" None (get "a.b.7.c")
+
 let test_verb_names_roundtrip () =
   List.iter
     (fun v ->
@@ -82,6 +129,7 @@ let test_verb_names_roundtrip () =
     [
       Protocol.Ping; Protocol.Stats; Protocol.Shutdown; Protocol.Enumerate;
       Protocol.Optimize; Protocol.Sweep; Protocol.Synth; Protocol.Montecarlo;
+      Protocol.Batch;
     ]
 
 let test_response_shapes () =
@@ -90,14 +138,18 @@ let test_response_shapes () =
       (Json.Obj [ ("pong", Json.Bool true) ])
   in
   Alcotest.(check string) "ok line"
-    {|{"id":3,"ok":true,"verb":"ping","cached":false,"result":{"pong":true}}|}
+    (Printf.sprintf
+       {|{"id":3,"ok":true,"version":%d,"verb":"ping","cached":false,"result":{"pong":true}}|}
+       Protocol.version)
     (Json.to_string ok);
   let err =
     Protocol.error_response ~id:Json.Null ~kind:Protocol.Overloaded
       ~message:"queue full"
   in
   Alcotest.(check string) "error line"
-    {|{"id":null,"ok":false,"error":"overloaded","message":"queue full"}|}
+    (Printf.sprintf
+       {|{"id":null,"ok":false,"version":%d,"error":"overloaded","message":"queue full"}|}
+       Protocol.version)
     (Json.to_string err)
 
 (* ------------------------------------------------------------------ *)
@@ -105,7 +157,7 @@ let test_response_shapes () =
 
 let test_store_roundtrip_restart () =
   let dir = tmp_dir "adcopt-store" in
-  let key = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
+  let key = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 () in
   let payload = {|{"k":12,"optimum":"4-3-2","p_total":0.00123}|} in
   let s = Store.open_dir dir in
   Alcotest.(check bool) "miss before add" true (Store.find s ~key = None);
@@ -119,12 +171,17 @@ let test_store_roundtrip_restart () =
   Alcotest.(check int) "no rejects" 0 (Store.rejected s2)
 
 let test_store_distinct_keys () =
-  let k1 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
-  let k2 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Hybrid ~seed:11 ~attempts:3 in
-  let k3 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:12 ~attempts:3 in
-  let k4 = Codec.key_sweep ~k_from:10 ~k_to:13 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 in
-  let keys = [ k1; k2; k3; k4 ] in
-  Alcotest.(check int) "all distinct" 4
+  let k1 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 () in
+  let k2 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Hybrid ~seed:11 ~attempts:3 () in
+  let k3 = Codec.key_optimize ~k:12 ~fs_mhz:40.0 ~mode:`Equation ~seed:12 ~attempts:3 () in
+  let k4 = Codec.key_sweep ~k_from:10 ~k_to:13 ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 () in
+  let k5 =
+    Codec.key_optimize ~budget:tiny_budget ~k:12 ~fs_mhz:40.0 ~mode:`Equation
+      ~seed:11 ~attempts:3 ()
+  in
+  let k6 = Codec.key_batch ~ks:[ 10; 12 ] ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 () in
+  let keys = [ k1; k2; k3; k4; k5; k6 ] in
+  Alcotest.(check int) "all distinct" 6
     (List.length (List.sort_uniq compare keys));
   let dir = tmp_dir "adcopt-store" in
   let s = Store.open_dir dir in
@@ -274,6 +331,62 @@ let test_shared_runtime_survives_cancellation () =
     (fingerprint replay = fingerprint reference);
   Optimize.shutdown_shared shared
 
+let test_cross_request_job_reuse () =
+  (* the tentpole contract: two different specs share derived MDAC jobs
+     (k=10 and k=12 both need the {m=3, 10-bit} block, and the Job_key
+     sees the physics, not the enclosing run), so the second request on
+     a shared runtime hits those jobs in the cache — and must still be
+     byte-for-byte identical to its own cold one-shot run *)
+  let spec12 = Spec.make ~k:12 ~fs:40e6 () in
+  let shared = Optimize.create_shared ~jobs:2 () in
+  let run_shared spec =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~shared
+      spec
+  in
+  let _first = run_shared spec10 in
+  let hits_before, misses_before = Optimize.shared_job_stats shared in
+  let second = run_shared spec12 in
+  let hits_after, misses_after = Optimize.shared_job_stats shared in
+  Alcotest.(check bool) "job-level hits across requests" true
+    (hits_after > hits_before);
+  Alcotest.(check bool) "but not everything was shared" true
+    (misses_after > misses_before);
+  let cold =
+    Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget ~jobs:1
+      spec12
+  in
+  Alcotest.(check string) "warm-hit request == cold run, byte for byte"
+    (Json.to_string (Codec.optimize_payload cold))
+    (Json.to_string (Codec.optimize_payload second));
+  Optimize.shutdown_shared shared
+
+let test_batch_equals_sequential () =
+  (* a hybrid batch fuses the specs' work lists but each per-spec run
+     must equal the sequential one, and the fusion must actually save
+     syntheses (the k=10..13 lists overlap) *)
+  let ks = [ 10; 11; 12; 13 ] in
+  let specs = List.map (fun k -> Spec.make ~k ~fs:40e6 ()) ks in
+  let b =
+    Optimize.run_batch ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+      ~jobs:2 specs
+  in
+  Alcotest.(check int) "one run per spec" (List.length specs)
+    (List.length b.Optimize.batch_runs);
+  Alcotest.(check bool) "fusion saved syntheses" true
+    (b.Optimize.distinct_syntheses < b.Optimize.job_occurrences);
+  List.iter2
+    (fun spec run ->
+      let sequential =
+        Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+          ~jobs:1 spec
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "k=%d batch == sequential, byte for byte"
+           spec.Spec.k)
+        (Json.to_string (Codec.optimize_payload sequential))
+        (Json.to_string (Codec.optimize_payload run)))
+    specs b.Optimize.batch_runs
+
 let test_deadline_leaves_pool_reusable () =
   (* expire mid-run: whatever was cut must still settle every future
      (run returns), and the pool must execute later work normally *)
@@ -323,12 +436,115 @@ let test_server_ping_and_stats () =
       let resp = Client.request c (Json.parse {|{"id":41,"verb":"ping"}|}) in
       Alcotest.(check bool) "id echoed" true (member_exn "id" resp = Json.Int 41);
       Alcotest.(check bool) "ok" true (member_exn "ok" resp = Json.Bool true);
+      Alcotest.(check bool) "envelope carries the protocol version" true
+        (member_exn "version" resp = Json.Int Protocol.version);
+      Alcotest.(check bool) "ping payload names the version too" true
+        (member_exn "version" (member_exn "result" resp)
+        = Json.Int Protocol.version);
       let stats = Client.request c (Json.parse {|{"verb":"stats"}|}) in
       let result = member_exn "result" stats in
       Alcotest.(check bool) "requests counted" true
         (match member_exn "requests" result with
         | Json.Int n -> n >= 1
         | _ -> false);
+      Alcotest.(check bool) "job-level cache counters exposed" true
+        (member_exn "job_hits" result = Json.Int 0
+        && member_exn "job_misses" result = Json.Int 0);
+      Client.close c)
+
+let test_server_version_mismatch () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp =
+        Client.request c (Json.parse {|{"id":2,"verb":"ping","version":99}|})
+      in
+      Alcotest.(check bool) "refused" true
+        (member_exn "ok" resp = Json.Bool false);
+      Alcotest.(check bool) "typed unsupported_version error" true
+        (member_exn "error" resp = Json.String "unsupported_version");
+      Alcotest.(check bool) "id still echoed" true
+        (member_exn "id" resp = Json.Int 2);
+      Alcotest.(check bool) "daemon advertises what it speaks" true
+        (member_exn "version" resp = Json.Int Protocol.version);
+      let ok =
+        Client.request c
+          (Json.parse
+             (Printf.sprintf {|{"verb":"ping","version":%d}|} Protocol.version))
+      in
+      Alcotest.(check bool) "current version accepted" true
+        (member_exn "ok" ok = Json.Bool true);
+      Client.close c)
+
+let test_server_batch_equation () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp =
+        Client.request c
+          (Json.parse {|{"id":9,"verb":"batch","ks":[10,11,12]}|})
+      in
+      Alcotest.(check bool) "ok" true (member_exn "ok" resp = Json.Bool true);
+      let result = member_exn "result" resp in
+      let runs =
+        match member_exn "runs" result with
+        | Json.List l -> l
+        | _ -> Alcotest.fail "runs is not a list"
+      in
+      Alcotest.(check int) "one run per requested resolution" 3
+        (List.length runs);
+      (* equation mode has no synthesis to fuse *)
+      Alcotest.(check bool) "counters zero in equation mode" true
+        (member_exn "job_occurrences" result = Json.Int 0
+        && member_exn "distinct_syntheses" result = Json.Int 0);
+      List.iteri
+        (fun i k ->
+          let direct =
+            Json.to_string
+              (Codec.optimize_payload
+                 (Optimize.run ~mode:`Equation ~seed:11 ~attempts:3
+                    (Spec.make ~k ~fs:40e6 ())))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "runs[%d] == one-shot k=%d, byte for byte" i k)
+            direct
+            (Json.to_string (List.nth runs i)))
+        [ 10; 11; 12 ];
+      Client.close c)
+
+let test_server_cross_request_job_hits () =
+  (* two daemon requests whose derived work lists overlap: the second
+     must register job-level cache hits in stats while answering the
+     same bytes a cold daemon would *)
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let req k =
+        Json.parse
+          (Printf.sprintf
+             {|{"id":%d,"verb":"optimize","k":%d,"mode":"hybrid","seed":7,"attempts":1,"budget":{"sa_iterations":12,"pattern_evals":20,"space_factor":0.6}}|}
+             k k)
+      in
+      let job_hits () =
+        let s = Client.request c (Json.parse {|{"verb":"stats"}|}) in
+        match member_exn "job_hits" (member_exn "result" s) with
+        | Json.Int n -> n
+        | _ -> Alcotest.fail "job_hits not an int"
+      in
+      let r10 = Client.request c (req 10) in
+      Alcotest.(check bool) "k=10 ok" true (member_exn "ok" r10 = Json.Bool true);
+      let before = job_hits () in
+      let r12 = Client.request c (req 12) in
+      Alcotest.(check bool) "k=12 ok" true (member_exn "ok" r12 = Json.Bool true);
+      Alcotest.(check bool) "job-level hits across requests" true
+        (job_hits () > before);
+      let direct =
+        Json.to_string
+          (Codec.optimize_payload
+             (Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1
+                ~budget:tiny_budget ~jobs:1
+                (Spec.make ~k:12 ~fs:40e6 ())))
+      in
+      Alcotest.(check string) "warm-hit response == cold one-shot (bytes)"
+        direct
+        (Json.to_string (member_exn "result" r12));
       Client.close c)
 
 let test_server_optimize_byte_identical () =
@@ -464,6 +680,9 @@ let () =
           quick "defaults match the CLI" test_request_defaults;
           quick "field extraction" test_request_fields;
           quick "malformed requests rejected" test_request_rejects;
+          quick "version gate" test_request_version_gate;
+          quick "budget override decoding" test_request_budget;
+          quick "dotted member_path descent" test_member_path;
           quick "verb names round-trip" test_verb_names_roundtrip;
           quick "response shapes" test_response_shapes;
         ] );
@@ -481,11 +700,18 @@ let () =
           slow "pre-cancelled run is truncated" test_cancelled_run_truncates;
           slow "shared runtime survives cancellation"
             test_shared_runtime_survives_cancellation;
+          slow "cross-request job reuse is byte-identical"
+            test_cross_request_job_reuse;
+          slow "batch == sequential runs" test_batch_equals_sequential;
           slow "pool reusable after expiry" test_deadline_leaves_pool_reusable;
         ] );
       ( "daemon",
         [
           quick "ping and stats" test_server_ping_and_stats;
+          quick "version mismatch rejected" test_server_version_mismatch;
+          quick "batch == per-spec one-shots (bytes)" test_server_batch_equation;
+          slow "cross-request job hits stay byte-identical"
+            test_server_cross_request_job_hits;
           quick "served == one-shot (bytes)" test_server_optimize_byte_identical;
           quick "backpressure rejects deterministically" test_server_backpressure;
           quick "queued deadline expiry" test_server_deadline_exceeded;
