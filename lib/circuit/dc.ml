@@ -1,5 +1,7 @@
 module Vec = Adc_numerics.Vec
 module Mat = Adc_numerics.Mat
+module Sparse = Adc_numerics.Sparse
+
 type result = {
   x : Vec.t;
   iterations : int;
@@ -8,45 +10,103 @@ type result = {
 }
 
 let residual_norm nl ~x ~time ~source_scale ~gmin ~cap_policy =
-  let _, res = Mna.assemble nl ~x ~time ~source_scale ~gmin ~cap_policy in
+  let res = Vec.create (Netlist.unknown_count nl) in
+  Mna.residual_into nl ~x ~time ~source_scale ~gmin ~cap_policy res;
   Vec.norm_inf res
 
-let newton ?(max_iter = 120) ?(vstep_limit = 0.4) ~x0 ~time ~source_scale ~gmin
+(* Convergence: accept once the previous damped update was tiny AND the
+   residual *assembled at the updated point* is small. The residual test
+   used to read the pre-update residual, declaring convergence one
+   iteration stale; iterating assembly-first makes the criterion exact at
+   the returned point for free (each loop entry assembles at current x). *)
+let converged ~prev_dx ~res_norm = prev_dx < 1e-10 && res_norm < 1e-9
+
+let damp_and_update ~vstep_limit ~nv x dx =
+  let max_v_step = ref 0.0 in
+  for i = 0 to nv - 1 do
+    max_v_step := Float.max !max_v_step (Float.abs dx.(i))
+  done;
+  let damp =
+    if !max_v_step > vstep_limit then vstep_limit /. !max_v_step else 1.0
+  in
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) +. (damp *. dx.(i))
+  done;
+  damp *. !max_v_step
+
+let newton_dense ~max_iter ~vstep_limit ~x0 ~time ~source_scale ~gmin
     ~cap_policy nl =
   let nv = Netlist.node_count nl - 1 in
   let x = Vec.copy x0 in
-  let rec iterate k =
-    if k >= max_iter then Error (Printf.sprintf "Newton: no convergence in %d iterations" max_iter)
+  let rec iterate k prev_dx =
+    let jac, res = Mna.assemble nl ~x ~time ~source_scale ~gmin ~cap_policy in
+    let res_norm = Vec.norm_inf res in
+    if converged ~prev_dx ~res_norm then Ok (x, k)
+    else if k >= max_iter then
+      Error (Printf.sprintf "Newton: no convergence in %d iterations" max_iter)
     else begin
-      let jac, res = Mna.assemble nl ~x ~time ~source_scale ~gmin ~cap_policy in
       match Mat.solve jac (Vec.scale (-1.0) res) with
       | exception Mat.Singular -> Error "Newton: singular Jacobian"
       | dx ->
-        (* damp voltage updates; branch currents move freely *)
-        let max_v_step = ref 0.0 in
-        for i = 0 to nv - 1 do
-          max_v_step := Float.max !max_v_step (Float.abs dx.(i))
-        done;
-        let damp =
-          if !max_v_step > vstep_limit then vstep_limit /. !max_v_step else 1.0
-        in
-        for i = 0 to Array.length x - 1 do
-          x.(i) <- x.(i) +. (damp *. dx.(i))
-        done;
-        let res_norm = Vec.norm_inf res in
-        let dx_norm = !max_v_step *. damp in
-        if dx_norm < 1e-10 && res_norm < 1e-9 then Ok (x, k + 1)
-        else iterate (k + 1)
+        let dx_norm = damp_and_update ~vstep_limit ~nv x dx in
+        iterate (k + 1) dx_norm
     end
   in
-  iterate 0
+  iterate 0 Float.infinity
 
-let solve ?x0 ?(time = 0.0) ?(max_iter = 120) nl =
+let newton_sparse ~max_iter ~vstep_limit ~ctx ~x0 ~time ~source_scale ~gmin
+    ~cap_policy nl =
+  let nv = Netlist.node_count nl - 1 in
+  let n = Netlist.unknown_count nl in
+  let x = Vec.copy x0 in
+  let rhs = Vec.create n and dx = Vec.create n in
+  let rec iterate k prev_dx =
+    Mna.assemble_sparse ctx ~x ~time ~source_scale ~gmin ~cap_policy;
+    let res = Mna.ctx_residual ctx in
+    let res_norm = Vec.norm_inf res in
+    if converged ~prev_dx ~res_norm then Ok (x, k)
+    else if k >= max_iter then
+      Error (Printf.sprintf "Newton: no convergence in %d iterations" max_iter)
+    else begin
+      for i = 0 to n - 1 do
+        rhs.(i) <- -.res.(i)
+      done;
+      match Mna.factor_and_solve ctx ~rhs ~dx with
+      | exception Sparse.Singular -> Error "Newton: singular Jacobian"
+      | () ->
+        let dx_norm = damp_and_update ~vstep_limit ~nv x dx in
+        iterate (k + 1) dx_norm
+    end
+  in
+  iterate 0 Float.infinity
+
+let newton ?(max_iter = 120) ?(vstep_limit = 0.4) ?(backend = `Sparse) ?ctx
+    ~x0 ~time ~source_scale ~gmin ~cap_policy nl =
+  match backend with
+  | `Dense ->
+    newton_dense ~max_iter ~vstep_limit ~x0 ~time ~source_scale ~gmin
+      ~cap_policy nl
+  | `Sparse ->
+    let ctx = match ctx with Some c -> c | None -> Mna.context nl in
+    newton_sparse ~max_iter ~vstep_limit ~ctx ~x0 ~time ~source_scale ~gmin
+      ~cap_policy nl
+
+let solve ?x0 ?(time = 0.0) ?(max_iter = 120) ?(backend = `Sparse) ?ctx nl =
   (match Netlist.validate nl with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Dc.solve: bad netlist: " ^ msg));
   let n = Netlist.unknown_count nl in
   let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+  let ctx =
+    match (backend, ctx) with
+    | `Dense, _ -> None
+    | `Sparse, Some c -> Some c
+    | `Sparse, None -> Some (Mna.context nl)
+  in
+  let newton ~x0 ~source_scale ~gmin =
+    newton ~max_iter ~backend ?ctx ~x0 ~time ~source_scale ~gmin
+      ~cap_policy:Mna.Cap_open nl
+  in
   let finish ~x ~iterations ~strategy =
     let residual =
       residual_norm nl ~x ~time ~source_scale:1.0 ~gmin:0.0 ~cap_policy:Mna.Cap_open
@@ -54,9 +114,7 @@ let solve ?x0 ?(time = 0.0) ?(max_iter = 120) nl =
     Ok { x; iterations; strategy; residual }
   in
   (* 1. plain Newton with a tiny stabilizing gmin *)
-  match
-    newton ~max_iter ~x0 ~time ~source_scale:1.0 ~gmin:1e-12 ~cap_policy:Mna.Cap_open nl
-  with
+  match newton ~x0 ~source_scale:1.0 ~gmin:1e-12 with
   | Ok (x, it) -> finish ~x ~iterations:it ~strategy:"newton"
   | Error _ ->
     (* 2. gmin stepping *)
@@ -64,10 +122,7 @@ let solve ?x0 ?(time = 0.0) ?(max_iter = 120) nl =
     let rec gmin_steps x iters = function
       | [] -> Ok (x, iters)
       | g :: rest -> begin
-        match
-          newton ~max_iter ~x0:x ~time ~source_scale:1.0 ~gmin:g
-            ~cap_policy:Mna.Cap_open nl
-        with
+        match newton ~x0:x ~source_scale:1.0 ~gmin:g with
         | Ok (x', it) -> gmin_steps x' (iters + it) rest
         | Error e -> Error e
       end
@@ -80,10 +135,7 @@ let solve ?x0 ?(time = 0.0) ?(max_iter = 120) nl =
       let rec src_steps x iters = function
         | [] -> Ok (x, iters)
         | a :: rest -> begin
-          match
-            newton ~max_iter ~x0:x ~time ~source_scale:a ~gmin:1e-9
-              ~cap_policy:Mna.Cap_open nl
-          with
+          match newton ~x0:x ~source_scale:a ~gmin:1e-9 with
           | Ok (x', it) -> src_steps x' (iters + it) rest
           | Error e -> Error e
         end

@@ -2,29 +2,48 @@
 
     Newton-Raphson with voltage-step damping; falls back to gmin stepping
     and then source stepping when plain Newton fails (standard SPICE
-    continuation strategy). *)
+    continuation strategy).
+
+    The linear solves run on the sparse backend by default: a
+    [Mna.ctx] carries the preallocated matrix buffers and the (shared)
+    symbolic factorization, so each Newton iteration costs one
+    allocation-free assembly plus one numeric refactorization. Pass
+    [~backend:`Dense] to run the dense-LU oracle instead — the
+    equivalence tests require both backends to agree to 1e-9.
+
+    Convergence accepts when the previous damped voltage update is below
+    1e-10 {e and} the residual assembled at the {e updated} point is
+    below 1e-9 (the historical criterion read the pre-update residual,
+    one iteration stale). *)
 
 type result = {
-  x : float array;             (** converged unknown vector *)
+  x : float array;       (** converged unknown vector *)
   iterations : int;      (** total Newton iterations across continuation *)
   strategy : string;     (** "newton" | "gmin-stepping" | "source-stepping" *)
   residual : float;      (** final infinity-norm of the KCL residual *)
 }
 
 val solve :
-  ?x0:float array -> ?time:float -> ?max_iter:int -> Netlist.t ->
+  ?x0:float array -> ?time:float -> ?max_iter:int ->
+  ?backend:Mna.backend -> ?ctx:Mna.ctx -> Netlist.t ->
   (result, string) Stdlib.result
 (** Find the operating point. [time] fixes source values and switch
-    states (default 0). *)
+    states (default 0). [ctx] reuses a caller-held sparse context
+    (ignored for the dense backend); when omitted one is created
+    internally. *)
 
 val node_voltage : result -> Netlist.node -> float
+(** Voltage of a node in a solved result (0 for ground). *)
+
 val branch_current : Netlist.t -> result -> string -> float
 (** Current through a named voltage source (positive from [np] to [nn]
     through the source). Raises [Not_found] for unknown names. *)
 
 val newton :
   ?max_iter:int -> ?vstep_limit:float ->
+  ?backend:Mna.backend -> ?ctx:Mna.ctx ->
   x0:float array -> time:float -> source_scale:float -> gmin:float ->
   cap_policy:Mna.cap_policy -> Netlist.t ->
   (float array * int, string) Stdlib.result
-(** The raw damped-Newton kernel (shared with the transient engine). *)
+(** The raw damped-Newton kernel (shared with the transient engine).
+    Returns the solution and the number of damped updates performed. *)

@@ -1,10 +1,14 @@
 module Vec = Adc_numerics.Vec
 module Mat = Adc_numerics.Mat
+module Sparse = Adc_numerics.Sparse
+
 type cap_companion = { geq : float; ieq : float }
 
 type cap_policy =
   | Cap_open
   | Cap_companion of (cap_index:int -> np:int -> nn:int -> farads:float -> cap_companion)
+
+type backend = [ `Sparse | `Dense ]
 
 let node_voltage_of (x : Vec.t) n = if n = 0 then 0.0 else x.(n - 1)
 
@@ -13,18 +17,19 @@ let cap_count nl =
     (fun acc d -> match d with Netlist.Capacitor _ -> acc + 1 | _ -> acc)
     0 (Netlist.devices nl)
 
-let assemble nl ~x ~time ~source_scale ~gmin ~cap_policy =
+(* Single generic traversal behind every assembler. [jadd r c v] receives
+   matrix coordinates (node rows already shifted by -1, branch rows
+   absolute); [fadd i v] accumulates the residual. The *sequence* of jadd
+   calls depends only on the device list and the Cap_open/Cap_companion
+   distinction — never on [x], [time] or element values — which is what
+   lets the sparse assembler replay a pre-recorded slot program. *)
+let assemble_core nl ~x ~time ~source_scale ~gmin ~cap_policy ~jadd ~fadd =
   let nv = Netlist.node_count nl - 1 in
-  let n = Netlist.unknown_count nl in
-  let jac = Mat.create n n in
-  let res = Vec.create n in
   let v node = node_voltage_of x node in
   let row node = node - 1 in
   (* stamp a current i leaving [node] with given partials *)
-  let stamp_f node i = if node <> 0 then res.(row node) <- res.(row node) +. i in
-  let stamp_j r c g =
-    if r <> 0 && c <> 0 then Mat.add_to jac (row r) (row c) g
-  in
+  let stamp_f node i = if node <> 0 then fadd (row node) i in
+  let stamp_j r c g = if r <> 0 && c <> 0 then jadd (row r) (row c) g in
   let stamp_conductance a b g =
     stamp_j a a g;
     stamp_j b b g;
@@ -67,24 +72,24 @@ let assemble nl ~x ~time ~source_scale ~gmin ~cap_policy =
       let ib = x.(bi) in
       stamp_f np ib;
       stamp_f nn (-.ib);
-      if np <> 0 then Mat.add_to jac (row np) bi 1.0;
-      if nn <> 0 then Mat.add_to jac (row nn) bi (-1.0);
+      if np <> 0 then jadd (row np) bi 1.0;
+      if nn <> 0 then jadd (row nn) bi (-1.0);
       let vval = source_scale *. Stimulus.value wave time in
-      res.(bi) <- res.(bi) +. (v np -. v nn -. vval);
-      if np <> 0 then Mat.add_to jac bi (row np) 1.0;
-      if nn <> 0 then Mat.add_to jac bi (row nn) (-1.0)
+      fadd bi (v np -. v nn -. vval);
+      if np <> 0 then jadd bi (row np) 1.0;
+      if nn <> 0 then jadd bi (row nn) (-1.0)
     | Netlist.Vcvs { e_name; p; n = nneg; cp; cn; gain } ->
       let bi = nv + Netlist.branch_index nl e_name in
       let ib = x.(bi) in
       stamp_f p ib;
       stamp_f nneg (-.ib);
-      if p <> 0 then Mat.add_to jac (row p) bi 1.0;
-      if nneg <> 0 then Mat.add_to jac (row nneg) bi (-1.0);
-      res.(bi) <- res.(bi) +. (v p -. v nneg -. (gain *. (v cp -. v cn)));
-      if p <> 0 then Mat.add_to jac bi (row p) 1.0;
-      if nneg <> 0 then Mat.add_to jac bi (row nneg) (-1.0);
-      if cp <> 0 then Mat.add_to jac bi (row cp) (-.gain);
-      if cn <> 0 then Mat.add_to jac bi (row cn) gain
+      if p <> 0 then jadd (row p) bi 1.0;
+      if nneg <> 0 then jadd (row nneg) bi (-1.0);
+      fadd bi (v p -. v nneg -. (gain *. (v cp -. v cn)));
+      if p <> 0 then jadd bi (row p) 1.0;
+      if nneg <> 0 then jadd bi (row nneg) (-1.0);
+      if cp <> 0 then jadd bi (row cp) (-.gain);
+      if cn <> 0 then jadd bi (row cn) gain
     | Netlist.Mos { d; g; s; b; polarity; w; l; mult; _ } ->
       let params = mos_polarity_params polarity in
       let vgs = v g -. v s and vds = v d -. v s and vbs = v b -. v s in
@@ -104,10 +109,173 @@ let assemble nl ~x ~time ~source_scale ~gmin ~cap_policy =
   in
   List.iter stamp_device (Netlist.devices nl);
   (* gmin from every node to ground stabilizes floating subcircuits and
-     enables gmin stepping *)
-  if gmin > 0.0 then
-    for nd = 1 to nv do
-      Mat.add_to jac (nd - 1) (nd - 1) gmin;
-      res.(nd - 1) <- res.(nd - 1) +. (gmin *. x.(nd - 1))
-    done;
+     enables gmin stepping. Stamped unconditionally (possibly with 0.0)
+     so the call sequence is gmin-independent. *)
+  for nd = 1 to nv do
+    jadd (nd - 1) (nd - 1) gmin;
+    fadd (nd - 1) (gmin *. x.(nd - 1))
+  done
+
+let assemble nl ~x ~time ~source_scale ~gmin ~cap_policy =
+  let n = Netlist.unknown_count nl in
+  let jac = Mat.create n n in
+  let res = Vec.create n in
+  assemble_core nl ~x ~time ~source_scale ~gmin ~cap_policy
+    ~jadd:(fun r c v -> Mat.add_to jac r c v)
+    ~fadd:(fun i v -> res.(i) <- res.(i) +. v);
   (jac, res)
+
+let residual_into nl ~x ~time ~source_scale ~gmin ~cap_policy res =
+  Array.fill res 0 (Array.length res) 0.0;
+  assemble_core nl ~x ~time ~source_scale ~gmin ~cap_policy
+    ~jadd:(fun _ _ _ -> ())
+    ~fadd:(fun i v -> res.(i) <- res.(i) +. v)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse contexts and the per-topology symbolic cache                 *)
+(* ------------------------------------------------------------------ *)
+
+type cache_entry = { mutable sym : Sparse.symbolic option }
+
+(* Symbolic factorizations keyed by structural pattern. Annealing
+   evaluates thousands of candidate sizings over a handful of circuit
+   topologies; candidates with equal patterns share one read-only
+   symbolic. The mutex only guards the table — analysis itself runs
+   outside the lock. *)
+let cache : (int, (Sparse.pattern * cache_entry) list ref) Hashtbl.t =
+  Hashtbl.create 16
+
+let cache_mutex = Mutex.create ()
+let cache_analyses = ref 0
+let max_cached_topologies = 64
+
+let intern_pattern pat =
+  Mutex.lock cache_mutex;
+  let key = Sparse.pattern_hash pat in
+  let entry =
+    match Hashtbl.find_opt cache key with
+    | Some bucket -> begin
+      match
+        List.find_opt (fun (p, _) -> Sparse.pattern_equal p pat) !bucket
+      with
+      | Some (_, e) -> e
+      | None ->
+        let e = { sym = None } in
+        bucket := (pat, e) :: !bucket;
+        e
+    end
+    | None ->
+      if Hashtbl.length cache >= max_cached_topologies then Hashtbl.reset cache;
+      let e = { sym = None } in
+      Hashtbl.replace cache key (ref [ (pat, e) ]);
+      e
+  in
+  Mutex.unlock cache_mutex;
+  entry
+
+type ctx = {
+  nl : Netlist.t;
+  pat : Sparse.pattern;
+  mat : Sparse.t;
+  res : Vec.t;
+  prog_open : int array;  (* slot per jadd call under Cap_open *)
+  prog_companion : int array;  (* slot per jadd call under Cap_companion *)
+  entry : cache_entry;
+  mutable numeric : Sparse.numeric option;
+}
+
+let context nl =
+  let n = Netlist.unknown_count nl in
+  let x0 = Vec.create n in
+  let dummy_companion =
+    Cap_companion
+      (fun ~cap_index:_ ~np:_ ~nn:_ ~farads:_ -> { geq = 1.0; ieq = 0.0 })
+  in
+  (* one recording pass per policy; the companion pass (a superset of the
+     open one) also yields the pattern entries *)
+  let record policy =
+    let calls = ref [] in
+    assemble_core nl ~x:x0 ~time:0.0 ~source_scale:1.0 ~gmin:1.0
+      ~cap_policy:policy
+      ~jadd:(fun r c _ -> calls := (r, c) :: !calls)
+      ~fadd:(fun _ _ -> ());
+    Array.of_list (List.rev !calls)
+  in
+  let calls_companion = record dummy_companion in
+  let calls_open = record Cap_open in
+  let pat = Sparse.pattern_of_entries ~n calls_companion in
+  let to_prog calls =
+    Array.map (fun (r, c) -> Sparse.slot pat ~row:r ~col:c) calls
+  in
+  {
+    nl;
+    pat;
+    mat = Sparse.create pat;
+    res = Vec.create n;
+    prog_open = to_prog calls_open;
+    prog_companion = to_prog calls_companion;
+    entry = intern_pattern pat;
+    numeric = None;
+  }
+
+let ctx_netlist ctx = ctx.nl
+let ctx_residual ctx = ctx.res
+let ctx_unknowns ctx = Sparse.dim ctx.pat
+let ctx_nnz ctx = Sparse.nnz ctx.pat
+
+let assemble_sparse ctx ~x ~time ~source_scale ~gmin ~cap_policy =
+  Sparse.clear ctx.mat;
+  Array.fill ctx.res 0 (Array.length ctx.res) 0.0;
+  let prog =
+    match cap_policy with
+    | Cap_open -> ctx.prog_open
+    | Cap_companion _ -> ctx.prog_companion
+  in
+  let cur = ref 0 in
+  assemble_core ctx.nl ~x ~time ~source_scale ~gmin ~cap_policy
+    ~jadd:(fun _ _ v ->
+      Sparse.add ctx.mat (Array.unsafe_get prog !cur) v;
+      incr cur)
+    ~fadd:(fun i v -> ctx.res.(i) <- ctx.res.(i) +. v)
+
+let ensure_numeric ctx =
+  match ctx.numeric with
+  | Some num -> num
+  | None ->
+    let sym =
+      Mutex.lock cache_mutex;
+      let cached = ctx.entry.sym in
+      Mutex.unlock cache_mutex;
+      match cached with
+      | Some s -> s
+      | None ->
+        (* analyze outside the lock (reads only this ctx's matrix);
+           first writer wins, racers just recompute an identical value *)
+        let s = Sparse.analyze ctx.mat in
+        Mutex.lock cache_mutex;
+        let s =
+          match ctx.entry.sym with
+          | Some existing -> existing
+          | None ->
+            ctx.entry.sym <- Some s;
+            incr cache_analyses;
+            s
+        in
+        Mutex.unlock cache_mutex;
+        s
+    in
+    let num = Sparse.create_numeric sym in
+    ctx.numeric <- Some num;
+    num
+
+let factor_and_solve ctx ~rhs ~dx =
+  let num = ensure_numeric ctx in
+  Sparse.refactorize num ctx.mat;
+  Sparse.solve num ~b:rhs ~x:dx
+
+let ctx_stats ctx =
+  match ctx.numeric with
+  | Some num -> Sparse.stats num
+  | None -> { Sparse.analyses = 0; refactorizations = 0; solves = 0 }
+
+let shared_analyses () = !cache_analyses

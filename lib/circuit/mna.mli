@@ -6,7 +6,19 @@
 
     Residual convention: [f.(row)] is the sum of currents *leaving* the
     node (or the branch voltage equation), so a solution satisfies
-    [f = 0] and Newton solves [J dx = -f]. *)
+    [f = 0] and Newton solves [J dx = -f].
+
+    Two assembly paths share one stamping traversal:
+    {ul
+    {- {!assemble} builds a dense [Adc_numerics.Mat.t] — the cross-check
+       oracle kept behind the [`Dense] backend flag;}
+    {- {!assemble_sparse} writes into a preallocated {!ctx}: an unboxed
+       sparse matrix over a sparsity pattern recorded once per netlist,
+       stamped by replaying a slot program with no per-iteration
+       allocation. Symbolic LU factorizations are cached per {e topology}
+       (structural pattern equality), so annealing candidates that only
+       change element values reuse the same pivot order and fill
+       schedule and pay numeric refactorization only.}} *)
 
 type cap_companion = {
   geq : float;  (** companion conductance *)
@@ -19,6 +31,10 @@ type cap_policy =
       (** Transient: integration-method companion model; [cap_index]
           counts capacitors in declaration order. *)
 
+type backend = [ `Sparse | `Dense ]
+(** Solver backend selector: [`Sparse] (default everywhere) or the dense
+    [`Dense] oracle used by equivalence tests and benchmarks. *)
+
 val node_voltage_of : float array -> int -> float
 (** Voltage of a node index given the unknown vector (0 for ground). *)
 
@@ -30,6 +46,67 @@ val assemble :
   gmin:float ->
   cap_policy:cap_policy ->
   Adc_numerics.Mat.t * float array
-(** Build the Jacobian and residual at the point [x]. *)
+(** Build the dense Jacobian and residual at the point [x]. *)
+
+val residual_into :
+  Netlist.t ->
+  x:float array ->
+  time:float ->
+  source_scale:float ->
+  gmin:float ->
+  cap_policy:cap_policy ->
+  float array ->
+  unit
+(** Evaluate only the residual into a caller-provided buffer — no matrix
+    work, no allocation; used for final residual reporting. *)
 
 val cap_count : Netlist.t -> int
+(** Number of capacitors (companion-model history slots). *)
+
+(** {1 Sparse assembly contexts} *)
+
+type ctx
+(** Preallocated sparse assembly state bound to one netlist: the
+    recorded sparsity pattern, slot programs for both capacitor
+    policies, the unboxed matrix/residual buffers, and (lazily) a
+    numeric factorization workspace. Not thread-safe; create one per
+    domain. The symbolic factorization behind it is shared read-only
+    across all contexts with the same topology. *)
+
+val context : Netlist.t -> ctx
+(** Record the pattern and slot programs for a netlist (two stamping
+    traversals, no factorization yet). *)
+
+val assemble_sparse :
+  ctx ->
+  x:float array ->
+  time:float ->
+  source_scale:float ->
+  gmin:float ->
+  cap_policy:cap_policy ->
+  unit
+(** Stamp the Jacobian and residual at [x] into the context's buffers,
+    replaying the recorded slot program (allocation-free). *)
+
+val factor_and_solve : ctx -> rhs:float array -> dx:float array -> unit
+(** Factor the last assembled Jacobian (numeric refactorization over the
+    shared symbolic; first call analyzes and publishes the symbolic for
+    this topology) and solve for [dx]. Raises
+    [Adc_numerics.Sparse.Singular] on singular systems. *)
+
+val ctx_residual : ctx -> float array
+(** The residual buffer filled by the last {!assemble_sparse}. *)
+
+val ctx_netlist : ctx -> Netlist.t
+val ctx_unknowns : ctx -> int
+val ctx_nnz : ctx -> int
+(** Stored Jacobian nonzeros (pattern size). *)
+
+val ctx_stats : ctx -> Adc_numerics.Sparse.stats
+(** Factorization/solve counters of this context's workspace (zeros
+    before the first solve). *)
+
+val shared_analyses : unit -> int
+(** Process-wide count of symbolic analyses published to the topology
+    cache — stays tiny while refactorization counts grow, which is the
+    point. *)

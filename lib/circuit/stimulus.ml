@@ -49,5 +49,42 @@ let value w t =
 
 let dc_value w = value w 0.0
 
+let next_breakpoint w ~after:t =
+  match w with
+  | Dc _ | Sine _ -> None
+  | Pwl points ->
+    let next = ref None in
+    Array.iter
+      (fun (tp, _) -> if tp > t && (match !next with None -> true | Some b -> tp < b) then next := Some tp)
+      points;
+    !next
+  | Pulse { t_delay; t_rise; t_fall; t_width; period; _ } ->
+    (* slope corners within one cycle, relative to t_delay *)
+    let edges =
+      [ 0.0; t_rise; t_rise +. t_width; t_rise +. t_width +. t_fall ]
+    in
+    let candidate e =
+      if period > 0.0 then begin
+        (* smallest t_delay + k*period + e strictly after t *)
+        let k = Float.of_int (int_of_float (Float.floor ((t -. t_delay -. e) /. period))) in
+        let rec bump k =
+          let cand = t_delay +. (k *. period) +. e in
+          if cand > t then cand else bump (k +. 1.0)
+        in
+        Some (bump (Float.max k 0.0 -. 1.0))
+      end
+      else begin
+        let cand = t_delay +. e in
+        if cand > t then Some cand else None
+      end
+    in
+    List.fold_left
+      (fun acc e ->
+        match (acc, candidate e) with
+        | None, c -> c
+        | c, None -> c
+        | Some a, Some b -> Some (Float.min a b))
+      None edges
+
 let step ?(t0 = 0.0) ~from ~to_ () =
   Pwl [| (t0, from); (t0 +. 1e-12, to_) |]

@@ -22,6 +22,12 @@ val value : t -> float -> float
 val dc_value : t -> float
 (** The operating-point value (the waveform at t = 0, or the DC level). *)
 
+val next_breakpoint : t -> after:float -> float option
+(** First instant strictly after [after] at which the waveform's slope
+    is discontinuous ([Pwl] corners, [Pulse] edges across all periods);
+    [None] for smooth waveforms. Adaptive transient stepping lands a
+    time point on every breakpoint instead of integrating across it. *)
+
 val step : ?t0:float -> from:float -> to_:float -> unit -> t
 (** An ideal-in-the-limit step realized as a 1 ps ramp at [t0] (default
     0); convenient for settling test benches. *)

@@ -165,12 +165,12 @@ let build ?(load_cap = 1e-12) ?vcm ?(drive_noninv = true) ?inv_dc proc z =
    measurement benches null the offset with a DC servo. We bisect the
    inverting-input DC level until the output sits at its mid-swing bias
    point (the output is monotone decreasing in the inverting input). *)
-let solve_biased ?(load_cap = 1e-12) ?vcm proc z =
+let solve_biased ?(load_cap = 1e-12) ?vcm ?(backend = `Sparse) proc z =
   let vcm_v = match vcm with Some v -> v | None -> default_vcm proc in
   let target = 0.5 *. proc.Process.vdd in
   let out_at inv_dc =
     let p = build ~load_cap ~vcm:vcm_v ~inv_dc proc z in
-    match Dc.solve p.nl with
+    match Dc.solve ~backend p.nl with
     | Ok op -> Some (p, op, Dc.node_voltage op p.out)
     | Error _ -> None
   in
@@ -203,8 +203,8 @@ let solve_biased ?(load_cap = 1e-12) ?vcm proc z =
       | None -> Error "OTA DC failed at servo point"
     end
 
-let biased_operating_point ?load_cap ?vcm proc z =
-  match solve_biased ?load_cap ?vcm proc z with
+let biased_operating_point ?load_cap ?vcm ?backend proc z =
+  match solve_biased ?load_cap ?vcm ?backend proc z with
   | Error e -> Error e
   | Ok (p, op, _) -> Ok (p, op)
 
@@ -223,8 +223,8 @@ type performance = {
   tf : Ratfun.t;
 }
 
-let evaluate ?(load_cap = 1e-12) ?vcm (proc : Process.t) z =
-  match solve_biased ~load_cap ?vcm proc z with
+let evaluate ?(load_cap = 1e-12) ?vcm ?backend (proc : Process.t) z =
+  match solve_biased ~load_cap ?vcm ?backend proc z with
   | Error e -> Error e
   | Ok (p, op, _inv_dc) -> begin
     let ss = Smallsig.extract p.nl op in
@@ -292,12 +292,12 @@ type settling_result = {
    the sampling capacitor's bottom plate is stepped by [v_step]; charge
    conservation at the virtual ground drives the output to
    -gain * v_step (relative to its bias point). *)
-let settling_bench ?vcm (proc : Process.t) z ~gain ~c_feedback ~c_load ~v_step
-    ~t_window ~tol =
+let settling_bench ?vcm ?backend ?control (proc : Process.t) z ~gain
+    ~c_feedback ~c_load ~v_step ~t_window ~tol =
   let vcm = match vcm with Some v -> v | None -> default_vcm proc in
   (* find the virtual-ground level that centers the output (the sampling
      phase of a real MDAC establishes it through the reset switches) *)
-  match solve_biased ~vcm proc z with
+  match solve_biased ~vcm ?backend proc z with
   | Error e -> Error e
   | Ok (_, _, v_star) ->
   let nl = Netlist.create proc in
@@ -317,7 +317,7 @@ let settling_bench ?vcm (proc : Process.t) z ~gain ~c_feedback ~c_load ~v_step
   Netlist.capacitor nl "cs" step_node p.inv c_sample;
   Netlist.capacitor nl "cf" p.inv p.out c_feedback;
   Netlist.capacitor nl "cl" p.out gnd c_load;
-  match Dc.solve nl with
+  match Dc.solve ?backend nl with
   | Error e -> Error ("settling bench DC failed: " ^ e)
   | Ok op -> begin
     let v0_out = Dc.node_voltage op p.out in
@@ -325,7 +325,7 @@ let settling_bench ?vcm (proc : Process.t) z ~gain ~c_feedback ~c_load ~v_step
     let t_step = 1.01e-9 in
     let t_stop = t_step +. t_window in
     let dt = t_window /. 800.0 in
-    match Transient.run ~x0:op.Dc.x nl ~t_stop ~dt with
+    match Transient.run ~x0:op.Dc.x ?backend ?control nl ~t_stop ~dt with
     | Error e -> Error ("settling bench transient failed: " ^ e)
     | Ok w ->
       let final_value = Transient.final_voltage nl w p.out in

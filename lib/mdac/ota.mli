@@ -68,7 +68,8 @@ val build :
     internal offset-nulling servo). *)
 
 val biased_operating_point :
-  ?load_cap:float -> ?vcm:float -> Adc_circuit.Process.t -> sizing ->
+  ?load_cap:float -> ?vcm:float -> ?backend:Adc_circuit.Mna.backend ->
+  Adc_circuit.Process.t -> sizing ->
   (ports * Adc_circuit.Dc.result, string) result
 (** The open-loop bench solved at the offset-nulled bias point (the
     servo the evaluator uses internally); for external analyses such as
@@ -92,13 +93,14 @@ type performance = {
 val evaluate :
   ?load_cap:float ->
   ?vcm:float ->
+  ?backend:Adc_circuit.Mna.backend ->
   Adc_circuit.Process.t ->
   sizing ->
   (performance, string) result
 (** The hybrid evaluation (DC sim -> small-signal -> DPI/SFG -> metrics).
     [Error] only for hard failures (DC non-convergence); infeasible but
     simulable points return their true metrics for the optimizer to
-    grade. *)
+    grade. [backend] selects the DC linear solver (default [`Sparse]). *)
 
 val symbolic_transfer :
   ?load_cap:float -> ?vcm:float -> Adc_circuit.Process.t -> sizing ->
@@ -115,6 +117,8 @@ type settling_result = {
 
 val settling_bench :
   ?vcm:float ->
+  ?backend:Adc_circuit.Mna.backend ->
+  ?control:Adc_circuit.Transient.control ->
   Adc_circuit.Process.t ->
   sizing ->
   gain:float ->

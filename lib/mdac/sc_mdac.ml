@@ -15,8 +15,8 @@ type result = {
    (Cs + Cf)(v_in - vg) sampled, then Cs to the DAC level and Cf to the
    output give v_out = 2 v_in - v_dac for Cs = Cf, independent of the
    virtual-ground level vg. *)
-let residue_bench ?vcm ?(c_unit = 0.5e-12) (proc : Process.t) sizing ~v_in ~code
-    ~vref_pp ~fs =
+let residue_bench ?vcm ?(c_unit = 0.5e-12) ?backend ?control (proc : Process.t)
+    sizing ~v_in ~code ~vref_pp ~fs =
   if code < 0 || code > 2 then invalid_arg "Sc_mdac.residue_bench: code out of range";
   if fs <= 0.0 then invalid_arg "Sc_mdac.residue_bench: fs <= 0";
   let vcm = match vcm with Some v -> v | None -> Ota.default_vcm proc in
@@ -24,7 +24,7 @@ let residue_bench ?vcm ?(c_unit = 0.5e-12) (proc : Process.t) sizing ~v_in ~code
   let v_in_abs = vcm +. v_in in
   let v_dac_abs = vcm +. (float_of_int (code - 1) *. half) in
   (* virtual-ground level: where the servo'd amplifier holds its input *)
-  match Ota.biased_operating_point ~vcm proc sizing with
+  match Ota.biased_operating_point ~vcm ?backend proc sizing with
   | Error e -> Error e
   | Ok (ports0, op0) ->
     let v_star = Dc.node_voltage op0 ports0.Ota.inv in
@@ -55,12 +55,12 @@ let residue_bench ?vcm ?(c_unit = 0.5e-12) (proc : Process.t) sizing ~v_in ~code
     sw "sw_rst" p.Ota.inv vgr phase1;
     sw "sw_orst" p.Ota.out rst phase1;
     Netlist.capacitor nl "cl" p.Ota.out gnd 0.5e-12;
-    (match Dc.solve nl with
+    (match Dc.solve ?backend nl with
     | Error e -> Error ("SC bench DC failed: " ^ e)
     | Ok op -> begin
       let t_stop = 2.0 *. t_half in
       let dt = t_stop /. 1600.0 in
-      match Transient.run ~x0:op.Dc.x nl ~t_stop ~dt with
+      match Transient.run ~x0:op.Dc.x ?backend ?control nl ~t_stop ~dt with
       | Error e -> Error ("SC bench transient failed: " ^ e)
       | Ok w ->
         let wf = Transient.node_waveform nl w p.Ota.out in

@@ -19,6 +19,8 @@ type result = {
 val residue_bench :
   ?vcm:float ->
   ?c_unit:float ->
+  ?backend:Adc_circuit.Mna.backend ->
+  ?control:Adc_circuit.Transient.control ->
   Adc_circuit.Process.t ->
   Ota.sizing ->
   v_in:float ->          (* input voltage relative to vcm, V *)

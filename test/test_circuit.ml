@@ -8,6 +8,9 @@ module Mosfet = Adc_circuit.Mosfet
 module Netlist = Adc_circuit.Netlist
 module Stimulus = Adc_circuit.Stimulus
 module Dc = Adc_circuit.Dc
+module Mna = Adc_circuit.Mna
+module Sparse = Adc_numerics.Sparse
+module Vec = Adc_numerics.Vec
 module Smallsig = Adc_circuit.Smallsig
 module Ac = Adc_circuit.Ac
 module Transient = Adc_circuit.Transient
@@ -402,6 +405,252 @@ let test_ac_switch_states () =
   check_close ~eps:1e-3 "switch closed halves" 0.5 (build true)
 
 (* ------------------------------------------------------------------ *)
+(* Solver backends: the sparse default against the dense oracle, the
+   symbolic-factorization cache, and the LTE step controller *)
+
+(* Fresh builders for every netlist exercised elsewhere in this file, so
+   the backend-equivalence sweep covers the same topologies. *)
+let equivalence_netlists () =
+  let divider () =
+    let nl = Netlist.create proc in
+    let vin = Netlist.node nl "in" and mid = Netlist.node nl "mid" in
+    Netlist.vsource nl "vs" vin Netlist.ground (Stimulus.Dc 3.3);
+    Netlist.resistor nl "r1" vin mid 1000.0;
+    Netlist.resistor nl "r2" mid Netlist.ground 2000.0;
+    nl
+  in
+  let current_source () =
+    let nl = Netlist.create proc in
+    let a = Netlist.node nl "a" in
+    Netlist.isource nl "i1" Netlist.ground a (Stimulus.Dc 1e-3);
+    Netlist.resistor nl "r" a Netlist.ground 2200.0;
+    nl
+  in
+  let vcvs () =
+    let nl = Netlist.create proc in
+    let vin = Netlist.node nl "in" and out = Netlist.node nl "out" in
+    Netlist.vsource nl "vs" vin Netlist.ground (Stimulus.Dc 0.5);
+    Netlist.vcvs nl "e1" ~p:out ~n:Netlist.ground ~cp:vin ~cn:Netlist.ground ~gain:10.0;
+    Netlist.resistor nl "rl" out Netlist.ground 1000.0;
+    nl
+  in
+  let nmos_diode () =
+    let nl = Netlist.create proc in
+    let vdd = Netlist.node nl "vdd" and d = Netlist.node nl "d" in
+    Netlist.vsource nl "vdd_src" vdd Netlist.ground (Stimulus.Dc 3.3);
+    Netlist.resistor nl "r" vdd d 10000.0;
+    Netlist.mosfet nl "m1" ~d ~g:d ~s:Netlist.ground ~b:Netlist.ground Process.Nmos
+      ~w:10e-6 ~l:1e-6 ();
+    nl
+  in
+  let common_source () =
+    let nl = Netlist.create proc in
+    let vdd = Netlist.node nl "vdd" and out = Netlist.node nl "out" and g = Netlist.node nl "g" in
+    Netlist.vsource nl "vdd_src" vdd Netlist.ground (Stimulus.Dc 3.3);
+    Netlist.vsource nl "vg" g Netlist.ground (Stimulus.Dc 1.0);
+    Netlist.resistor nl "rd" vdd out 5000.0;
+    Netlist.mosfet nl "m1" ~d:out ~g ~s:Netlist.ground ~b:Netlist.ground Process.Nmos
+      ~w:10e-6 ~l:1e-6 ();
+    nl
+  in
+  let rc_lowpass () =
+    let nl = Netlist.create proc in
+    let vin = Netlist.node nl "in" and out = Netlist.node nl "out" in
+    Netlist.vsource nl ~ac_mag:1.0 "vs" vin Netlist.ground (Stimulus.Dc 0.0);
+    Netlist.resistor nl "r" vin out 1000.0;
+    Netlist.capacitor nl "c" out Netlist.ground 1e-9;
+    nl
+  in
+  let switch_divider () =
+    let nl = Netlist.create proc in
+    let vin = Netlist.node nl "in" and out = Netlist.node nl "out" in
+    Netlist.vsource nl "vs" vin Netlist.ground (Stimulus.Dc 2.0);
+    Netlist.resistor nl "r1" vin out 1000.0;
+    Netlist.resistor nl "r2" out Netlist.ground 1000.0;
+    Netlist.switch nl "sw" out Netlist.ground ~r_on:1.0 ~r_off:1e12
+      ~closed_at:(fun t -> t >= 0.5e-6);
+    nl
+  in
+  let switched_cap () =
+    let nl = Netlist.create proc in
+    let a = Netlist.node nl "a" and b = Netlist.node nl "b" and src = Netlist.node nl "src" in
+    Netlist.vsource nl "vs" src Netlist.ground (Stimulus.Dc 2.0);
+    Netlist.switch nl "sw_chg" src a ~r_on:10.0 ~r_off:1e13 ~closed_at:(fun t -> t < 1e-9);
+    Netlist.capacitor nl "c1" a Netlist.ground 1e-12;
+    Netlist.switch nl "sw_share" a b ~r_on:10.0 ~r_off:1e13 ~closed_at:(fun t -> t > 2e-9);
+    Netlist.capacitor nl "c2" b Netlist.ground 1e-12;
+    Netlist.resistor nl "bleed" b Netlist.ground 1e6;
+    nl
+  in
+  [
+    ("divider", divider);
+    ("current source", current_source);
+    ("vcvs", vcvs);
+    ("nmos diode", nmos_diode);
+    ("common source", common_source);
+    ("rc lowpass", rc_lowpass);
+    ("switch divider", switch_divider);
+    ("switched cap", switched_cap);
+  ]
+
+let solve_dc_backend name backend nl =
+  match Dc.solve ~backend nl with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: DC failed on %s backend: %s" name
+      (match backend with `Sparse -> "sparse" | `Dense -> "dense") e
+
+let test_dc_backends_agree () =
+  List.iter
+    (fun (name, build) ->
+      let d = solve_dc_backend name `Dense (build ()) in
+      let s = solve_dc_backend name `Sparse (build ()) in
+      let diff = Vec.max_abs_diff d.Dc.x s.Dc.x in
+      if diff > 1e-9 then
+        Alcotest.failf "%s: dense and sparse operating points differ by %g" name diff)
+    (equivalence_netlists ())
+
+let test_transient_backends_agree () =
+  (* identical fixed-step trajectories: both backends solve the same
+     Newton systems, so the whole waveform must agree to solver noise *)
+  let cases =
+    [
+      ("rc lowpass", "rc lowpass", 5e-6, 5e-8);
+      ("switch divider", "switch divider", 1e-6, 1e-8);
+      ("switched cap", "switched cap", 20e-9, 20e-12);
+    ]
+  in
+  let builders = equivalence_netlists () in
+  List.iter
+    (fun (name, key, t_stop, dt) ->
+      let build = List.assoc key builders in
+      let run backend =
+        match Transient.run ~control:Transient.Fixed ~backend (build ()) ~t_stop ~dt with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "%s: transient failed: %s" name e
+      in
+      let wd = run `Dense and ws = run `Sparse in
+      Array.iteri
+        (fun i t ->
+          let diff = Vec.max_abs_diff wd.Transient.data.(i) ws.Transient.data.(i) in
+          if diff > 1e-9 then
+            Alcotest.failf "%s: backends differ by %g at t=%g" name diff t)
+        wd.Transient.times)
+    cases
+
+(* Regression for the Newton convergence criterion: acceptance is judged
+   on the residual assembled at the *returned* point, so re-evaluating it
+   freshly must reproduce a converged norm (the stale pre-update check
+   could report convergence one update early). *)
+let test_newton_residual_is_fresh () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (name, build) ->
+          let nl = build () in
+          let r = solve_dc_backend name backend nl in
+          let f = Array.make (Netlist.unknown_count nl) 0.0 in
+          Mna.residual_into nl ~x:r.Dc.x ~time:0.0 ~source_scale:1.0 ~gmin:1e-12
+            ~cap_policy:Mna.Cap_open f;
+          let n = Vec.norm_inf f in
+          if n > 1e-8 then
+            Alcotest.failf "%s: residual at the returned point is %g" name n;
+          if r.Dc.residual > 1e-8 then
+            Alcotest.failf "%s: reported residual is %g" name r.Dc.residual)
+        (equivalence_netlists ()))
+    [ `Sparse; `Dense ]
+
+(* Random-netlist pattern/factorization round trip: sparse matches the
+   dense oracle, a same-topology candidate reuses the published symbolic
+   factorization, and replaying the factorization is deterministic. *)
+let prop_random_netlist_backends_agree =
+  QCheck2.Test.make ~name:"random netlist: sparse = dense, symbolic shared, replay stable"
+    ~count:60
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int_below rng 6 in
+      (* topology decided once; element values vary per candidate *)
+      let skip = Array.init (max 0 (n - 2)) (fun _ -> Rng.uniform rng < 0.4) in
+      let cap = Array.init (n - 1) (fun _ -> Rng.uniform rng < 0.3) in
+      let build vseed =
+        let vr = Rng.create vseed in
+        let nl = Netlist.create proc in
+        let nodes = Array.init n (fun i -> Netlist.node nl (Printf.sprintf "n%d" i)) in
+        Netlist.vsource nl "vs" nodes.(0) Netlist.ground
+          (Stimulus.Dc (Rng.uniform_in vr 0.5 3.0));
+        for i = 0 to n - 2 do
+          Netlist.resistor nl (Printf.sprintf "rs%d" i) nodes.(i) nodes.(i + 1)
+            (Rng.uniform_in vr 100.0 10000.0);
+          Netlist.resistor nl (Printf.sprintf "rg%d" i) nodes.(i + 1) Netlist.ground
+            (Rng.uniform_in vr 100.0 10000.0);
+          if cap.(i) then
+            Netlist.capacitor nl (Printf.sprintf "cg%d" i) nodes.(i + 1) Netlist.ground
+              (Rng.uniform_in vr 1e-13 1e-11)
+        done;
+        for i = 0 to n - 3 do
+          if skip.(i) then
+            Netlist.resistor nl (Printf.sprintf "rx%d" i) nodes.(i) nodes.(i + 2)
+              (Rng.uniform_in vr 100.0 10000.0)
+        done;
+        nl
+      in
+      let solve backend nl =
+        match Dc.solve ~backend nl with
+        | Ok r -> r.Dc.x
+        | Error e -> Alcotest.failf "random netlist DC failed: %s" e
+      in
+      let nl1 = build (seed + 1) in
+      let agree = Vec.max_abs_diff (solve `Dense nl1) (solve `Sparse nl1) <= 1e-9 in
+      let published = Mna.shared_analyses () in
+      (* same topology, different values: must reuse the cached symbolic *)
+      let x2 = solve `Sparse (build (seed + 2)) in
+      let shared = Mna.shared_analyses () = published in
+      (* replaying the recorded factorization is bit-deterministic *)
+      let x2' = solve `Sparse (build (seed + 2)) in
+      agree && shared && Vec.max_abs_diff x2 x2' = 0.0)
+
+let test_lte_matches_fixed_rc () =
+  (* linear RC charging: the adaptive controller must reproduce the
+     analytic answer at the fixed test's tolerance while taking far
+     fewer steps than the fixed grid *)
+  let r = 1000.0 and c = 1e-9 in
+  let tau = r *. c in
+  let build () =
+    let nl = Netlist.create proc in
+    let vin = Netlist.node nl "in" and out = Netlist.node nl "out" in
+    Netlist.vsource nl "vs" vin Netlist.ground (Stimulus.step ~from:0.0 ~to_:1.0 ());
+    Netlist.resistor nl "r" vin out r;
+    Netlist.capacitor nl "c" out Netlist.ground c;
+    (nl, out)
+  in
+  let t_stop = 5.0 *. tau and dt = tau /. 100.0 in
+  let run control =
+    let nl, out = build () in
+    match Transient.run_with_stats ~control nl ~t_stop ~dt with
+    | Error e -> Alcotest.failf "transient failed: %s" e
+    | Ok (w, st) -> (Transient.node_waveform nl w out, st)
+  in
+  let fixed_wf, fixed_st = run Transient.Fixed in
+  let ada_wf, ada_st = run (Transient.Lte Transient.default_lte) in
+  let ada = Adc_numerics.Interp.of_samples ada_wf in
+  check_close ~eps:2e-3 "adaptive 1 tau" (1.0 -. exp (-1.0)) (Adc_numerics.Interp.eval ada tau);
+  check_close ~eps:2e-3 "adaptive 3 tau" (1.0 -. exp (-3.0))
+    (Adc_numerics.Interp.eval ada (3.0 *. tau));
+  Array.iteri
+    (fun i (t, v_fixed) ->
+      let _, v_ada = ada_wf.(i) in
+      if Float.abs (v_fixed -. v_ada) > 2e-3 then
+        Alcotest.failf "t=%g: fixed %g vs adaptive %g" t v_fixed v_ada)
+    fixed_wf;
+  Alcotest.(check bool) "adaptive takes fewer steps" true
+    (ada_st.Transient.accepted_steps < fixed_st.Transient.accepted_steps / 4);
+  match ada_st.Transient.solver with
+  | None -> Alcotest.fail "sparse backend reports solver stats"
+  | Some s ->
+    Alcotest.(check bool) "refactorizations dominate analyses" true
+      (s.Sparse.refactorizations > 0 && s.Sparse.analyses = 0)
+
+(* ------------------------------------------------------------------ *)
 (* Netlist bookkeeping *)
 
 let test_netlist_interning () =
@@ -481,6 +730,14 @@ let () =
         [
           quick "charge redistribution" test_switched_cap_charge_redistribution;
           quick "ac switch states" test_ac_switch_states;
+        ] );
+      ( "solver",
+        [
+          quick "dc backends agree" test_dc_backends_agree;
+          quick "transient backends agree" test_transient_backends_agree;
+          quick "newton residual is fresh" test_newton_residual_is_fresh;
+          QCheck_alcotest.to_alcotest prop_random_netlist_backends_agree;
+          quick "lte matches fixed rc" test_lte_matches_fixed_rc;
         ] );
       ( "netlist",
         [

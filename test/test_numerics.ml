@@ -91,6 +91,130 @@ let prop_lu_solve_residual =
       Vec.norm_inf r < 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Sparse *)
+
+module Sparse = Adc_numerics.Sparse
+
+let test_sparse_pattern_basic () =
+  (* duplicates merge; slots are ordered by (col, row) *)
+  let p =
+    Sparse.pattern_of_entries ~n:3
+      [| (0, 0); (2, 0); (0, 0); (1, 1); (0, 2); (2, 2) |]
+  in
+  Alcotest.(check int) "dim" 3 (Sparse.dim p);
+  Alcotest.(check int) "nnz" 5 (Sparse.nnz p);
+  Alcotest.(check bool) "mem" true (Sparse.mem p ~row:2 ~col:0);
+  Alcotest.(check bool) "not mem" false (Sparse.mem p ~row:1 ~col:0);
+  Alcotest.(check int) "slot order" 0 (Sparse.slot p ~row:0 ~col:0);
+  Alcotest.(check int) "slot order 2" 1 (Sparse.slot p ~row:2 ~col:0);
+  Alcotest.check_raises "off-pattern slot" Not_found (fun () ->
+      ignore (Sparse.slot p ~row:1 ~col:2))
+
+let dense_of_rows rows =
+  let n = Array.length rows in
+  Mat.init n n (fun i j -> rows.(i).(j))
+
+let sparse_of_dense m n =
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Mat.get m i j <> 0.0 then entries := (i, j) :: !entries
+    done
+  done;
+  let p = Sparse.pattern_of_entries ~n (Array.of_list !entries) in
+  let s = Sparse.create p in
+  List.iter (fun (i, j) -> Sparse.add_at s ~row:i ~col:j (Mat.get m i j)) !entries;
+  s
+
+let test_sparse_known_system () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let m = dense_of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let s = sparse_of_dense m 2 in
+  let num = Sparse.create_numeric (Sparse.analyze s) in
+  Sparse.refactorize num s;
+  let x = [| 0.0; 0.0 |] in
+  Sparse.solve num ~b:[| 5.0; 10.0 |] ~x;
+  check_close "x" 1.0 x.(0);
+  check_close "y" 3.0 x.(1)
+
+let test_sparse_refactorize_reuse () =
+  (* one symbolic, two value sets: only numeric work on the second *)
+  let m1 = dense_of_rows [| [| 4.0; 1.0 |]; [| 1.0; 5.0 |] |] in
+  let s = sparse_of_dense m1 2 in
+  let num = Sparse.create_numeric (Sparse.analyze s) in
+  Sparse.refactorize num s;
+  let x = [| 0.0; 0.0 |] in
+  Sparse.solve num ~b:[| 5.0; 6.0 |] ~x;
+  check_close "first x0" (1.0) x.(0);
+  check_close "first x1" (1.0) x.(1);
+  (* same topology, new values *)
+  Sparse.clear s;
+  Sparse.add_at s ~row:0 ~col:0 2.0;
+  Sparse.add_at s ~row:0 ~col:1 1.0;
+  Sparse.add_at s ~row:1 ~col:0 1.0;
+  Sparse.add_at s ~row:1 ~col:1 3.0;
+  Sparse.refactorize num s;
+  Sparse.solve num ~b:[| 5.0; 10.0 |] ~x;
+  check_close "second x0" 1.0 x.(0);
+  check_close "second x1" 3.0 x.(1);
+  let st = Sparse.stats num in
+  Alcotest.(check int) "no re-analysis" 0 st.Sparse.analyses;
+  Alcotest.(check int) "refactorizations" 2 st.Sparse.refactorizations;
+  Alcotest.(check int) "solves" 2 st.Sparse.solves
+
+let test_sparse_pivot_instability_fallback () =
+  (* the first analysis picks the (dominant) diagonal; the second value
+     set makes those pivots 1e-8 of their columns, forcing a re-pivot *)
+  let m1 = dense_of_rows [| [| 10.0; 1.0 |]; [| 1.0; 10.0 |] |] in
+  let s = sparse_of_dense m1 2 in
+  let num = Sparse.create_numeric (Sparse.analyze s) in
+  Sparse.refactorize num s;
+  Sparse.clear s;
+  Sparse.add_at s ~row:0 ~col:0 1e-8;
+  Sparse.add_at s ~row:0 ~col:1 1.0;
+  Sparse.add_at s ~row:1 ~col:0 1.0;
+  Sparse.add_at s ~row:1 ~col:1 1e-8;
+  Sparse.refactorize num s;
+  let x = [| 0.0; 0.0 |] in
+  Sparse.solve num ~b:[| 1.0; 2.0 |] ~x;
+  (* x ~ [2; 1] for the anti-diagonal system *)
+  check_close ~eps:1e-6 "x0" 2.0 x.(0);
+  check_close ~eps:1e-6 "x1" 1.0 x.(1);
+  let st = Sparse.stats num in
+  Alcotest.(check int) "re-analysis happened" 1 st.Sparse.analyses
+
+let test_sparse_singular () =
+  let p = Sparse.pattern_of_entries ~n:2 [| (0, 0); (1, 1) |] in
+  let s = Sparse.create p in
+  Sparse.add_at s ~row:0 ~col:0 1.0;
+  (* (1,1) left at zero -> structurally present but numerically singular *)
+  Alcotest.check_raises "singular" Sparse.Singular (fun () ->
+      ignore (Sparse.analyze s))
+
+let prop_sparse_matches_dense =
+  QCheck2.Test.make ~name:"sparse lu matches dense lu" ~count:200
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int_below rng 12 in
+      (* random sparsity, diagonally dominant so both solvers are
+         well-conditioned *)
+      let m =
+        Mat.init n n (fun i j ->
+            if i = j then 10.0 +. Rng.uniform rng
+            else if Rng.uniform rng < 0.4 then Rng.uniform_in rng (-1.0) 1.0
+            else 0.0)
+      in
+      let s = sparse_of_dense m n in
+      let num = Sparse.create_numeric (Sparse.analyze s) in
+      Sparse.refactorize num s;
+      let b = Array.init n (fun _ -> Rng.uniform_in rng (-5.0) 5.0) in
+      let x_dense = Mat.solve m b in
+      let x = Array.make n 0.0 in
+      Sparse.solve num ~b ~x;
+      Vec.max_abs_diff x x_dense < 1e-9)
+
+(* ------------------------------------------------------------------ *)
 (* Cxm *)
 
 let test_cxm_solve () =
@@ -441,6 +565,15 @@ let () =
           quick "mul identity" test_mat_mul_identity;
           quick "transpose" test_mat_transpose;
           QCheck_alcotest.to_alcotest prop_lu_solve_residual;
+        ] );
+      ( "sparse",
+        [
+          quick "pattern basics" test_sparse_pattern_basic;
+          quick "known 2x2" test_sparse_known_system;
+          quick "refactorize reuse" test_sparse_refactorize_reuse;
+          quick "pivot fallback" test_sparse_pivot_instability_fallback;
+          quick "singular" test_sparse_singular;
+          QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
         ] );
       ( "cxm",
         [
