@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- overhead  -- tracing cost on/memory/file
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- serve     -- server-mode load (BENCH_SERVE.json)
+     dune exec bench/main.exe -- pareto    -- (k, fs) grid FoM front (BENCH_PARETO.json)
      dune exec bench/main.exe -- sim       -- simulation-mode solver bench (BENCH_SIM.json)
 
    The Bechamel group holds one Test.make per table/figure pipeline (on
@@ -40,6 +41,8 @@ module Obs = Adc_obs
 module Json = Adc_json.Json
 module Server = Adc_serve.Server
 module Client = Adc_serve.Client
+module Codec = Adc_serve.Codec
+module Front = Adc_pipeline.Front
 
 let line = String.make 72 '-'
 let header title = Printf.printf "%s\n%s\n%s\n" line title line
@@ -633,6 +636,40 @@ let batch_bench () =
     ks b.Optimize.batch_runs
 
 (* ------------------------------------------------------------------ *)
+(* pareto: the multi-objective (k, fs) grid driver.  One fused batch
+   over the whole grid, FoM front table on stdout, full payload (the
+   same bytes the daemon's pareto verb serves) in BENCH_PARETO.json. *)
+
+let pareto_bench () =
+  header "pareto: fused (k, fs) grid, FoM Pareto front";
+  let ks = [ 10; 11; 12; 13 ] and fs_mhz = [ 20.0; 40.0 ] in
+  let obs = Obs.in_memory () in
+  let fr =
+    Front.search ~mode:`Hybrid ~seed:11 ~attempts:3 ~jobs:!jobs_requested ~obs
+      ~ks ~fs_mhz ()
+  in
+  trace_events := !trace_events @ Obs.Sink.drain obs.Obs.sink;
+  print_string (Front.render fr);
+  Printf.printf
+    "[pareto %dx%d grid: %d job occurrences fused into %d distinct syntheses \
+     (%d shared), %d front points, %.0f s on %d domain(s)]\n%!"
+    (List.length ks) (List.length fs_mhz) fr.Front.job_occurrences
+    fr.Front.distinct_syntheses
+    (fr.Front.job_occurrences - fr.Front.distinct_syntheses)
+    (List.length fr.Front.front) fr.Front.front_wall_s fr.Front.front_domains;
+  List.iter
+    (fun (p : Front.point) ->
+      record_run
+        (Printf.sprintf "pareto-%dbit-%gMHz" p.Front.pt_k p.Front.pt_fs_mhz)
+        p.Front.pt_run)
+    fr.Front.points;
+  let oc = open_out "BENCH_PARETO.json" in
+  output_string oc (Json.to_string (Codec.pareto_payload fr));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_PARETO.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* sim: simulation-mode solver benchmark.  Each target runs under three
    modes — the dense oracle on the fixed grid, the sparse solver on the
    same grid (must match to solver noise), and the sparse solver under
@@ -930,6 +967,7 @@ let () =
   | "micro" -> micro ()
   | "serve" -> serve_bench ()
   | "batch" -> batch_bench ()
+  | "pareto" -> pareto_bench ()
   | "sim" -> sim_bench ()
   | "fast" ->
     fig1 ~hybrid:false ();
@@ -947,5 +985,5 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|serve|batch|sim|fast|all)\n" other;
+      "unknown target %S (use fig1|fig2|fig3|retarget|ablation|extensions|overhead|micro|serve|batch|pareto|sim|fast|all)\n" other;
     exit 1

@@ -9,6 +9,8 @@ module Config = Adc_pipeline.Config
 module Spec = Adc_pipeline.Spec
 module Optimize = Adc_pipeline.Optimize
 module Rules = Adc_pipeline.Rules
+module Fom = Adc_pipeline.Fom
+module Front = Adc_pipeline.Front
 module Report = Adc_pipeline.Report
 module Behavioral = Adc_pipeline.Behavioral
 module Metrics = Adc_pipeline.Metrics
@@ -47,7 +49,21 @@ let term_of : type a. a Api.param -> a Term.t =
   | Api.Mode -> Arg.(value & opt (enum Api.mode_choices) p.Api.default & ainfo)
   | Api.Opt_int -> Arg.(value & opt (some int) p.Api.default & ainfo)
   | Api.Opt_string -> Arg.(value & opt (some string) p.Api.default & ainfo)
-  | Api.Int_list -> Arg.(value & opt (list int) p.Api.default & ainfo)
+  | Api.Int_grid ->
+    (* the shared grid syntax: "10,11", "10..13", "10,12..13" *)
+    let grid_conv =
+      let parse s =
+        match Api.parse_int_grid s with
+        | Ok ns -> Ok ns
+        | Error e -> Error (`Msg e)
+      in
+      let print fmt ns =
+        Format.pp_print_string fmt (String.concat "," (List.map string_of_int ns))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt grid_conv p.Api.default & ainfo)
+  | Api.Float_list -> Arg.(value & opt (list float) p.Api.default & ainfo)
 
 let k_arg = term_of Api.k
 let fs_arg = term_of Api.fs_mhz
@@ -389,6 +405,138 @@ let batch_cmd =
     Term.(const batch $ ks_arg $ fs_arg $ mode_arg $ seed_arg $ attempts_arg
           $ jobs_arg $ timeout_arg $ json_arg $ trace_arg $ metrics_arg
           $ progress_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pareto: the FoM front over the (k, fs) grid *)
+
+let fs_list_arg = term_of Api.fs_list
+
+(* warm-hit human summary, reconstructed from the stored grid *)
+let print_stored_pareto_human payload =
+  let cells =
+    match Json.member "grid" payload with Some (Json.List cs) -> cs | _ -> []
+  in
+  let num cell name =
+    match Json.member name cell with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> Float.nan
+  in
+  let on_front cell =
+    Json.member "on_front" cell = Some (Json.Bool true)
+  in
+  Printf.printf
+    "Pareto front (replayed from the design store): %d cells, %d on the front\n"
+    (List.length cells)
+    (List.length (List.filter on_front cells));
+  List.iter
+    (fun cell ->
+      let fom = Option.value (Json.member "fom" cell) ~default:Json.Null in
+      Printf.printf "%s K=%-3.0f fs=%-9.6g MHz  %s  %.1f fJ/step, %.1f dB\n"
+        (if on_front cell then "*" else " ")
+        (num cell "k") (num cell "fs_mhz")
+        (match Json.member_path "optimize.optimum" cell with
+        | Some (Json.String s) -> s
+        | _ -> "?")
+        (num fom "walden_fj_per_step")
+        (num fom "schreier_db"))
+    cells
+
+let pareto ks fs_list mode seed attempts jobs timeout store json trace metrics
+    progress =
+  if ks = [] then die "adcopt pareto: need at least one resolution";
+  if fs_list = [] then die "adcopt pareto: need at least one sampling rate";
+  let store = Option.map Store.open_dir store in
+  let key = Codec.key_pareto ~ks ~fs_list ~mode ~seed ~attempts () in
+  match Option.bind store (fun s -> Store.find s ~key) with
+  | Some payload ->
+    let parsed = Json.parse payload in
+    if json then begin
+      (* replay the NDJSON stream a cold run printed: front point lines
+         from the stored grid (canonical serializer: the re-serialized
+         cells are the very bytes the cold run emitted), then the
+         stored summary verbatim *)
+      (match Json.member "grid" parsed with
+      | Some (Json.List cells) ->
+        List.iter
+          (fun cell ->
+            match Json.member "on_front" cell with
+            | Some (Json.Bool true) -> print_endline (Json.to_string cell)
+            | _ -> ())
+          cells
+      | _ -> ());
+      print_endline payload
+    end
+    else print_stored_pareto_human parsed
+  | None ->
+    let jobs = resolve_jobs jobs in
+    (* the deduplicated grid, for the progress denominator only (the
+       search re-derives it); global dedup means the bar can finish
+       early, never late *)
+    let grid_ks = List.sort_uniq (fun a b -> compare b a) ks in
+    let grid_fs = List.sort_uniq (fun a b -> compare b a) fs_list in
+    let total =
+      List.fold_left
+        (fun acc k ->
+          List.fold_left
+            (fun acc f ->
+              let spec =
+                try spec_of k f
+                with Invalid_argument msg -> die "adcopt pareto: %s" msg
+              in
+              acc
+              + List.length
+                  (Spec.distinct_jobs spec
+                     (Config.enumerate_leading ~k
+                        ~backend_bits:(Spec.backend_bits spec))))
+            acc grid_fs)
+        0 grid_ks
+    in
+    let ((obs, _) as ctx) = obs_of ~progress ~total ~domains:jobs trace metrics in
+    let cancel = cancel_of_timeout timeout in
+    let on_point pt =
+      (* NDJSON: one front point per line, as soon as its membership is
+         final — the same payloads the serve verb streams *)
+      if json then print_endline (Json.to_string (Codec.pareto_point_payload pt))
+    in
+    let fr =
+      try
+        Front.search ~mode ~seed ~attempts ~jobs ~obs ~cancel ~on_point ~ks
+          ~fs_mhz:fs_list ()
+      with Invalid_argument msg -> die "adcopt pareto: %s" msg
+    in
+    let payload = Codec.pareto_payload fr in
+    if json then print_endline (Json.to_string payload)
+    else print_string (Front.render fr);
+    (match store with
+    | Some s when not fr.Front.front_truncated ->
+      Store.add s ~key ~payload:(Json.to_string payload)
+    | _ -> ());
+    Printf.eprintf
+      "adcopt pareto: %d cells, %d job occurrences, %d distinct syntheses, \
+       %d on the front\n"
+      (List.length fr.Front.points) fr.Front.job_occurrences
+      fr.Front.distinct_syntheses
+      (List.length fr.Front.front);
+    finish_obs ~to_stderr:json ctx;
+    if fr.Front.front_truncated then finish_truncated "pareto search"
+
+let pareto_cmd =
+  let doc =
+    "Map the FoM Pareto front over the resolution × sampling-rate grid: \
+     every (k, fs) cell is optimized in one fused batch (MDAC jobs shared \
+     between cells are synthesized once), each optimum gets its \
+     energy-per-conversion-step and Walden/Schreier figures of merit, and \
+     the dominated cells are pruned. With $(b,--json), front points print \
+     as NDJSON lines the moment their membership is final, followed by \
+     one summary line; each point's $(b,optimize) object is byte-identical \
+     to the one-shot $(b,adcopt optimize --json) run at the same \
+     parameters. See docs/PARETO.md."
+  in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(const pareto $ ks_arg $ fs_list_arg $ mode_arg $ seed_arg
+          $ attempts_arg $ jobs_arg $ timeout_arg $ store_arg $ json_arg
+          $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth: one MDAC job *)
@@ -797,7 +945,13 @@ let call socket connect extract request =
       die "adcopt call: cannot connect: %s" (Unix.error_message e)
   in
   let response =
-    match Client.request client request with
+    (* non-final lines (a streaming verb's incremental results) print
+       as they arrive; [response] is the final line, which --extract
+       and the exit code apply to *)
+    match
+      Client.request_stream client request ~on_line:(fun line ->
+          print_endline (Json.to_string line))
+    with
     | r -> r
     | exception End_of_file -> die "adcopt call: server closed the connection"
   in
@@ -828,11 +982,43 @@ let call socket connect extract request =
 let call_cmd =
   let doc =
     "Send one JSON request to a running $(b,adcopt serve) and print the \
-     response (exit 3 when the daemon answers an error)."
+     response (exit 3 when the daemon answers an error). A streaming \
+     verb's incremental lines print as they arrive; $(b,--extract) \
+     applies to the final line."
   in
   Cmd.v (Cmd.info "call" ~doc)
     Term.(const call $ serve_socket_arg $ connect_arg $ extract_arg
           $ request_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* extract: reach into a JSON document on stdin *)
+
+let extract path =
+  let input = In_channel.input_all stdin in
+  match Json.parse input with
+  | exception Json.Parse_error msg -> die "adcopt extract: malformed JSON: %s" msg
+  | parsed -> (
+    match Json.member_path path parsed with
+    | Some v -> print_endline (Json.to_string v)
+    | None -> die "adcopt extract: no value at path %S" path)
+
+let extract_path_arg =
+  let doc =
+    "Dotted path into the document: name segments descend into objects, \
+     digit segments index arrays, e.g. $(b,optimize) or $(b,grid.0.fom)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc)
+
+let extract_cmd =
+  let doc =
+    "Read one JSON document from stdin and print the value at $(b,PATH) \
+     as canonical JSON. Unlike jq, the output is the repo's own \
+     canonical serialization — the very bytes the codec produced — so \
+     extracted sub-payloads can be $(b,cmp)'d against other adcopt \
+     output (CI diffs a pareto point's $(b,optimize) object against \
+     $(b,adcopt optimize --json) this way)."
+  in
+  Cmd.v (Cmd.info "extract" ~doc) Term.(const extract $ extract_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top level *)
@@ -841,9 +1027,9 @@ let main_cmd =
   let doc = "designer-driven topology optimization for pipelined ADCs (DATE 2005)" in
   let info = Cmd.info "adcopt" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ enumerate_cmd; optimize_cmd; sweep_cmd; batch_cmd; synth_cmd;
-      behavioral_cmd; corners_cmd; montecarlo_cmd; area_cmd; trace_cmd;
-      serve_cmd; call_cmd ]
+    [ enumerate_cmd; optimize_cmd; sweep_cmd; batch_cmd; pareto_cmd;
+      synth_cmd; behavioral_cmd; corners_cmd; montecarlo_cmd; area_cmd;
+      trace_cmd; serve_cmd; call_cmd; extract_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

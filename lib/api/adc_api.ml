@@ -28,7 +28,46 @@ type _ ty =
   | Mode : mode ty
   | Opt_int : int option ty
   | Opt_string : string option ty
-  | Int_list : int list ty
+  | Int_grid : int list ty
+  | Float_list : float list ty
+
+(* "10,11" / "10..13" / mixes like "10..11,13": comma-separated segments,
+   each a literal integer or an inclusive [A..B] range (either direction).
+   The one grid syntax shared by the CLI converter and the wire decoder,
+   so [adcopt pareto -k 10..13] and a served {"ks": "10..13"} agree. *)
+let parse_int_grid s =
+  let range a b =
+    if a <= b then List.init (b - a + 1) (fun i -> a + i)
+    else List.init (a - b + 1) (fun i -> a - i)
+  in
+  let segment seg =
+    match String.index_opt seg '.' with
+    | None -> (
+      match int_of_string_opt seg with
+      | Some n -> Ok [ n ]
+      | None -> Error (Printf.sprintf "not an integer: %S" seg))
+    | Some i -> (
+      let j = i + 1 in
+      if j >= String.length seg || seg.[j] <> '.' then
+        Error (Printf.sprintf "malformed range: %S (expected A..B)" seg)
+      else
+        let lo = String.sub seg 0 i in
+        let hi = String.sub seg (j + 1) (String.length seg - j - 1) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some a, Some b -> Ok (range a b)
+        | _ -> Error (Printf.sprintf "malformed range: %S (expected A..B)" seg))
+  in
+  if String.trim s = "" then Error "empty grid"
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.fold_left
+         (fun acc seg ->
+           match (acc, segment seg) with
+           | Error _, _ -> acc
+           | _, (Error _ as e) -> e
+           | Ok xs, Ok ys -> Ok (xs @ ys))
+         (Ok [])
 
 type 'a param = {
   ty : 'a ty;
@@ -94,11 +133,18 @@ let config =
     doc = "Stage configuration, e.g. 4-3-2."; default = None }
 
 let ks =
-  { ty = Int_list; key = "ks"; flags = [ "k"; "resolutions" ]; docv = "BITS,...";
+  { ty = Int_grid; key = "ks"; flags = [ "k"; "resolutions" ];
+    docv = "BITS|A..B,...";
     doc =
-      "Comma-separated target resolutions to optimize as one fused \
-       batch (each gets its own full result).";
+      "Target resolutions to optimize as one fused batch (each gets its \
+       own full result): comma-separated integers and/or inclusive \
+       $(b,A..B) ranges, e.g. $(b,10..13) or $(b,10,12..13).";
     default = [ 10; 11; 12; 13 ] }
+
+let fs_list =
+  { ty = Float_list; key = "fs_list"; flags = [ "fs" ]; docv = "MHZ,...";
+    doc = "Comma-separated sampling rates in MHz (the grid's rate axis).";
+    default = [ 40.0 ] }
 
 (* wire-only parameters: no CLI flag ([flags = []]) *)
 
@@ -142,13 +188,27 @@ let of_json : type a. Json.t -> a param -> a =
   | Opt_int, Some _ -> bad "field %S must be an integer" p.key
   | Opt_string, Some (Json.String s) -> Some s
   | Opt_string, Some _ -> bad "field %S must be a string" p.key
-  | Int_list, Some (Json.List items) ->
+  | Int_grid, Some (Json.List items) ->
     List.map
       (function
         | Json.Int n -> n
         | _ -> bad "field %S must be a list of integers" p.key)
       items
-  | Int_list, Some _ -> bad "field %S must be a list of integers" p.key
+  | Int_grid, Some (Json.String s) -> (
+    (* the CLI's grid syntax is honoured on the wire too *)
+    match parse_int_grid s with
+    | Ok ns -> ns
+    | Error e -> bad "field %S: %s" p.key e)
+  | Int_grid, Some _ ->
+    bad "field %S must be a list of integers or a grid string" p.key
+  | Float_list, Some (Json.List items) ->
+    List.map
+      (function
+        | Json.Float f -> f
+        | Json.Int n -> float_of_int n
+        | _ -> bad "field %S must be a list of numbers" p.key)
+      items
+  | Float_list, Some _ -> bad "field %S must be a list of numbers" p.key
 
 (* a [budget] override rides along as a nested object; all three fields
    are required so a typo'd partial budget fails loudly instead of

@@ -44,7 +44,11 @@ type _ ty =
   | Mode : mode ty
   | Opt_int : int option ty
   | Opt_string : string option ty
-  | Int_list : int list ty
+  | Int_grid : int list ty
+      (** an integer list that also parses from the shared grid syntax
+          ({!parse_int_grid}) — the wire accepts a JSON list of
+          integers {e or} a grid string *)
+  | Float_list : float list ty
 
 type 'a param = {
   ty : 'a ty;
@@ -67,8 +71,19 @@ val m : int param
 val bits : int param
 val config : string option param
 val ks : int list param
-(** The batch verb's spec list: one optimization per resolution, fused
-    into a single deduplicated synthesis pass. *)
+(** The batch and pareto verbs' resolution axis: one optimization per
+    resolution, fused into a single deduplicated synthesis pass.
+    Accepts the grid syntax ([10..13], [10,12..13]) on the CLI and the
+    wire alike. *)
+
+val fs_list : float list param
+(** The pareto verb's sampling-rate axis, MHz. *)
+
+val parse_int_grid : string -> (int list, string) result
+(** ["10,11"], ["10..13"], ["10..11,13"]: comma-separated integers
+    and/or inclusive [A..B] ranges (either direction), expanded in
+    written order without deduplication. The one grid syntax shared by
+    the CLI converter and the wire decoder. *)
 
 val deadline_ms : int option param
 val delay_ms : int param

@@ -15,14 +15,14 @@ let of_string s =
 
 let effective_bits c = List.fold_left (fun acc m -> acc + m - 1) 0 c
 
+let rec is_non_increasing = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a >= b && is_non_increasing rest
+
 let is_valid ?(m_min = 2) ?(m_max = 4) c =
-  let rec monotone = function
-    | [] | [ _ ] -> true
-    | a :: (b :: _ as rest) -> a >= b && monotone rest
-  in
   c <> []
   && List.for_all (fun m -> m >= m_min && m <= m_max) c
-  && monotone c
+  && is_non_increasing c
 
 (* Non-increasing sequences with parts (m-1) in {1,2,3} summing to
    [total]: classic bounded-partition enumeration. *)

@@ -24,6 +24,11 @@ val of_string : string -> t
 val effective_bits : t -> int
 (** [sum (m_i - 1)]. *)
 
+val is_non_increasing : t -> bool
+(** The pairwise [m_i >= m_(i+1)] property alone (vacuously true for
+    the empty and singleton lists) — the "monotone down the pipeline"
+    half of {!is_valid}, without the per-stage bounds. *)
+
 val is_valid : ?m_min:int -> ?m_max:int -> t -> bool
 (** Bounds and the non-increasing constraint. *)
 

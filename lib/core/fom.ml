@@ -1,0 +1,44 @@
+(* Figures of merit for one optimized converter design point.
+
+   The paper fixes (k, fs) and minimizes power; Barrandon et al.
+   generalize to energy per conversion-step over the whole design space.
+   Both classic FoMs are pure functions of (P, k, fs) — nothing here
+   reads the synthesis results beyond the optimum's total power, so a
+   FoM computed from a cached run equals the cold one bit-for-bit. *)
+
+type t = {
+  p_total : float;
+  energy_per_step_j : float;
+  walden_fj_per_step : float;
+  schreier_db : float;
+}
+
+let steps ~k = Float.of_int (1 lsl k)
+
+let energy_per_step ~p_total ~k ~fs = p_total /. (steps ~k *. fs)
+
+(* ideal quantizer SNR plus the bandwidth-per-watt term; fs/2 is the
+   Nyquist bandwidth of a non-oversampled pipeline *)
+let schreier_db ~p_total ~k ~fs =
+  (6.02 *. Float.of_int k) +. 1.76 +. (10.0 *. Float.log10 (fs /. 2.0 /. p_total))
+
+let make ~p_total ~k ~fs =
+  if p_total <= 0.0 then invalid_arg "Fom.make: non-positive power";
+  if fs <= 0.0 then invalid_arg "Fom.make: non-positive sampling rate";
+  if k <= 0 || k > 62 then invalid_arg "Fom.make: resolution out of range";
+  let e = energy_per_step ~p_total ~k ~fs in
+  {
+    p_total;
+    energy_per_step_j = e;
+    walden_fj_per_step = e *. 1e15;
+    schreier_db = schreier_db ~p_total ~k ~fs;
+  }
+
+let of_run (run : Optimize.run) =
+  make
+    ~p_total:run.Optimize.optimum.Optimize.p_total
+    ~k:run.Optimize.spec.Spec.k ~fs:run.Optimize.spec.Spec.fs
+
+let render f =
+  Printf.sprintf "%.1f fJ/step (Walden), %.1f dB (Schreier)"
+    f.walden_fj_per_step f.schreier_db

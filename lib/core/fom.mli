@@ -1,0 +1,33 @@
+(** Figures of merit for one optimized design point.
+
+    The paper's optimizer answers "minimum power at this (k, fs)"; the
+    Pareto-front driver ({!Front}) compares answers {e across} the
+    (k, fs) grid, which needs the classic normalizations:
+
+    - {b Walden}: energy per conversion-step, [P / (2^k * fs)] —
+      lower is better; reported both in joules and in fJ/step.
+    - {b Schreier}: [6.02 k + 1.76 + 10 log10 (fs / 2 / P)] dB —
+      dynamic range per watt of Nyquist bandwidth; higher is better.
+
+    Both are pure functions of the optimum's total power and the spec's
+    (k, fs): a FoM of a cache-replayed run is bit-identical to the cold
+    one. Nominal resolution [k] stands in for ENOB — the optimizer's
+    power numbers are budgeted at full accuracy, so the FoM compares
+    designs under the same idealization. *)
+
+type t = {
+  p_total : float;             (** the optimum's total power, W *)
+  energy_per_step_j : float;   (** [p_total / (2^k * fs)], J *)
+  walden_fj_per_step : float;  (** the same in fJ (the usual unit) *)
+  schreier_db : float;         (** dynamic-range-per-watt figure, dB *)
+}
+
+val make : p_total:float -> k:int -> fs:float -> t
+(** Raises [Invalid_argument] on non-positive power or rate, or a
+    resolution outside 1..62 (2^k must fit a float exactly). *)
+
+val of_run : Optimize.run -> t
+(** FoM of the run's optimum at the run's own (k, fs). *)
+
+val render : t -> string
+(** ["312.5 fJ/step (Walden), 153.2 dB (Schreier)"]-style. *)

@@ -1,0 +1,143 @@
+(* Pareto-front search over the (k, fs) design grid.
+
+   One fused {!Optimize.run_batch} over the whole grid — the shared
+   MDAC economy (a 12-bit and a 13-bit cell at the same fs share their
+   common jobs) applies across cells exactly as it does across a batch —
+   then dominance pruning in (resolution, rate, power) space.
+
+   Streaming rests on an ordering argument: the grid is traversed in
+   descending (k, fs) lexicographic order, and a dominator must be
+   weakly better in both k and fs with one of them strict (equal (k, fs)
+   cells are deduplicated away, so "strict only in power" cannot occur
+   inside a grid). Every potential dominator of a cell therefore
+   precedes it in the traversal, and a cell's front membership is final
+   the moment its own run is assembled — which is what lets [search]
+   emit front points from the batch's [on_run] hook without waiting for
+   the rest of the grid. *)
+
+type coord = { c_k : int; c_fs : float; c_p : float }
+
+(* weakly better in all three objectives (maximize k and fs, minimize
+   power), strictly better in at least one: the standard strict Pareto
+   dominance, an irreflexive transitive relation *)
+let dominates a b =
+  a.c_k >= b.c_k && a.c_fs >= b.c_fs && a.c_p <= b.c_p
+  && (a.c_k > b.c_k || a.c_fs > b.c_fs || a.c_p < b.c_p)
+
+let front_flags coords =
+  List.map
+    (fun c -> not (List.exists (fun d -> dominates d c) coords))
+    coords
+
+type point = {
+  pt_k : int;
+  pt_fs_mhz : float;
+  pt_run : Optimize.run;
+  pt_fom : Fom.t;
+  pt_on_front : bool;
+}
+
+type front_result = {
+  points : point list;
+  front : point list;
+  job_occurrences : int;
+  distinct_syntheses : int;
+  front_domains : int;
+  front_wall_s : float;
+  front_truncated : bool;
+}
+
+let coord_of_point pt =
+  {
+    c_k = pt.pt_k;
+    c_fs = pt.pt_run.Optimize.spec.Spec.fs;
+    c_p = pt.pt_run.Optimize.optimum.Optimize.p_total;
+  }
+
+(* descending, deduplicated *)
+let grid_axis compare values = List.sort_uniq (fun a b -> compare b a) values
+
+let grid ~ks ~fs_mhz =
+  let ks = grid_axis Int.compare ks in
+  let fss = grid_axis Float.compare fs_mhz in
+  if ks = [] then invalid_arg "Front.search: no resolutions";
+  if fss = [] then invalid_arg "Front.search: no sampling rates";
+  List.iter
+    (fun f ->
+      if not (Float.is_finite f) || f <= 0.0 then
+        invalid_arg "Front.search: sampling rate must be positive")
+    fss;
+  (ks, fss, List.concat_map (fun k -> List.map (fun f -> (k, f)) fss) ks)
+
+let search ?mode ?seed ?attempts ?budget ?jobs ?obs ?cancel ?shared
+    ?(on_point = fun (_ : point) -> ()) ~ks ~fs_mhz () =
+  let _, _, cells = grid ~ks ~fs_mhz in
+  let specs = List.map (fun (k, f) -> Spec.make ~k ~fs:(f *. 1e6) ()) cells in
+  (* original (k, f_mhz) cells, consumed in batch (= grid) order so each
+     point echoes the MHz figure the caller named, not a Hz round-trip *)
+  let remaining = ref cells in
+  let completed = ref [] in
+  let on_run (r : Optimize.run) =
+    let (k, f_mhz), rest =
+      match !remaining with c :: rest -> (c, rest) | [] -> assert false
+    in
+    remaining := rest;
+    assert (k = r.Optimize.spec.Spec.k);
+    let fom = Fom.of_run r in
+    let c =
+      {
+        c_k = k;
+        c_fs = r.Optimize.spec.Spec.fs;
+        c_p = r.Optimize.optimum.Optimize.p_total;
+      }
+    in
+    (* earlier completions are the only possible dominators (see the
+       header note), so membership is decided — finally — right here *)
+    let on_front =
+      not (List.exists (fun pt -> dominates (coord_of_point pt) c) !completed)
+    in
+    let pt = { pt_k = k; pt_fs_mhz = f_mhz; pt_run = r; pt_fom = fom;
+               pt_on_front = on_front }
+    in
+    completed := pt :: !completed;
+    if on_front then on_point pt
+  in
+  let batch =
+    Optimize.run_batch ?mode ?seed ?attempts ?budget ?jobs ?obs ?cancel
+      ?shared ~on_run specs
+  in
+  let points = List.rev !completed in
+  {
+    points;
+    front = List.filter (fun pt -> pt.pt_on_front) points;
+    job_occurrences = batch.Optimize.job_occurrences;
+    distinct_syntheses = batch.Optimize.distinct_syntheses;
+    front_domains = batch.Optimize.batch_domains;
+    front_wall_s = batch.Optimize.batch_wall_s;
+    front_truncated = batch.Optimize.batch_truncated;
+  }
+
+let render fr =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Pareto front over the (K, fs) grid (%d cells, %d on the front)\n"
+       (List.length fr.points) (List.length fr.front));
+  Buffer.add_string buf
+    "  K   fs (MHz)  optimum      total power   FoM\n";
+  List.iter
+    (fun pt ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-3d %-9.6g %-12s %-13s %s\n"
+           (if pt.pt_on_front then "*" else " ")
+           pt.pt_k pt.pt_fs_mhz
+           (Config.to_string pt.pt_run.Optimize.optimum.Optimize.config)
+           (Adc_numerics.Units.format_power
+              pt.pt_run.Optimize.optimum.Optimize.p_total)
+           (Fom.render pt.pt_fom)))
+    fr.points;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  (* = Pareto-optimal; %d job occurrences, %d distinct syntheses)\n"
+       fr.job_occurrences fr.distinct_syntheses);
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(** Multi-objective synthesis: the FoM Pareto front over the (k, fs)
+    design grid.
+
+    The paper's optimizer answers one cell at a time — minimum power at
+    a fixed (k, fs). This driver expands a resolution × sampling-rate
+    grid into {e one} fused {!Optimize.run_batch} work list, so MDAC
+    jobs shared between cells (the 12-bit and 13-bit cells at the same
+    fs share most of theirs) are synthesized once, then prunes the
+    per-cell optima to the Pareto-optimal set in
+    (resolution ↑, rate ↑, power ↓) space and attaches the classic
+    figures of merit ({!Fom}) to every cell.
+
+    {1 Determinism and streaming}
+
+    Each cell's run comes out of the fused batch byte-identical to a
+    solo {!Optimize.run} at the same (k, fs) — the {!Optimize.run_batch}
+    guarantee — so a front point can be compared byte-for-byte against
+    [adcopt optimize] output (the CI does). The grid is traversed in
+    descending (k, fs) lexicographic order; since a dominator must be
+    weakly better in both k and fs with one strict, every potential
+    dominator of a cell precedes it, and a cell's front membership is
+    final as soon as its own run is assembled. [search]'s [on_point]
+    callback exploits exactly this to stream front points while the
+    rest of the grid is still synthesizing. *)
+
+(** {1 Dominance, as data}
+
+    Exposed in pure form so the property tests can drive them with
+    arbitrary coordinates, not just real synthesis output. *)
+
+type coord = { c_k : int; c_fs : float; c_p : float }
+(** One design point's objectives: resolution (maximize), sampling
+    rate in Hz (maximize), total power in W (minimize). *)
+
+val dominates : coord -> coord -> bool
+(** [dominates a b]: [a] is weakly better in all three objectives and
+    strictly better in at least one — strict Pareto dominance, an
+    irreflexive and transitive relation. *)
+
+val front_flags : coord list -> bool list
+(** Per-coordinate front membership: [true] iff no other element of
+    the list dominates it. Pure; order-preserving. *)
+
+(** {1 The search driver} *)
+
+type point = {
+  pt_k : int;
+  pt_fs_mhz : float;    (** the caller's MHz figure, echoed verbatim *)
+  pt_run : Optimize.run;
+  pt_fom : Fom.t;
+  pt_on_front : bool;
+}
+
+type front_result = {
+  points : point list;
+      (** every grid cell, in traversal (descending (k, fs)) order *)
+  front : point list;  (** the [pt_on_front] subset, same order *)
+  job_occurrences : int;
+      (** summed per-cell work-list lengths ({!Optimize.batch}) *)
+  distinct_syntheses : int;
+      (** fused work-list size actually scheduled; the difference is
+          the cross-cell MDAC reuse the grid bought *)
+  front_domains : int;
+  front_wall_s : float;
+  front_truncated : bool;  (** some cell lost work to [?cancel] *)
+}
+
+val search :
+  ?mode:Optimize.mode ->
+  ?seed:int ->
+  ?attempts:int ->
+  ?budget:Adc_synth.Synthesizer.budget ->
+  ?jobs:int ->
+  ?obs:Adc_obs.t ->
+  ?cancel:Adc_exec.Cancel.t ->
+  ?shared:Optimize.shared ->
+  ?on_point:(point -> unit) ->
+  ks:int list ->
+  fs_mhz:float list ->
+  unit ->
+  front_result
+(** Optimize every cell of the deduplicated [ks] × [fs_mhz] grid in one
+    fused batch and prune to the Pareto front. Optional parameters are
+    forwarded to {!Optimize.run_batch} with their usual defaults.
+    [on_point] (default a no-op) fires for each {e front} point — on
+    the calling thread, in traversal order, as soon as the point's
+    membership is final (see the streaming note above). Raises
+    [Invalid_argument] on an empty axis, a non-positive sampling rate,
+    or a resolution outside {!Spec.make}'s modeled range. *)
+
+val render : front_result -> string
+(** Human-readable grid table, front points starred. *)

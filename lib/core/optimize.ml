@@ -557,7 +557,8 @@ type batch = {
 }
 
 let run_batch ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget
-    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared specs =
+    ?(jobs = 1) ?(obs = Obs.null) ?(cancel = Cancel.never) ?shared
+    ?(on_run = fun (_ : run) -> ()) specs =
   if specs = [] then invalid_arg "Optimize.run_batch: no specs";
   let t_start = Unix.gettimeofday () in
   match mode with
@@ -565,7 +566,12 @@ let run_batch ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget
     (* no synthesis phase, hence nothing to fuse: each spec is its own
        (microsecond) run, complete with its [optimize.run] span *)
     let runs =
-      List.map (fun spec -> run ~mode ~seed ~attempts ~obs ~cancel spec) specs
+      List.map
+        (fun spec ->
+          let r = run ~mode ~seed ~attempts ~obs ~cancel spec in
+          on_run r;
+          r)
+        specs
     in
     {
       batch_runs = runs;
@@ -640,9 +646,14 @@ let run_batch ?(mode = `Hybrid) ?(seed = 11) ?(attempts = 3) ?budget
           let cache, synthesis_evaluations, cold_jobs, warm_jobs, truncated =
             collect_outcomes ~memo ~obs submissions
           in
-          assemble spec ~mode ~mode_name ~obs ~run_span:spec_span
-            ~domains:(Pool.size pool) ~t_start ~candidate_jobs ~distinct_jobs
-            ~cache ~synthesis_evaluations ~cold_jobs ~warm_jobs ~truncated)
+          let r =
+            assemble spec ~mode ~mode_name ~obs ~run_span:spec_span
+              ~domains:(Pool.size pool) ~t_start ~candidate_jobs
+              ~distinct_jobs ~cache ~synthesis_evaluations ~cold_jobs
+              ~warm_jobs ~truncated
+          in
+          on_run r;
+          r)
         plans
     in
     let runs =

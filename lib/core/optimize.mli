@@ -238,6 +238,7 @@ val run_batch :
   ?obs:Adc_obs.t ->
   ?cancel:Adc_exec.Cancel.t ->
   ?shared:shared ->
+  ?on_run:(run -> unit) ->
   Spec.t list ->
   batch
 (** Optimize several converter specs in one fused synthesis pass.
@@ -246,6 +247,14 @@ val run_batch :
     [`Equation] mode there is nothing to fuse — the batch degenerates
     to N independent (microsecond) runs and both counters are 0.
     Raises [Invalid_argument] on an empty spec list.
+
+    [on_run] (default a no-op) is invoked once per spec, in input
+    order, as soon as that spec's run is assembled — before later
+    specs' runs are collected. The invocation happens on the calling
+    thread, between per-spec assemblies; the callback sees exactly the
+    {!run} value that will appear in {!batch.batch_runs}. This is the
+    hook the Pareto-front driver ({!Front.search}) uses to stream
+    points as they stabilize. A raising callback aborts the batch.
 
     With a live trace sink a hybrid batch emits one [optimize.batch]
     root span (fused-work-list counters), the usual [optimize.job]

@@ -11,6 +11,7 @@ type chart = {
   first_stage_rule : (int * int) list;
   last_stage_always_two : bool;
   monotone_non_increasing : bool;
+  all_valid : bool;
   summary : string list;
 }
 
@@ -32,42 +33,74 @@ let row_of_run (run : Optimize.run) =
     margin;
   }
 
-let last_element c = List.nth c (List.length c - 1)
+let last_element c =
+  match List.rev c with [] -> None | last :: _ -> Some last
 
+let first_element c = match c with [] -> None | m :: _ -> Some m
+
+(* Total on any row list, including []: a fully cancelled sweep (the
+   [?cancel] path can skip every resolution) must yield an empty chart
+   with an explicit note, never an exception. The rule booleans are
+   [false] on an empty chart — no rule was observed — and the vacuously
+   true summary lines are suppressed rather than claimed. *)
 let derive rows =
-  let first_stage_rule = List.map (fun r -> (r.k, List.hd r.config)) rows in
-  let last_stage_always_two = List.for_all (fun r -> last_element r.config = 2) rows in
-  let monotone_non_increasing = List.for_all (fun r -> Config.is_valid r.config) rows in
+  let first_stage_rule =
+    List.filter_map
+      (fun r -> Option.map (fun m1 -> (r.k, m1)) (first_element r.config))
+      rows
+  in
+  let non_empty = rows <> [] in
+  let last_stage_always_two =
+    non_empty
+    && List.for_all (fun r -> last_element r.config = Some 2) rows
+  in
+  (* the chart's headline invariant is the pairwise m_i >= m_(i+1)
+     property its name claims; full validity (m-bounds included) is a
+     separate assertion reported alongside, not conflated with it *)
+  let monotone_non_increasing =
+    non_empty && List.for_all (fun r -> Config.is_non_increasing r.config) rows
+  in
+  let all_valid =
+    non_empty && List.for_all (fun r -> Config.is_valid r.config) rows
+  in
   let threshold_for m1 =
-    rows
-    |> List.filter (fun r -> List.hd r.config >= m1)
-    |> List.map (fun r -> r.k)
+    first_stage_rule
+    |> List.filter (fun (_, m) -> m >= m1)
+    |> List.map fst
     |> function
     | [] -> None
     | ks -> Some (List.fold_left Stdlib.min max_int ks)
   in
   let summary =
-    List.concat
-      [
-        (match threshold_for 4 with
-        | Some k -> [ Printf.sprintf "K >= %d  ->  4-bit first stage" k ]
-        | None -> []);
-        (match threshold_for 3 with
-        | Some k -> [ Printf.sprintf "K >= %d  ->  first stage of at least 3 bits" k ]
-        | None -> []);
-        (if last_stage_always_two then
-           [ "last enumerated stage is always 2 bits" ]
-         else []);
-        (if monotone_non_increasing then
-           [ "optimal resolutions are non-increasing down the pipeline (m_i >= m_i+1)" ]
-         else []);
-      ]
+    if not non_empty then
+      [ "no completed resolutions: the chart is empty (sweep cancelled \
+         before any optimum was found)" ]
+    else
+      List.concat
+        [
+          (match threshold_for 4 with
+          | Some k -> [ Printf.sprintf "K >= %d  ->  4-bit first stage" k ]
+          | None -> []);
+          (match threshold_for 3 with
+          | Some k -> [ Printf.sprintf "K >= %d  ->  first stage of at least 3 bits" k ]
+          | None -> []);
+          (if last_stage_always_two then
+             [ "last enumerated stage is always 2 bits" ]
+           else []);
+          (if monotone_non_increasing then
+             [ "optimal resolutions are non-increasing down the pipeline (m_i >= m_i+1)" ]
+           else []);
+          (if not all_valid then
+             [ "warning: some optimum violates the m-bounds (2 <= m_i <= 4)" ]
+           else []);
+        ]
   in
   {
     rows;
     first_stage_rule;
     last_stage_always_two;
     monotone_non_increasing;
+    all_valid;
     summary;
   }
 

@@ -17,9 +17,25 @@ type chart = {
   rows : optimum_row list;
   first_stage_rule : (int * int) list;  (** (k, optimal m1) *)
   last_stage_always_two : bool;
-  monotone_non_increasing : bool;       (** all optima satisfy m_i >= m_i+1 *)
+  monotone_non_increasing : bool;
+      (** all optima satisfy the pairwise [m_i >= m_(i+1)] property
+          ({!Config.is_non_increasing}) — the Fig. 3 claim itself,
+          independent of the m-bounds; [false] on an empty chart *)
+  all_valid : bool;
+      (** all optima additionally pass {!Config.is_valid} (m-bounds
+          included) — a separate sanity assertion, deliberately not
+          conflated with [monotone_non_increasing]; [false] on an empty
+          chart *)
   summary : string list;                (** rendered rule lines *)
 }
+
+val derive : optimum_row list -> chart
+(** Condense optimum rows into the decision chart. Total on every
+    input: [derive []] (a sweep cancelled before any resolution
+    completed) returns an empty chart whose rule booleans are [false]
+    and whose summary carries an explicit empty-chart note; rows with
+    empty configurations contribute no first/last-stage observations
+    rather than raising. *)
 
 val sweep :
   ?mode:Optimize.mode -> ?seed:int -> ?budget:Adc_synth.Synthesizer.budget ->

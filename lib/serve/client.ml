@@ -34,4 +34,16 @@ let request t json =
   send t json;
   recv t
 
+let request_stream t json ~on_line =
+  send t json;
+  let rec loop () =
+    let line = recv t in
+    if Protocol.response_is_final line then line
+    else begin
+      on_line line;
+      loop ()
+    end
+  in
+  loop ()
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

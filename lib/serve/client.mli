@@ -9,7 +9,18 @@ val connect_unix : string -> t
 val connect_tcp : string -> int -> t
 
 val request : t -> Adc_json.Json.t -> Adc_json.Json.t
-(** [send] then [recv] — the simple synchronous round trip. *)
+(** [send] then [recv] — the simple synchronous round trip. For a
+    streaming verb this returns the {e first} line; use
+    {!request_stream} instead. *)
+
+val request_stream :
+  t -> Adc_json.Json.t -> on_line:(Adc_json.Json.t -> unit) -> Adc_json.Json.t
+(** [send], then [recv] until {!Protocol.response_is_final}: each
+    non-final line (a streaming verb's incremental results) is passed
+    to [on_line] in arrival order, and the final line — the
+    [stream:"end"] summary or an error — is returned. On a single-line
+    verb the first line is final, so this degenerates to {!request}
+    with [on_line] never called. *)
 
 val send : t -> Adc_json.Json.t -> unit
 val recv : t -> Adc_json.Json.t

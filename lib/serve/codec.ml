@@ -7,8 +7,10 @@ module Montecarlo = Adc_pipeline.Montecarlo
 module Synthesizer = Adc_synth.Synthesizer
 
 (* Bump whenever a payload or key changes shape: a store populated by an
-   older build must miss rather than serve a stale layout. *)
-let schema_version = 1
+   older build must miss rather than serve a stale layout. Version 2:
+   the chart payload gained [all_valid], and the pareto payloads
+   arrived. *)
+let schema_version = 2
 
 (* the one spelling of the mode names lives in Adc_api; these aliases
    keep the codec self-contained for its callers *)
@@ -107,6 +109,7 @@ let chart_payload ~truncated (c : Rules.chart) =
              c.Rules.first_stage_rule) );
       ("last_stage_always_two", Json.Bool c.Rules.last_stage_always_two);
       ("monotone_non_increasing", Json.Bool c.Rules.monotone_non_increasing);
+      ("all_valid", Json.Bool c.Rules.all_valid);
       ( "summary",
         Json.List (List.map (fun s -> Json.String s) c.Rules.summary) );
       ("truncated", Json.Bool truncated);
@@ -166,6 +169,62 @@ let batch_payload (b : Optimize.batch) =
       ("job_occurrences", Json.Int b.Optimize.job_occurrences);
       ("distinct_syntheses", Json.Int b.Optimize.distinct_syntheses);
       ("truncated", Json.Bool b.Optimize.batch_truncated);
+    ]
+
+let fom_json (f : Adc_pipeline.Fom.t) =
+  let module Fom = Adc_pipeline.Fom in
+  Json.Obj
+    [
+      ("p_total", Json.Float f.Fom.p_total);
+      ("energy_per_step_j", Json.Float f.Fom.energy_per_step_j);
+      ("walden_fj_per_step", Json.Float f.Fom.walden_fj_per_step);
+      ("schreier_db", Json.Float f.Fom.schreier_db);
+    ]
+
+(* One grid cell. The embedded [optimize] object is the full
+   {!optimize_payload} of the cell's run — byte-identical to the
+   one-shot [adcopt optimize] result at the same (k, fs), which is the
+   anchor CI cmp's front points against. *)
+let pareto_point_payload (pt : Adc_pipeline.Front.point) =
+  let module Front = Adc_pipeline.Front in
+  Json.Obj
+    [
+      ("k", Json.Int pt.Front.pt_k);
+      ("fs_mhz", Json.Float pt.Front.pt_fs_mhz);
+      ("on_front", Json.Bool pt.Front.pt_on_front);
+      ("fom", fom_json pt.Front.pt_fom);
+      ("optimize", optimize_payload pt.Front.pt_run);
+    ]
+
+(* The final summary. [grid] carries every cell's full point payload —
+   including the non-front ones, so a store-warm replay can re-emit the
+   exact point lines a cold run streamed — and [front] lists (k, fs)
+   references into it rather than duplicating the payloads. *)
+let pareto_payload (fr : Adc_pipeline.Front.front_result) =
+  let module Front = Adc_pipeline.Front in
+  let cell_ref (pt : Front.point) =
+    Json.Obj
+      [ ("k", Json.Int pt.Front.pt_k); ("fs_mhz", Json.Float pt.Front.pt_fs_mhz) ]
+  in
+  Json.Obj
+    [
+      ( "ks",
+        Json.List
+          (fr.Front.points
+          |> List.map (fun (pt : Front.point) -> pt.Front.pt_k)
+          |> List.sort_uniq compare
+          |> List.map (fun k -> Json.Int k)) );
+      ( "fs_mhz",
+        Json.List
+          (fr.Front.points
+          |> List.map (fun (pt : Front.point) -> pt.Front.pt_fs_mhz)
+          |> List.sort_uniq compare
+          |> List.map (fun f -> Json.Float f)) );
+      ("grid", Json.List (List.map pareto_point_payload fr.Front.points));
+      ("front", Json.List (List.map cell_ref fr.Front.front));
+      ("job_occurrences", Json.Int fr.Front.job_occurrences);
+      ("distinct_syntheses", Json.Int fr.Front.distinct_syntheses);
+      ("truncated", Json.Bool fr.Front.front_truncated);
     ]
 
 let enumerate_payload (spec : Spec.t) =
@@ -230,3 +289,11 @@ let key_batch ?budget ~ks ~fs_mhz ~mode ~seed ~attempts () =
     schema_version
     (String.concat "," (List.map string_of_int ks))
     fs_mhz (mode_name mode) seed attempts (budget_suffix budget)
+
+let key_pareto ?budget ~ks ~fs_list ~mode ~seed ~attempts () =
+  Printf.sprintf
+    "adcopt/%d|pareto|ks=%s|fs_mhz=%s|mode=%s|seed=%d|attempts=%d%s"
+    schema_version
+    (String.concat "," (List.map string_of_int ks))
+    (String.concat "," (List.map (Printf.sprintf "%.17g") fs_list))
+    (mode_name mode) seed attempts (budget_suffix budget)

@@ -24,8 +24,25 @@ val optimize_payload : Adc_pipeline.Optimize.run -> Adc_json.Json.t
     synthesis counters. Excludes [wall_time_s] and [domains]. *)
 
 val chart_payload : truncated:bool -> Adc_pipeline.Rules.chart -> Adc_json.Json.t
-(** The Fig. 3 decision chart: optimum rows, derived rules, and a
-    [truncated] flag for sweeps cut short by a deadline. *)
+(** The Fig. 3 decision chart: optimum rows, derived rules (including
+    the separate [monotone_non_increasing] and [all_valid] booleans),
+    and a [truncated] flag for sweeps cut short by a deadline. *)
+
+val fom_json : Adc_pipeline.Fom.t -> Adc_json.Json.t
+(** Walden/Schreier figures of merit of one design point. *)
+
+val pareto_point_payload : Adc_pipeline.Front.point -> Adc_json.Json.t
+(** One (k, fs) grid cell: its FoM, its front membership, and — under
+    [optimize] — the cell's {e full} {!optimize_payload}, byte-identical
+    to the one-shot [adcopt optimize] result at the same parameters
+    (CI [cmp]s them). These are the ["stream": "point"] lines of the
+    pareto verb and the NDJSON lines of [adcopt pareto --json]. *)
+
+val pareto_payload : Adc_pipeline.Front.front_result -> Adc_json.Json.t
+(** The final summary: the deduplicated grid axes, every cell's point
+    payload under [grid] (front and dominated alike — a store-warm
+    replay re-emits point lines from it), [front] as (k, fs_mhz)
+    references into the grid, and the fused-schedule counters. *)
 
 val synth_payload :
   m:int -> bits:int -> fs_mhz:float -> seed:int -> attempts:int ->
@@ -82,3 +99,11 @@ val key_batch :
   ?budget:Adc_synth.Synthesizer.budget -> ks:int list -> fs_mhz:float ->
   mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
   seed:int -> attempts:int -> unit -> string
+
+val key_pareto :
+  ?budget:Adc_synth.Synthesizer.budget -> ks:int list -> fs_list:float list ->
+  mode:[ `Equation | `Hybrid | `Hybrid_verified ] ->
+  seed:int -> attempts:int -> unit -> string
+(** Keyed on the axes as requested (before grid deduplication), like
+    {!key_batch}: a reordered axis is a cache miss, never a wrong
+    hit. *)

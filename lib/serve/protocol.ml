@@ -13,6 +13,7 @@ type verb =
   | Synth
   | Montecarlo
   | Batch
+  | Pareto
 
 let verb_name = function
   | Ping -> "ping"
@@ -24,6 +25,7 @@ let verb_name = function
   | Synth -> "synth"
   | Montecarlo -> "montecarlo"
   | Batch -> "batch"
+  | Pareto -> "pareto"
 
 let verb_of_name = function
   | "ping" -> Some Ping
@@ -35,6 +37,7 @@ let verb_of_name = function
   | "synth" -> Some Synth
   | "montecarlo" -> Some Montecarlo
   | "batch" -> Some Batch
+  | "pareto" -> Some Pareto
   | _ -> None
 
 type request = {
@@ -45,6 +48,7 @@ type request = {
   k_to : int;
   ks : int list;
   fs_mhz : float;
+  fs_list : float list;
   mode : Api.mode;
   seed : int;
   attempts : int;
@@ -114,6 +118,7 @@ let parse_request json =
             k_to = Api.of_json json Api.k_to;
             ks = Api.of_json json Api.ks;
             fs_mhz = Api.of_json json Api.fs_mhz;
+            fs_list = Api.of_json json Api.fs_list;
             mode = Api.of_json json Api.mode;
             seed = Api.of_json json Api.seed;
             attempts = Api.of_json json Api.attempts;
@@ -154,3 +159,42 @@ let error_response ~id ~kind ~message =
       ("error", Json.String (error_name kind));
       ("message", Json.String message);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* the multi-line (streaming) envelope
+
+   A streaming verb answers with zero or more non-final lines tagged
+   ["stream": "point"] followed by exactly one final line: either the
+   ["stream": "end"] summary or an error. Single-line verbs are
+   untouched — their envelopes carry no ["stream"] member at all, so
+   every pre-existing response remains byte-identical and
+   [response_is_final] classifies it as final. *)
+
+let stream_point_response ~id ~verb result =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("version", Json.Int version);
+      ("verb", Json.String (verb_name verb));
+      ("stream", Json.String "point");
+      ("result", result);
+    ]
+
+let stream_end_response ~id ~verb ~cached result =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("version", Json.Int version);
+      ("verb", Json.String (verb_name verb));
+      ("stream", Json.String "end");
+      ("cached", Json.Bool cached);
+      ("result", result);
+    ]
+
+let response_is_final json =
+  match Json.member "stream" json with
+  | None | Some Json.Null -> true
+  | Some (Json.String "end") -> true
+  | Some _ -> false

@@ -43,6 +43,12 @@ type verb =
   | Montecarlo  (** offset-sigma yield sweep — [adcopt montecarlo] *)
   | Batch       (** many resolutions, one fused deduplicated synthesis
                     pass — [adcopt batch] *)
+  | Pareto      (** FoM Pareto front over the (k, fs) grid —
+                    [adcopt pareto]. The protocol's first {e streaming}
+                    verb: front points arrive as non-final
+                    [{"stream":"point"}] lines while the grid is still
+                    synthesizing, then one final [{"stream":"end"}]
+                    summary (see {!stream_point_response}) *)
 
 val verb_name : verb -> string
 val verb_of_name : string -> verb option
@@ -53,8 +59,9 @@ type request = {
   k : int;                     (** resolution *)
   k_from : int;                (** sweep range ([from]) *)
   k_to : int;                  (** sweep range ([to]) *)
-  ks : int list;               (** batch resolutions ([ks]) *)
+  ks : int list;               (** batch/pareto resolutions ([ks]) *)
   fs_mhz : float;
+  fs_list : float list;        (** pareto rate axis, MHz ([fs_list]) *)
   mode : Adc_api.mode;
   seed : int;
   attempts : int;
@@ -88,3 +95,27 @@ val parse_request_line : string -> (request, error_kind * string) result
 
 val ok_response : id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
 val error_response : id:Json.t -> kind:error_kind -> message:string -> Json.t
+
+(** {1 The multi-line (streaming) envelope}
+
+    A streaming verb (today only {!Pareto}) answers one request with
+    {e several} response lines, all echoing the request [id]: zero or
+    more non-final lines tagged ["stream": "point"], then exactly one
+    final line — the ["stream": "end"] summary (which carries the
+    [cached] flag) or an error. Single-line verbs carry no ["stream"]
+    member at all, so their envelopes are byte-identical to previous
+    protocol generations and {!response_is_final} classifies them —
+    and every error — as final. Clients must read lines until
+    {!response_is_final} says stop; pipelined requests on one
+    connection still match lines to requests by [id]. *)
+
+val stream_point_response : id:Json.t -> verb:verb -> Json.t -> Json.t
+(** One non-final incremental result line. *)
+
+val stream_end_response :
+  id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
+(** The final summary line of a streaming response. *)
+
+val response_is_final : Json.t -> bool
+(** [false] exactly for non-final stream lines: a ["stream"] member
+    present with a value other than ["end"]. *)

@@ -3,6 +3,7 @@ module Spec = Adc_pipeline.Spec
 module Config = Adc_pipeline.Config
 module Optimize = Adc_pipeline.Optimize
 module Rules = Adc_pipeline.Rules
+module Front = Adc_pipeline.Front
 module Montecarlo = Adc_pipeline.Montecarlo
 module Synthesizer = Adc_synth.Synthesizer
 module Rng = Adc_numerics.Rng
@@ -144,6 +145,11 @@ let store_key (req : Protocol.request) =
       (Codec.key_batch ?budget ~ks:req.Protocol.ks ~fs_mhz:req.Protocol.fs_mhz
          ~mode:req.Protocol.mode ~seed:req.Protocol.seed
          ~attempts:req.Protocol.attempts ())
+  | Protocol.Pareto ->
+    Some
+      (Codec.key_pareto ?budget ~ks:req.Protocol.ks
+         ~fs_list:req.Protocol.fs_list ~mode:req.Protocol.mode
+         ~seed:req.Protocol.seed ~attempts:req.Protocol.attempts ())
   | Protocol.Montecarlo -> (
     (* the default configuration is itself deterministic (the equation
        optimum), so a config-less request is cacheable under a
@@ -163,9 +169,15 @@ let store_key (req : Protocol.request) =
 
 exception Bad_request of string
 
-(* returns the result payload and whether a deadline cut it short
-   (truncated results are served but never stored) *)
-let compute t (req : Protocol.request) ~cancel : Json.t * bool =
+(* a queued computation that cannot proceed for reasons that are the
+   daemon's fault, not the client's *)
+exception Internal_error of string
+
+(* Returns the result payload and whether a deadline cut it short
+   (truncated results are served but never stored). [emit] publishes
+   one non-final result line of a streaming verb; single-line verbs
+   never call it. *)
+let compute t (req : Protocol.request) ~cancel ~emit : Json.t * bool =
   let obs = t.cfg.obs in
   match req.Protocol.verb with
   | Protocol.Ping ->
@@ -202,6 +214,23 @@ let compute t (req : Protocol.request) ~cancel : Json.t * bool =
         ~cancel ~shared:t.shared specs
     in
     (Codec.batch_payload batch, batch.Optimize.batch_truncated)
+  | Protocol.Pareto ->
+    if req.Protocol.ks = [] then
+      raise (Bad_request "pareto: \"ks\" must name at least one resolution");
+    if req.Protocol.fs_list = [] then
+      raise (Bad_request "pareto: \"fs\" must name at least one sampling rate");
+    let fr =
+      (* front points stream out as soon as their membership is final
+         (grid order makes it final at assembly; see Front) *)
+      try
+        Front.search ~mode:req.Protocol.mode ~seed:req.Protocol.seed
+          ~attempts:req.Protocol.attempts ?budget:req.Protocol.budget ~obs
+          ~cancel ~shared:t.shared
+          ~on_point:(fun pt -> emit (Codec.pareto_point_payload pt))
+          ~ks:req.Protocol.ks ~fs_mhz:req.Protocol.fs_list ()
+      with Invalid_argument msg -> raise (Bad_request msg)
+    in
+    (Codec.pareto_payload fr, fr.Front.front_truncated)
   | Protocol.Sweep ->
     if req.Protocol.k_to < req.Protocol.k_from then
       raise (Bad_request "sweep: \"to\" must be >= \"from\"");
@@ -287,8 +316,28 @@ let compute t (req : Protocol.request) ~cancel : Json.t * bool =
         sweep,
       false )
   | Protocol.Stats | Protocol.Shutdown ->
-    (* handled inline by the reader; never queued *)
-    assert false
+    (* Inline-only verbs: the reader answers these at admission and
+       never enqueues them. Should one reach a worker anyway (an
+       admission regression), answer with a typed internal error — the
+       [assert false] that used to live here killed the worker thread
+       instead, silently shrinking the pool until the daemon stalled. *)
+    raise
+      (Internal_error
+         (Printf.sprintf
+            "inline-only verb %S misdispatched to the worker queue"
+            (Protocol.verb_name req.Protocol.verb)))
+
+(* The total entry point a worker uses: every queued request yields a
+   typed answer — never an escaped exception, which would kill the
+   worker thread. Exposed so the tests can force the misdispatch path
+   without racing the reader's inline handling. *)
+let dispatch_queued t (req : Protocol.request) ~cancel ~emit :
+    (Json.t * bool, Protocol.error_kind * string) result =
+  match compute t req ~cancel ~emit with
+  | payload -> Ok payload
+  | exception Bad_request msg -> Error (Protocol.Bad_request, msg)
+  | exception Internal_error msg -> Error (Protocol.Internal, msg)
+  | exception e -> Error (Protocol.Internal, Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -362,6 +411,33 @@ let process t (item : item) =
           ]
         span
     in
+    let verb = req.Protocol.verb in
+    let streaming = verb = Protocol.Pareto in
+    let emit result =
+      send t item.conn (Protocol.stream_point_response ~id ~verb result)
+    in
+    (* streaming verbs close with a [stream:"end"] summary line instead
+       of the plain envelope; single-line verbs are byte-unchanged *)
+    let send_final ~cached payload =
+      send t item.conn
+        (if streaming then
+           Protocol.stream_end_response ~id ~verb ~cached payload
+         else Protocol.ok_response ~id ~verb ~cached payload)
+    in
+    (* a warm streaming hit replays the point lines a cold run streamed:
+       the stored summary's [grid] carries every cell, front-flagged *)
+    let replay_stream payload =
+      if streaming then
+        match Json.member "grid" payload with
+        | Some (Json.List cells) ->
+          List.iter
+            (fun cell ->
+              match Json.member "on_front" cell with
+              | Some (Json.Bool true) -> emit cell
+              | _ -> ())
+            cells
+        | _ -> ()
+    in
     let key = store_key req in
     let stored =
       match (t.store, key) with
@@ -375,32 +451,23 @@ let process t (item : item) =
          cold computation it replays *)
       bump t (fun t -> t.n_completed <- t.n_completed + 1);
       finish ~ok:true ~cached:true ~truncated:false;
-      send t item.conn
-        (Protocol.ok_response ~id ~verb:req.Protocol.verb ~cached:true
-           (Json.parse payload))
+      let payload = Json.parse payload in
+      replay_stream payload;
+      send_final ~cached:true payload
     | None -> (
-      match compute t req ~cancel:item.cancel with
-      | payload, truncated ->
+      match dispatch_queued t req ~cancel:item.cancel ~emit with
+      | Ok (payload, truncated) ->
         (match (t.store, key) with
         | Some store, Some k when not truncated ->
           Store.add store ~key:k ~payload:(Json.to_string payload)
         | _ -> ());
         bump t (fun t -> t.n_completed <- t.n_completed + 1);
         finish ~ok:true ~cached:false ~truncated;
-        send t item.conn
-          (Protocol.ok_response ~id ~verb:req.Protocol.verb ~cached:false
-             payload)
-      | exception Bad_request msg ->
+        send_final ~cached:false payload
+      | Error (kind, message) ->
         bump t (fun t -> t.n_failed <- t.n_failed + 1);
         finish ~ok:false ~cached:false ~truncated:false;
-        send t item.conn
-          (Protocol.error_response ~id ~kind:Protocol.Bad_request ~message:msg)
-      | exception e ->
-        bump t (fun t -> t.n_failed <- t.n_failed + 1);
-        finish ~ok:false ~cached:false ~truncated:false;
-        send t item.conn
-          (Protocol.error_response ~id ~kind:Protocol.Internal
-             ~message:(Printexc.to_string e)))
+        send t item.conn (Protocol.error_response ~id ~kind ~message))
   end
 
 let rec worker_loop t =

@@ -77,6 +77,23 @@ val stats_json : t -> Adc_json.Json.t
 (** The [stats] verb's payload: request/completion/rejection counters,
     queue occupancy, shared-cache size, store counters, uptime. *)
 
+val dispatch_queued :
+  t ->
+  Protocol.request ->
+  cancel:Adc_exec.Cancel.t ->
+  emit:(Adc_json.Json.t -> unit) ->
+  (Adc_json.Json.t * bool, Protocol.error_kind * string) result
+(** The total computation a worker performs for one queued request:
+    [Ok (payload, truncated)] or a typed error — never an escaped
+    exception (an exception here used to kill the worker thread,
+    silently shrinking the pool). Inline-only verbs ([stats],
+    [shutdown]) yield [Error (Internal, _)]: they are answered at
+    admission and reaching a worker means a dispatch regression — the
+    tests force this path directly. [emit] publishes the non-final
+    lines of a streaming verb (the pareto point lines); single-line
+    verbs never call it. Exposed for the tests; does not touch the
+    store or the daemon's counters. *)
+
 (** Counters (also in {!stats_json}; exposed for the tests). *)
 
 val requests : t -> int

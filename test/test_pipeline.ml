@@ -8,6 +8,8 @@ module Spec = Adc_pipeline.Spec
 module Power_model = Adc_pipeline.Power_model
 module Optimize = Adc_pipeline.Optimize
 module Rules = Adc_pipeline.Rules
+module Fom = Adc_pipeline.Fom
+module Front = Adc_pipeline.Front
 module Behavioral = Adc_pipeline.Behavioral
 module Metrics = Adc_pipeline.Metrics
 module Report = Adc_pipeline.Report
@@ -219,12 +221,172 @@ let test_rules_sweep () =
   in
   Alcotest.(check bool) "last stage rule" true chart.Rules.last_stage_always_two;
   Alcotest.(check bool) "monotone rule" true chart.Rules.monotone_non_increasing;
+  Alcotest.(check bool) "validity assertion" true chart.Rules.all_valid;
   Alcotest.(check (list (pair int int))) "first-stage resolutions"
     [ (10, 3); (11, 4); (12, 4); (13, 4) ]
     chart.Rules.first_stage_rule;
   let rendered = Rules.render chart in
   Alcotest.(check bool) "render mentions the 4-bit rule" true
     (contains rendered "4-bit first stage")
+
+let test_rules_derive_separates_monotonicity_from_validity () =
+  (* [5;2] is pairwise non-increasing but violates the m-bounds: the two
+     chart booleans must disagree (the old code conflated them by
+     computing the monotone rule as full [Config.is_valid]) *)
+  let row =
+    { Rules.k = 12; config = [ 5; 2 ]; p_total = 1e-3; runner_up = None; margin = 0.0 }
+  in
+  let chart = Rules.derive [ row ] in
+  Alcotest.(check bool) "pairwise monotone" true chart.Rules.monotone_non_increasing;
+  Alcotest.(check bool) "but not valid" false chart.Rules.all_valid;
+  Alcotest.(check bool) "summary warns about the m-bounds" true
+    (List.exists (fun l -> contains l "m-bounds") chart.Rules.summary);
+  (* and the converse: digits in range but increasing down the pipeline *)
+  let chart2 = Rules.derive [ { row with Rules.config = [ 2; 3 ] } ] in
+  Alcotest.(check bool) "increasing optimum breaks the monotone rule" false
+    chart2.Rules.monotone_non_increasing
+
+let test_rules_derive_empty_is_total () =
+  (* a sweep cancelled before any resolution completed: derive must be
+     total, with rule booleans false rather than vacuously true *)
+  let chart = Rules.derive [] in
+  Alcotest.(check bool) "no rows" true (chart.Rules.rows = []);
+  Alcotest.(check bool) "rule booleans false" true
+    (not chart.Rules.last_stage_always_two
+    && not chart.Rules.monotone_non_increasing
+    && not chart.Rules.all_valid);
+  Alcotest.(check bool) "summary carries the empty-chart note" true
+    (List.exists (fun l -> contains l "empty") chart.Rules.summary);
+  Alcotest.(check bool) "render is total too" true
+    (contains (Rules.render chart) "empty")
+
+(* ------------------------------------------------------------------ *)
+(* Figures of merit *)
+
+let test_fom_hand_computed () =
+  (* P = 10 mW at 10 bits, 40 MS/s:
+     E/step = 0.01 / (1024 * 40e6)      = 2.44140625e-13 J = 244.140625 fJ
+     Schreier = 6.02*10 + 1.76 + 10*log10(40e6 / 2 / 0.01) = 154.9703 dB *)
+  let f = Fom.make ~p_total:0.01 ~k:10 ~fs:40e6 in
+  Alcotest.(check (float 1e-25)) "energy per conversion-step [J]"
+    2.44140625e-13 f.Fom.energy_per_step_j;
+  Alcotest.(check (float 1e-9)) "Walden FoM [fJ/step]" 244.140625
+    f.Fom.walden_fj_per_step;
+  Alcotest.(check (float 1e-9)) "Schreier FoM [dB]" 154.97029995663983
+    f.Fom.schreier_db;
+  Alcotest.(check (float 0.0)) "power echoed" 0.01 f.Fom.p_total
+
+let test_fom_rejects_nonsense () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "zero power" true
+    (bad (fun () -> Fom.make ~p_total:0.0 ~k:10 ~fs:40e6));
+  Alcotest.(check bool) "negative rate" true
+    (bad (fun () -> Fom.make ~p_total:1.0 ~k:10 ~fs:(-1.0)));
+  Alcotest.(check bool) "zero resolution" true
+    (bad (fun () -> Fom.make ~p_total:1.0 ~k:0 ~fs:40e6))
+
+let test_fom_of_run_consistent () =
+  let run = Optimize.run ~mode:`Equation (Spec.paper_case ~k:10) in
+  let f = Fom.of_run run in
+  let expect =
+    Fom.make ~p_total:run.Optimize.optimum.Optimize.p_total ~k:10
+      ~fs:run.Optimize.spec.Spec.fs
+  in
+  Alcotest.(check (float 1e-12)) "of_run == make on the run's own numbers"
+    expect.Fom.walden_fj_per_step f.Fom.walden_fj_per_step;
+  Alcotest.(check bool) "render names both FoMs" true
+    (contains (Fom.render f) "Walden" && contains (Fom.render f) "Schreier")
+
+(* ------------------------------------------------------------------ *)
+(* Pareto dominance and the front driver *)
+
+(* small discrete ranges so duplicates, ties and actual dominance all
+   occur often in random lists *)
+let coord_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((k, fs), p) ->
+        { Front.c_k = k; c_fs = 1e6 *. float_of_int fs; c_p = 1e-3 *. float_of_int p })
+      (pair (pair (int_range 8 12) (int_range 1 4)) (int_range 1 6)))
+
+let coords_gen = QCheck2.Gen.(list_size (int_range 1 12) coord_gen)
+
+let prop_dominance_strict_partial_order =
+  QCheck2.Test.make ~name:"dominance is irreflexive and antisymmetric" ~count:300
+    QCheck2.Gen.(pair coord_gen coord_gen)
+    (fun (a, b) ->
+      (not (Front.dominates a a))
+      && not (Front.dominates a b && Front.dominates b a))
+
+let prop_front_points_mutually_nondominated =
+  QCheck2.Test.make ~name:"no front point dominates another front point"
+    ~count:300 coords_gen
+    (fun coords ->
+      let flags = Front.front_flags coords in
+      let front =
+        List.filteri (fun i _ -> List.nth flags i) coords
+      in
+      List.for_all
+        (fun a -> List.for_all (fun b -> not (Front.dominates a b)) front)
+        front)
+
+let prop_pruned_points_dominated_by_front =
+  QCheck2.Test.make
+    ~name:"every pruned point is dominated by some front point" ~count:300
+    coords_gen
+    (fun coords ->
+      let flags = Front.front_flags coords in
+      let front = List.filteri (fun i _ -> List.nth flags i) coords in
+      List.for_all2
+        (fun c on_front ->
+          on_front || List.exists (fun f -> Front.dominates f c) front)
+        coords flags)
+
+let test_front_equation_grid () =
+  let streamed = ref [] in
+  let fr =
+    Front.search ~mode:`Equation
+      ~on_point:(fun pt -> streamed := (pt.Front.pt_k, pt.Front.pt_fs_mhz) :: !streamed)
+      ~ks:[ 10; 11 ] ~fs_mhz:[ 40.0; 20.0 ] ()
+  in
+  Alcotest.(check int) "four cells" 4 (List.length fr.Front.points);
+  Alcotest.(check (list (pair int (float 0.0)))) "descending (k, fs) traversal"
+    [ (11, 40.0); (11, 20.0); (10, 40.0); (10, 20.0) ]
+    (List.map (fun p -> (p.Front.pt_k, p.Front.pt_fs_mhz)) fr.Front.points);
+  (* equation-mode power grows with both k and fs, so no cell dominates
+     another: the whole grid is the front *)
+  Alcotest.(check int) "all four on the front" 4 (List.length fr.Front.front);
+  Alcotest.(check (list (pair int (float 0.0))))
+    "on_point streamed the front in traversal order"
+    (List.map (fun p -> (p.Front.pt_k, p.Front.pt_fs_mhz)) fr.Front.front)
+    (List.rev !streamed);
+  List.iter
+    (fun p ->
+      let solo =
+        Optimize.run ~mode:`Equation
+          (Spec.make ~k:p.Front.pt_k ~fs:(p.Front.pt_fs_mhz *. 1e6) ())
+      in
+      Alcotest.(check (float 0.0)) "cell optimum == solo optimum"
+        solo.Optimize.optimum.Optimize.p_total
+        p.Front.pt_run.Optimize.optimum.Optimize.p_total;
+      Alcotest.(check (float 1e-9)) "FoM attached from the cell's own run"
+        (Fom.of_run p.Front.pt_run).Fom.schreier_db p.Front.pt_fom.Fom.schreier_db)
+    fr.Front.points;
+  Alcotest.(check bool) "counters cover every cell" true
+    (fr.Front.job_occurrences = 0 && fr.Front.distinct_syntheses = 0);
+  Alcotest.(check bool) "render stars the front" true
+    (contains (Front.render fr) "*")
+
+let test_front_rejects_bad_axes () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty ks" true
+    (bad (fun () -> Front.search ~ks:[] ~fs_mhz:[ 40.0 ] ()));
+  Alcotest.(check bool) "empty fs" true
+    (bad (fun () -> Front.search ~ks:[ 10 ] ~fs_mhz:[] ()));
+  Alcotest.(check bool) "non-positive fs" true
+    (bad (fun () -> Front.search ~ks:[ 10 ] ~fs_mhz:[ 0.0 ] ()));
+  Alcotest.(check bool) "resolution outside the model" true
+    (bad (fun () -> Front.search ~ks:[ 7 ] ~fs_mhz:[ 40.0 ] ()))
 
 (* ------------------------------------------------------------------ *)
 (* Behavioral converter + digital correction *)
@@ -493,7 +655,27 @@ let () =
           QCheck_alcotest.to_alcotest prop_power_monotone_in_resolution;
         ] );
       ("optimize-hybrid", [ slow "smoke" test_hybrid_mode_smoke ]);
-      ("rules", [ quick "fig3 sweep" test_rules_sweep ]);
+      ( "rules",
+        [
+          quick "fig3 sweep" test_rules_sweep;
+          quick "monotonicity and validity are separate"
+            test_rules_derive_separates_monotonicity_from_validity;
+          quick "derive [] is total" test_rules_derive_empty_is_total;
+        ] );
+      ( "fom",
+        [
+          quick "hand-computed values" test_fom_hand_computed;
+          quick "nonsense rejected" test_fom_rejects_nonsense;
+          quick "of_run consistent" test_fom_of_run_consistent;
+        ] );
+      ( "front",
+        [
+          quick "equation grid" test_front_equation_grid;
+          quick "bad axes rejected" test_front_rejects_bad_axes;
+          QCheck_alcotest.to_alcotest prop_dominance_strict_partial_order;
+          QCheck_alcotest.to_alcotest prop_front_points_mutually_nondominated;
+          QCheck_alcotest.to_alcotest prop_pruned_points_dominated_by_front;
+        ] );
       ( "behavioral",
         [
           quick "full-scale codes" test_behavioral_full_scale_codes;

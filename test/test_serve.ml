@@ -15,7 +15,14 @@ module Pool = Adc_exec.Pool
 module Spec = Adc_pipeline.Spec
 module Config = Adc_pipeline.Config
 module Optimize = Adc_pipeline.Optimize
+module Front = Adc_pipeline.Front
+module Api = Adc_api
 module Synthesizer = Adc_synth.Synthesizer
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 let tmp_dir prefix =
   let dir =
@@ -129,8 +136,58 @@ let test_verb_names_roundtrip () =
     [
       Protocol.Ping; Protocol.Stats; Protocol.Shutdown; Protocol.Enumerate;
       Protocol.Optimize; Protocol.Sweep; Protocol.Synth; Protocol.Montecarlo;
-      Protocol.Batch;
+      Protocol.Batch; Protocol.Pareto;
     ]
+
+let test_parse_int_grid () =
+  let ok s =
+    match Api.parse_int_grid s with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "%S refused: %s" s e
+  in
+  Alcotest.(check (list int)) "plain list" [ 10; 11 ] (ok "10,11");
+  Alcotest.(check (list int)) "ascending range" [ 10; 11; 12; 13 ] (ok "10..13");
+  Alcotest.(check (list int)) "descending range" [ 13; 12; 11; 10 ] (ok "13..10");
+  Alcotest.(check (list int)) "mixed, written order kept" [ 10; 11; 13 ]
+    (ok "10..11,13");
+  Alcotest.(check (list int)) "whitespace tolerated" [ 10; 12 ] (ok " 10 , 12 ");
+  let bad s = match Api.parse_int_grid s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty string" true (bad "");
+  Alcotest.(check bool) "letters" true (bad "ten");
+  Alcotest.(check bool) "dangling range" true (bad "10..");
+  Alcotest.(check bool) "double range" true (bad "10..12..14")
+
+let test_streaming_envelope () =
+  let point =
+    Protocol.stream_point_response ~id:(Json.Int 8) ~verb:Protocol.Pareto
+      (Json.Obj [ ("k", Json.Int 12) ])
+  in
+  Alcotest.(check string) "point line"
+    (Printf.sprintf
+       {|{"id":8,"ok":true,"version":%d,"verb":"pareto","stream":"point","result":{"k":12}}|}
+       Protocol.version)
+    (Json.to_string point);
+  let last =
+    Protocol.stream_end_response ~id:(Json.Int 8) ~verb:Protocol.Pareto
+      ~cached:false
+      (Json.Obj [ ("done", Json.Bool true) ])
+  in
+  Alcotest.(check string) "end line"
+    (Printf.sprintf
+       {|{"id":8,"ok":true,"version":%d,"verb":"pareto","stream":"end","cached":false,"result":{"done":true}}|}
+       Protocol.version)
+    (Json.to_string last);
+  Alcotest.(check bool) "point is not final" false
+    (Protocol.response_is_final point);
+  Alcotest.(check bool) "end is final" true (Protocol.response_is_final last);
+  Alcotest.(check bool) "single-line ok is final" true
+    (Protocol.response_is_final
+       (Protocol.ok_response ~id:Json.Null ~verb:Protocol.Ping ~cached:false
+          (Json.Obj [ ("pong", Json.Bool true) ])));
+  Alcotest.(check bool) "errors are final" true
+    (Protocol.response_is_final
+       (Protocol.error_response ~id:Json.Null ~kind:Protocol.Internal
+          ~message:"x"))
 
 let test_response_shapes () =
   let ok =
@@ -180,8 +237,16 @@ let test_store_distinct_keys () =
       ~seed:11 ~attempts:3 ()
   in
   let k6 = Codec.key_batch ~ks:[ 10; 12 ] ~fs_mhz:40.0 ~mode:`Equation ~seed:11 ~attempts:3 () in
-  let keys = [ k1; k2; k3; k4; k5; k6 ] in
-  Alcotest.(check int) "all distinct" 6
+  let k7 =
+    Codec.key_pareto ~ks:[ 10; 12 ] ~fs_list:[ 40.0 ] ~mode:`Equation ~seed:11
+      ~attempts:3 ()
+  in
+  let k8 =
+    Codec.key_pareto ~ks:[ 10; 12 ] ~fs_list:[ 40.0; 20.0 ] ~mode:`Equation
+      ~seed:11 ~attempts:3 ()
+  in
+  let keys = [ k1; k2; k3; k4; k5; k6; k7; k8 ] in
+  Alcotest.(check int) "all distinct" 8
     (List.length (List.sort_uniq compare keys));
   let dir = tmp_dir "adcopt-store" in
   let s = Store.open_dir dir in
@@ -389,6 +454,41 @@ let test_batch_equals_sequential () =
         (Json.to_string (Codec.optimize_payload sequential))
         (Json.to_string (Codec.optimize_payload run)))
     specs b.Optimize.batch_runs
+
+let test_front_grid_equals_solo () =
+  (* the pareto acceptance contract: every grid cell's run must be
+     byte-identical to a solo run at the same (k, fs) whatever the jobs
+     count, and the fused batch must actually share MDAC jobs between
+     cells (that sharing is the reason the grid is one batch) *)
+  let solos =
+    List.map
+      (fun k ->
+        ( k,
+          Json.to_string
+            (Codec.optimize_payload
+               (Optimize.run ~mode:`Hybrid ~seed:7 ~attempts:1
+                  ~budget:tiny_budget ~jobs:1 (Spec.make ~k ~fs:40e6 ()))) ))
+      [ 10; 11; 12; 13 ]
+  in
+  List.iter
+    (fun jobs ->
+      let fr =
+        Front.search ~mode:`Hybrid ~seed:7 ~attempts:1 ~budget:tiny_budget
+          ~jobs ~ks:[ 10; 11; 12; 13 ] ~fs_mhz:[ 40.0 ] ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "grid fused shared jobs (jobs=%d)" jobs)
+        true
+        (fr.Front.distinct_syntheses < fr.Front.job_occurrences);
+      List.iter
+        (fun p ->
+          Alcotest.(check string)
+            (Printf.sprintf "k=%d cell == solo, byte for byte (jobs=%d)"
+               p.Front.pt_k jobs)
+            (List.assoc p.Front.pt_k solos)
+            (Json.to_string (Codec.optimize_payload p.Front.pt_run)))
+        fr.Front.points)
+    [ 1; 2 ]
 
 let test_deadline_leaves_pool_reusable () =
   (* expire mid-run: whatever was cut must still settle every future
@@ -657,6 +757,113 @@ let test_server_shutdown_verb_drains () =
       Alcotest.(check bool) "connection closed" true closed;
       Client.close c)
 
+let test_worker_misdispatch_is_typed_error () =
+  (* stats/shutdown are answered inline at admission; if one ever reaches
+     the worker queue, the worker's computation must yield a typed
+     internal error — the old [assert false] here silently killed the
+     worker thread, shrinking the pool *)
+  with_server (fun srv _socket ->
+      let parse line =
+        match Protocol.parse_request_line line with
+        | Ok r -> r
+        | Error (_, m) -> Alcotest.failf "parse: %s" m
+      in
+      List.iter
+        (fun line ->
+          match
+            Server.dispatch_queued srv (parse line)
+              ~cancel:(Cancel.create ())
+              ~emit:(fun _ -> Alcotest.fail "inline verbs must not stream")
+          with
+          | Error (Protocol.Internal, msg) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s names the misdispatch" line)
+              true
+              (contains msg "misdispatched")
+          | Error (k, m) ->
+            Alcotest.failf "wrong error kind %s: %s" (Protocol.error_name k) m
+          | Ok _ -> Alcotest.fail "inline-only verb computed a payload")
+        [ {|{"verb":"stats"}|}; {|{"verb":"shutdown"}|} ])
+
+let test_server_pareto_streams_and_replays () =
+  let dir = tmp_dir "adcopt-serve-pareto" in
+  with_server ~store_dir:dir (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let req = Json.parse {|{"id":21,"verb":"pareto","ks":[10,11],"fs_list":[40]}|} in
+      let lines = ref [] in
+      let final =
+        Client.request_stream c req ~on_line:(fun l -> lines := l :: !lines)
+      in
+      let cold_lines = List.rev_map Json.to_string !lines in
+      Alcotest.(check bool) "final ok" true (member_exn "ok" final = Json.Bool true);
+      Alcotest.(check bool) "final line is the stream end" true
+        (member_exn "stream" final = Json.String "end");
+      Alcotest.(check bool) "cold" true
+        (member_exn "cached" final = Json.Bool false);
+      Alcotest.(check bool) "id echoed on the final line" true
+        (member_exn "id" final = Json.Int 21);
+      let result = member_exn "result" final in
+      let front =
+        match member_exn "front" result with
+        | Json.List l -> l
+        | _ -> Alcotest.fail "front is not a list"
+      in
+      (* equation-mode power grows with k, so both cells are on the front
+         and each was streamed exactly once, in (k desc) traversal order *)
+      Alcotest.(check int) "both cells on the front" 2 (List.length front);
+      Alcotest.(check int) "one point line per front cell" 2
+        (List.length cold_lines);
+      List.iter2
+        (fun line k ->
+          let j = Json.parse line in
+          Alcotest.(check bool) "point envelope" true
+            (member_exn "stream" j = Json.String "point"
+            && member_exn "id" j = Json.Int 21);
+          let r = member_exn "result" j in
+          Alcotest.(check bool) "traversal order" true
+            (member_exn "k" r = Json.Int k);
+          let solo =
+            Json.to_string
+              (Codec.optimize_payload
+                 (Optimize.run ~mode:`Equation ~seed:11 ~attempts:3
+                    (Spec.make ~k ~fs:40e6 ())))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "streamed k=%d optimize == one-shot, byte for byte" k)
+            solo
+            (Json.to_string (member_exn "optimize" r)))
+        cold_lines [ 11; 10 ];
+      (* same request again: the store hit must replay the same point
+         lines and answer cached:true with identical summary bytes *)
+      let lines2 = ref [] in
+      let final2 =
+        Client.request_stream c req ~on_line:(fun l -> lines2 := l :: !lines2)
+      in
+      Alcotest.(check bool) "warm hit" true
+        (member_exn "cached" final2 = Json.Bool true);
+      Alcotest.(check (list string)) "replayed point lines byte-identical"
+        cold_lines
+        (List.rev_map Json.to_string !lines2);
+      Alcotest.(check string) "summary result byte-identical across replay"
+        (Json.to_string result)
+        (Json.to_string (member_exn "result" final2));
+      Client.close c)
+
+let test_server_pareto_bad_axes () =
+  with_server (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      let resp =
+        Client.request_stream c
+          (Json.parse {|{"id":3,"verb":"pareto","ks":[],"fs_list":[40]}|})
+          ~on_line:(fun l ->
+            Alcotest.failf "streamed before failing: %s" (Json.to_string l))
+      in
+      Alcotest.(check bool) "refused" true
+        (member_exn "ok" resp = Json.Bool false);
+      Alcotest.(check bool) "typed bad_request" true
+        (member_exn "error" resp = Json.String "bad_request");
+      Client.close c)
+
 let test_server_bad_requests () =
   with_server (fun _srv socket ->
       let c = Client.connect_unix socket in
@@ -688,6 +895,8 @@ let () =
           quick "dotted member_path descent" test_member_path;
           quick "verb names round-trip" test_verb_names_roundtrip;
           quick "response shapes" test_response_shapes;
+          quick "grid syntax" test_parse_int_grid;
+          quick "streaming envelope" test_streaming_envelope;
         ] );
       ( "store",
         [
@@ -706,6 +915,7 @@ let () =
           slow "cross-request job reuse is byte-identical"
             test_cross_request_job_reuse;
           slow "batch == sequential runs" test_batch_equals_sequential;
+          slow "front grid == solo runs (bytes)" test_front_grid_equals_solo;
           slow "pool reusable after expiry" test_deadline_leaves_pool_reusable;
         ] );
       ( "daemon",
@@ -721,5 +931,10 @@ let () =
           quick "store-warm restart replays" test_server_store_warm_restart;
           quick "shutdown verb drains" test_server_shutdown_verb_drains;
           quick "bad requests answered" test_server_bad_requests;
+          quick "worker misdispatch answers a typed error"
+            test_worker_misdispatch_is_typed_error;
+          quick "pareto streams then replays from the store"
+            test_server_pareto_streams_and_replays;
+          quick "pareto empty axis refused" test_server_pareto_bad_axes;
         ] );
     ]
