@@ -489,6 +489,34 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(Stdlib.min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
+(* one blocking GET against the daemon's ops listener; returns the body *)
+let ops_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec slurp () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          slurp ()
+      in
+      slurp ();
+      let raw = Buffer.contents buf in
+      let rec find i =
+        if i + 4 > String.length raw then String.length raw
+        else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+        else find (i + 1)
+      in
+      let i = find 0 in
+      String.sub raw i (String.length raw - i))
+
 let serve_bench () =
   header "serve: server-mode load (4 clients, mixed verbs)";
   let sock =
@@ -502,7 +530,11 @@ let serve_bench () =
         socket_path = Some sock;
         workers = 2;
         queue_depth = 4;
-        jobs = 1 }
+        jobs = 1;
+        (* live registry + ops listener so the scrape path is measured
+           under the same load the request plane sees *)
+        obs = Obs.in_memory ();
+        metrics_addr = Some ("127.0.0.1", 0) }
   in
   let server_thread = Thread.create Server.run srv in
   let clients = 4 and per_client = 25 in
@@ -565,6 +597,28 @@ let serve_bench () =
   in
   let threads = List.init clients (fun c -> Thread.create burst_client c) in
   List.iter Thread.join threads;
+  (* scrape phase: latency of GET /metrics on the still-hot daemon, and
+     the end-of-run exposition body for offline inspection *)
+  let ops_port =
+    match Server.metrics_port srv with Some p -> p | None -> 0
+  in
+  let scrapes = 40 in
+  let scrape_lat = Array.make scrapes 0.0 in
+  let last_body = ref "" in
+  for s = 0 to scrapes - 1 do
+    let t0 = Unix.gettimeofday () in
+    last_body := ops_get ops_port "/metrics";
+    scrape_lat.(s) <- (Unix.gettimeofday () -. t0) *. 1e3
+  done;
+  Array.sort compare scrape_lat;
+  let scrape_p50 = percentile scrape_lat 0.50
+  and scrape_p99 = percentile scrape_lat 0.99 in
+  let cardinality =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] <> '#')
+         (String.split_on_char '\n' !last_body))
+  in
   Server.stop srv;
   Thread.join server_thread;
   let total = clients * per_client in
@@ -580,6 +634,9 @@ let serve_bench () =
     p50 p90 p99 mean;
   Printf.printf "  burst phase: %d pipelined requests, %d rejected (overloaded)\n"
     !burst_total !burst_rejected;
+  Printf.printf
+    "  scrape phase: %d GET /metrics, p50 %.2f ms  p99 %.2f ms  (%d series)\n"
+    scrapes scrape_p50 scrape_p99 cardinality;
   Printf.printf "  server counters: %d admitted, %d completed, %d overloaded\n\n"
     (Server.requests srv) (Server.completed srv) (Server.overloaded srv);
   let json =
@@ -598,6 +655,12 @@ let serve_bench () =
          Json.Obj
            [ ("requests", Json.Int !burst_total);
              ("rejected", Json.Int !burst_rejected) ]);
+        ("scrape",
+         Json.Obj
+           [ ("count", Json.Int scrapes);
+             ("p50_ms", Json.Float scrape_p50);
+             ("p99_ms", Json.Float scrape_p99);
+             ("series", Json.Int cardinality) ]);
         ("server",
          Json.Obj
            [ ("admitted", Json.Int (Server.requests srv));
@@ -609,7 +672,10 @@ let serve_bench () =
   output_string oc (Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote BENCH_SERVE.json\n\n"
+  let oc = open_out "BENCH_SERVE.metrics.prom" in
+  output_string oc !last_body;
+  close_out oc;
+  Printf.printf "wrote BENCH_SERVE.json and BENCH_SERVE.metrics.prom\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* batch: the fused multi-spec synthesis pass *)

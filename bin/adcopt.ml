@@ -734,12 +734,17 @@ let area_cmd =
 (* trace: offline analysis of a recorded JSONL trace *)
 
 let load_trace file =
-  match Trace_reader.load_file file with
-  | load -> load
-  | exception Sys_error msg -> die "adcopt: cannot read trace: %s" msg
+  if file = "-" then Trace_reader.load_channel stdin
+  else
+    match Trace_reader.load_file file with
+    | load -> load
+    | exception Sys_error msg -> die "adcopt: cannot read trace: %s" msg
 
 let trace_file_arg =
-  let doc = "JSONL trace produced by --trace." in
+  let doc =
+    "JSONL trace produced by --trace, or $(b,-) to read from stdin (e.g. \
+     piping a live daemon's $(b,dump-trace) stream)."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
 let trace_summary file =
@@ -850,10 +855,69 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
-let serve socket listen queue_depth workers jobs store deadline trace metrics =
+let metrics_addr_arg =
+  let doc =
+    "Also listen on $(docv) for the operations plane: plain HTTP \
+     $(b,GET /metrics) (live Prometheus exposition — the same text the \
+     offline $(b,adcopt trace export --format prometheus) renders), \
+     $(b,GET /healthz) and $(b,GET /readyz)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-addr" ] ~docv:"HOST:PORT" ~doc)
+
+let log_level_arg =
+  let doc =
+    "Daemon log verbosity on stderr: $(b,debug), $(b,info), $(b,warn), \
+     $(b,error), or $(b,off)."
+  in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_format_arg =
+  let doc = "Log line format: $(b,text) or $(b,json) (one object per line)." in
+  let formats = [ ("text", Adc_obs.Log.Text); ("json", Adc_obs.Log.Jsonl) ] in
+  Arg.(value & opt (enum formats) Adc_obs.Log.Text
+       & info [ "log-format" ] ~docv:"FMT" ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Log a $(b,slow request) warning for any request whose computation \
+     exceeds $(docv) milliseconds."
+  in
+  Arg.(value & opt (some float) (Some 1000.0)
+       & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let flight_capacity_arg =
+  let doc =
+    "Flight-recorder size: keep the most recent $(docv) finished spans \
+     in memory for $(b,dump-trace) / SIGUSR1 (0 disables)."
+  in
+  Arg.(value & opt int 8192 & info [ "flight-capacity" ] ~docv:"N" ~doc)
+
+let flight_dump_arg =
+  let doc =
+    "Where SIGUSR1 writes the flight-recorder JSONL (default: the \
+     socket path + $(b,.flight.jsonl))."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+
+let serve socket listen queue_depth workers jobs store deadline trace metrics
+    metrics_addr log_level log_format slow_ms flight_capacity flight_dump =
   let jobs = resolve_jobs jobs in
   let tcp = Option.map host_port_of_string listen in
-  let ((obs, _) as ctx) = obs_of trace metrics in
+  let log =
+    if log_level = "off" then Adc_obs.Log.null
+    else
+      match Adc_obs.Log.level_of_string log_level with
+      | Some level -> Adc_obs.Log.create ~level ~format:log_format ()
+      | None -> die "adcopt serve: unknown --log-level %S" log_level
+  in
+  (* the daemon's registry is always live — the ops plane scrapes it;
+     --metrics additionally prints the table at exit as before *)
+  let obs =
+    try Adc_obs.create ?trace ~metrics:true ()
+    with Sys_error msg -> die "adcopt: cannot open trace file: %s" msg
+  in
   let cfg =
     {
       Server.socket_path = Some socket;
@@ -864,6 +928,10 @@ let serve socket listen queue_depth workers jobs store deadline trace metrics =
       store_dir = store;
       default_deadline_s = deadline;
       obs;
+      metrics_addr = Option.map host_port_of_string metrics_addr;
+      log;
+      slow_ms;
+      flight_capacity;
     }
   in
   let srv =
@@ -877,16 +945,59 @@ let serve socket listen queue_depth workers jobs store deadline trace metrics =
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  Printf.eprintf "adcopt serve: listening on %s%s (%d workers, %d domains%s)\n%!"
-    socket
-    (match (tcp, Server.tcp_port srv) with
-    | Some (h, _), Some p -> Printf.sprintf " and %s:%d" h p
-    | _ -> "")
-    workers jobs
-    (match store with Some d -> ", store " ^ d | None -> "");
+  (* SIGUSR1 dumps the flight recorder without stopping anything *)
+  let dump_path =
+    match flight_dump with Some p -> p | None -> socket ^ ".flight.jsonl"
+  in
+  let dump_flight _ =
+    match Server.flight_events srv with
+    | None ->
+      Adc_obs.Log.warn log
+        "SIGUSR1 ignored: flight recorder disabled (--flight-capacity 0)"
+    | Some (events, dropped) -> (
+      try
+        let oc = open_out dump_path in
+        List.iter
+          (fun e ->
+            output_string oc (Adc_obs.Sink.event_to_json e);
+            output_char oc '\n')
+          events;
+        close_out oc;
+        Adc_obs.Log.info log
+          ~fields:
+            [
+              ("events", Adc_obs.Sink.Int (List.length events));
+              ("dropped", Adc_obs.Sink.Int dropped);
+              ("path", Adc_obs.Sink.String dump_path);
+            ]
+          "flight recorder dumped"
+      with Sys_error msg ->
+        Adc_obs.Log.error log ("flight dump failed: " ^ msg))
+  in
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle dump_flight);
+  Adc_obs.Log.info log
+    ~fields:
+      ([
+         ("socket", Adc_obs.Sink.String socket);
+         ("workers", Adc_obs.Sink.Int workers);
+         ("jobs", Adc_obs.Sink.Int jobs);
+       ]
+      @ (match (tcp, Server.tcp_port srv) with
+        | Some (h, _), Some p ->
+          [ ("tcp", Adc_obs.Sink.String (Printf.sprintf "%s:%d" h p)) ]
+        | _ -> [])
+      @ (match (cfg.Server.metrics_addr, Server.metrics_port srv) with
+        | Some (h, _), Some p ->
+          [ ("metrics", Adc_obs.Sink.String (Printf.sprintf "%s:%d" h p)) ]
+        | _ -> [])
+      @ match store with
+        | Some d -> [ ("store", Adc_obs.Sink.String d) ]
+        | None -> [])
+    "listening";
   Server.run srv;
-  Printf.eprintf "adcopt serve: drained, bye\n%!";
-  finish_obs ~to_stderr:true ctx;
+  Adc_obs.Log.info log "drained, bye";
+  if metrics then prerr_string (Adc_obs.Metrics.render obs.Adc_obs.metrics);
+  Adc_obs.close obs;
   exit 0
 
 let serve_cmd =
@@ -894,12 +1005,15 @@ let serve_cmd =
     "Serve synthesis requests over a socket (newline-delimited JSON; see \
      docs/SERVER.md). Results are deterministic and shared: repeated \
      requests replay from the in-memory cache or the $(b,--store) \
-     directory byte-identically."
+     directory byte-identically. $(b,--metrics-addr) adds a live \
+     Prometheus/health HTTP listener; the flight recorder keeps the \
+     last spans in memory for the $(b,dump-trace) verb and SIGUSR1."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve $ serve_socket_arg $ listen_arg $ queue_depth_arg
           $ workers_arg $ jobs_arg $ store_arg $ deadline_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ metrics_addr_arg $ log_level_arg $ log_format_arg
+          $ slow_ms_arg $ flight_capacity_arg $ flight_dump_arg)
 
 (* ------------------------------------------------------------------ *)
 (* call: one request against a running daemon *)
@@ -914,7 +1028,10 @@ let extract_arg =
      descend into nested objects and arrays: $(b,--extract result) of a \
      served $(b,optimize) is byte-identical to $(b,adcopt optimize \
      --json), and $(b,--extract result.p_total) or \
-     $(b,--extract result.runs.0) reach inside it."
+     $(b,--extract result.runs.0) reach inside it. On a streaming verb \
+     the path applies to every line, so $(b,--extract result) of \
+     $(b,dump-trace) emits plain trace JSONL ready for \
+     $(b,adcopt trace summary -)."
   in
   Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"PATH" ~doc)
 
@@ -945,12 +1062,19 @@ let call socket connect extract request =
       die "adcopt call: cannot connect: %s" (Unix.error_message e)
   in
   let response =
-    (* non-final lines (a streaming verb's incremental results) print
-       as they arrive; [response] is the final line, which --extract
-       and the exit code apply to *)
+    (* non-final lines (a streaming verb's incremental results) print as
+       they arrive; --extract applies to each of them as well as to the
+       final line, so e.g. [--extract result] of a dump-trace turns the
+       stream into plain trace JSONL. A point line lacking the path is
+       skipped silently (only the final line must carry it). *)
     match
       Client.request_stream client request ~on_line:(fun line ->
-          print_endline (Json.to_string line))
+          match extract with
+          | None -> print_endline (Json.to_string line)
+          | Some path -> (
+            match Json.member_path path line with
+            | Some v -> print_endline (Json.to_string v)
+            | None -> ()))
     with
     | r -> r
     | exception End_of_file -> die "adcopt call: server closed the connection"

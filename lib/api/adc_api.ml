@@ -163,6 +163,12 @@ let version =
     doc = "Protocol version the client speaks; omit to mean current.";
     default = None }
 
+let req_id =
+  { ty = Opt_string; key = "req_id"; flags = []; docv = "ID";
+    doc = "Client-chosen request id, echoed in the response envelope \
+           and stamped on the request's span and log lines.";
+    default = None }
+
 (* ------------------------------------------------------------------ *)
 (* wire decoding *)
 

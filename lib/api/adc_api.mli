@@ -89,6 +89,12 @@ val deadline_ms : int option param
 val delay_ms : int param
 val version : int option param
 
+val req_id : string option param
+(** Wire-only: a client-chosen request id. When present it is echoed as
+    the [req_id] member of every response line for the request; the
+    daemon always stamps one (client-supplied or generated) on the
+    request's [serve.request] span and log lines. *)
+
 (** {1 Wire decoding} *)
 
 exception Bad_field of string

@@ -29,6 +29,34 @@ type stats = {
   solver : Sparse.stats option;
 }
 
+(* process-wide totals for live metrics, mirroring Sparse.totals: summed
+   over every run (successful or not) on any domain *)
+type totals = {
+  total_runs : int;
+  total_newton_iterations : int;
+  total_accepted_steps : int;
+  total_rejected_steps : int;
+}
+
+let g_runs = Atomic.make 0
+let g_newton = Atomic.make 0
+let g_accepted = Atomic.make 0
+let g_rejected = Atomic.make 0
+
+let totals () =
+  {
+    total_runs = Atomic.get g_runs;
+    total_newton_iterations = Atomic.get g_newton;
+    total_accepted_steps = Atomic.get g_accepted;
+    total_rejected_steps = Atomic.get g_rejected;
+  }
+
+let record_totals ~newton ~accepted ~rejected =
+  Atomic.incr g_runs;
+  ignore (Atomic.fetch_and_add g_newton newton);
+  ignore (Atomic.fetch_and_add g_accepted accepted);
+  ignore (Atomic.fetch_and_add g_rejected rejected)
+
 let run_with_stats ?x0 ?(max_newton = 60) ?(control = Lte default_lte)
     ?(backend = `Sparse) nl ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
@@ -309,6 +337,7 @@ let run_with_stats ?x0 ?(max_newton = 60) ?(control = Lte default_lte)
           data.(!out_idx) <- Vec.copy !x_cur;
           incr out_idx
         done);
+    record_totals ~newton:!newton_iters ~accepted:!accepted ~rejected:!rejected;
     (match !error with
     | Some e -> Error e
     | None ->

@@ -124,3 +124,19 @@ type stats = {
 
 val stats : numeric -> stats
 (** A healthy run shows [analyses] ≪ [refactorizations] ≤ [solves]. *)
+
+type totals = {
+  total_analyses : int;
+  total_refactorizations : int;
+  total_solves : int;
+  total_pivot_drift : int;
+      (** times a numeric replay hit {i Unstable_pivot} and had to
+          re-analyze privately — each one is also counted in
+          [total_analyses] *)
+}
+
+val totals : unit -> totals
+(** Monotonic process-wide counters summed across every workspace that
+    ever existed (atomics, safe to read from any domain). These feed the
+    live metrics registry in the serve daemon; per-workspace {!stats}
+    remain the right tool for a single run's accounting. *)

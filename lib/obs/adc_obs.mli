@@ -20,6 +20,7 @@ module Clock = Clock
 module Sink = Sink
 module Metrics = Metrics
 module Span = Span
+module Log = Log
 
 type t = {
   sink : Sink.t;

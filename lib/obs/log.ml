@@ -1,0 +1,98 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type format = Text | Jsonl
+
+type sink = Disabled | Channel of { oc : out_channel; mutex : Mutex.t }
+
+type t = { level : level; format : format; sink : sink }
+
+let null = { level = Error; format = Text; sink = Disabled }
+
+let create ?(level = Info) ?(format = Text) ?(oc = stderr) () =
+  { level; format; sink = Channel { oc; mutex = Mutex.create () } }
+
+let enabled t lvl =
+  match t.sink with
+  | Disabled -> false
+  | Channel _ -> level_rank lvl >= level_rank t.level
+
+(* wall-clock (not the monotonic span clock): log lines are for humans
+   and log shippers, which expect RFC 3339 *)
+let timestamp () =
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  let ms = max 0 (min 999 ms) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+let render_text ~ts ~lvl ~req_id ~fields msg =
+  let b = Buffer.create 96 in
+  Buffer.add_string b ts;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (Printf.sprintf "%-5s" (level_name lvl));
+  (match req_id with
+  | Some r -> Buffer.add_string b (Printf.sprintf " [%s]" r)
+  | None -> ());
+  Buffer.add_char b ' ';
+  Buffer.add_string b msg;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf " %s=%s" k (Sink.value_to_json v)))
+    fields;
+  Buffer.contents b
+
+let render_jsonl ~ts ~lvl ~req_id ~fields msg =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts\":\"%s\",\"level\":\"%s\",\"msg\":\"%s\"" ts
+       (level_name lvl) (Sink.json_escape msg));
+  (match req_id with
+  | Some r ->
+    Buffer.add_string b (Printf.sprintf ",\"req_id\":\"%s\"" (Sink.json_escape r))
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":%s" (Sink.json_escape k) (Sink.value_to_json v)))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let log t lvl ?req_id ?(fields = []) msg =
+  match t.sink with
+  | Disabled -> ()
+  | Channel c when level_rank lvl >= level_rank t.level ->
+    let ts = timestamp () in
+    let line =
+      match t.format with
+      | Text -> render_text ~ts ~lvl ~req_id ~fields msg
+      | Jsonl -> render_jsonl ~ts ~lvl ~req_id ~fields msg
+    in
+    Mutex.lock c.mutex;
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    Mutex.unlock c.mutex
+  | Channel _ -> ()
+
+let debug t ?req_id ?fields msg = log t Debug ?req_id ?fields msg
+let info t ?req_id ?fields msg = log t Info ?req_id ?fields msg
+let warn t ?req_id ?fields msg = log t Warn ?req_id ?fields msg
+let error t ?req_id ?fields msg = log t Error ?req_id ?fields msg

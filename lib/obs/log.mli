@@ -1,0 +1,56 @@
+(** Leveled structured logging for long-lived processes (the serve
+    daemon).
+
+    This is deliberately not a tracing channel: spans answer "what did
+    this run spend its time on", log lines answer "what is the process
+    doing right now". A logger is a level filter plus an output channel
+    and a format:
+
+    - {!Text} — [RFC3339-ts LEVEL \[req_id\] msg k=v ...], one line per
+      record, for humans watching stderr;
+    - {!Jsonl} — one JSON object per line
+      ([{"ts":...,"level":...,"msg":...,"req_id":...,<fields>}]) using
+      the same value encoding as the trace sink ({!Sink.value_to_json}),
+      for log shippers.
+
+    Writes are mutex-serialized and flushed per line so records from
+    worker threads never interleave bytes. {!null} discards everything
+    at the level check — the zero-cost-when-off pattern the trace sink
+    uses. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+(** Recognizes ["debug"], ["info"], ["warn"]/["warning"], ["error"]. *)
+
+type format = Text | Jsonl
+
+type t
+
+val null : t
+(** Disabled logger: every call is a cheap no-op. *)
+
+val create : ?level:level -> ?format:format -> ?oc:out_channel -> unit -> t
+(** Defaults: [Info] level, [Text] format, [stderr]. The channel is not
+    closed by the logger; stderr outlives it. *)
+
+val enabled : t -> level -> bool
+(** Whether a record at this level would be emitted — lets call sites
+    skip building expensive fields. *)
+
+val log :
+  t -> level -> ?req_id:string -> ?fields:(string * Sink.value) list ->
+  string -> unit
+
+val debug :
+  t -> ?req_id:string -> ?fields:(string * Sink.value) list -> string -> unit
+
+val info :
+  t -> ?req_id:string -> ?fields:(string * Sink.value) list -> string -> unit
+
+val warn :
+  t -> ?req_id:string -> ?fields:(string * Sink.value) list -> string -> unit
+
+val error :
+  t -> ?req_id:string -> ?fields:(string * Sink.value) list -> string -> unit

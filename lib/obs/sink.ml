@@ -14,6 +14,7 @@ type target =
   | File of { oc : out_channel; mutable closed : bool }
   | Memory of event list ref
   | Callback of (event -> unit)
+  | Ring of { buf : event option array; mutable next : int }
   | Tee of t * t
 
 and t = { target : target; mutex : Mutex.t }
@@ -27,10 +28,15 @@ let memory () = { target = Memory (ref []); mutex = Mutex.create () }
 
 let callback f = { target = Callback f; mutex = Mutex.create () }
 
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  { target = Ring { buf = Array.make capacity None; next = 0 };
+    mutex = Mutex.create () }
+
 let rec enabled t =
   match t.target with
   | Null -> false
-  | File _ | Memory _ | Callback _ -> true
+  | File _ | Memory _ | Callback _ | Ring _ -> true
   | Tee (a, b) -> enabled a || enabled b
 
 (* collapse disabled branches so a tee of nulls is the null sink and
@@ -106,9 +112,25 @@ let rec write t e =
     (* the consumer serializes its own state; holding our mutex here
        would serialize unrelated sinks behind a slow consumer *)
     f e
+  | Ring r ->
+    let cap = Array.length r.buf in
+    Mutex.lock t.mutex;
+    r.buf.(r.next mod cap) <- Some e;
+    r.next <- r.next + 1;
+    Mutex.unlock t.mutex
   | Tee (a, b) ->
     write a e;
     write b e
+
+(* oldest-first contents of a ring; caller holds the mutex *)
+let ring_contents (buf : event option array) next =
+  let cap = Array.length buf in
+  let kept = min next cap in
+  let first = next - kept in
+  List.init kept (fun i ->
+      match buf.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false (* slots below [next] are always filled *))
 
 let rec events t =
   match t.target with
@@ -116,6 +138,11 @@ let rec events t =
   | Memory r ->
     Mutex.lock t.mutex;
     let es = List.rev !r in
+    Mutex.unlock t.mutex;
+    es
+  | Ring r ->
+    Mutex.lock t.mutex;
+    let es = ring_contents r.buf r.next in
     Mutex.unlock t.mutex;
     es
   | Tee (a, b) -> events a @ events b
@@ -129,11 +156,34 @@ let rec drain t =
     r := [];
     Mutex.unlock t.mutex;
     es
+  | Ring r ->
+    Mutex.lock t.mutex;
+    let es = ring_contents r.buf r.next in
+    Array.fill r.buf 0 (Array.length r.buf) None;
+    r.next <- 0;
+    Mutex.unlock t.mutex;
+    es
   | Tee (a, b) -> drain a @ drain b
+
+let rec dropped t =
+  match t.target with
+  | Null | File _ | Callback _ | Memory _ -> 0
+  | Ring r ->
+    Mutex.lock t.mutex;
+    let d = max 0 (r.next - Array.length r.buf) in
+    Mutex.unlock t.mutex;
+    d
+  | Tee (a, b) -> dropped a + dropped b
+
+let rec capacity t =
+  match t.target with
+  | Null | File _ | Callback _ | Memory _ -> 0
+  | Ring r -> Array.length r.buf
+  | Tee (a, b) -> capacity a + capacity b
 
 let rec close t =
   match t.target with
-  | Null | Memory _ | Callback _ -> ()
+  | Null | Memory _ | Callback _ | Ring _ -> ()
   | File f ->
     Mutex.lock t.mutex;
     if not f.closed then begin

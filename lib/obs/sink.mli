@@ -12,6 +12,10 @@
       parse step;
     - {!callback} — hands every finished span to a consumer function
       (the live progress reporter in [Adc_report.Progress]);
+    - {!ring} — a bounded flight recorder: keeps the last [capacity]
+      finished spans in a circular buffer, overwriting the oldest, so a
+      long-lived daemon can always answer "what just happened" without
+      unbounded memory;
     - {!tee} — duplicates writes to two sinks (e.g. a trace file plus a
       progress callback).
 
@@ -45,6 +49,12 @@ val callback : (event -> unit) -> t
     whichever domain finished it. The consumer must be thread-safe; it
     is called without any sink lock held. *)
 
+val ring : capacity:int -> t
+(** A bounded in-memory flight recorder holding the most recent
+    [capacity] events. Writes past capacity evict the oldest event;
+    {!dropped} counts the evictions. Lock-protected, safe to share
+    across domains. Raises [Invalid_argument] when [capacity <= 0]. *)
+
 val tee : t -> t -> t
 (** [tee a b] writes every event to both sinks. Disabled branches are
     collapsed: a tee of two disabled sinks {e is} {!null}, so the
@@ -57,12 +67,20 @@ val write : t -> event -> unit
     a no-op on {!null} and on a closed file sink. *)
 
 val events : t -> event list
-(** Memory sink: every event written so far, in write order. Empty for
-    the other targets. *)
+(** Memory sink: every event written so far, in write order. Ring sink:
+    the retained events, oldest first. Empty for the other targets. *)
 
 val drain : t -> event list
-(** Like {!events} but also clears the memory sink — lets one sink
-    partition events run by run. *)
+(** Like {!events} but also clears the memory or ring sink — lets one
+    sink partition events run by run. *)
+
+val dropped : t -> int
+(** Ring sink: how many events have been evicted to make room (0 until
+    the ring wraps). 0 for the other targets; sums across a tee. *)
+
+val capacity : t -> int
+(** Ring sink: the fixed capacity it was created with. 0 for the other
+    targets; sums across a tee. *)
 
 val close : t -> unit
 (** Flush and close a file sink. Idempotent; no-op on the others. *)

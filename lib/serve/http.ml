@@ -1,0 +1,85 @@
+(* Minimal HTTP/1.0 responder for the daemon's operations plane.
+
+   Deliberately tiny: the ops listener speaks to curl and a Prometheus
+   scraper, both of which send one short request and read one response.
+   We parse the request line, discard headers up to the blank line, and
+   answer with Connection: close — no keep-alive, no chunking, no
+   routing beyond what the handler function does. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain; version=0.0.4; charset=utf-8"; body }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+(* read one CRLF- (or LF-) terminated line without buffering past it *)
+let read_line_crlf fd =
+  let b = Buffer.create 64 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | _ -> (
+      match Bytes.get byte 0 with
+      | '\n' -> Some (Buffer.contents b)
+      | '\r' -> go ()
+      | c ->
+        if Buffer.length b > 8192 then None
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end)
+    | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ when meth <> "" && path <> "" -> Some (meth, path)
+  | _ -> None
+
+let write_response fd resp =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      resp.status (reason_phrase resp.status) resp.content_type
+      (String.length resp.body)
+  in
+  let payload = Bytes.of_string (head ^ resp.body) in
+  let len = Bytes.length payload in
+  let rec send off =
+    if off < len then
+      match Unix.write fd payload off (len - off) with
+      | 0 -> ()
+      | n -> send (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  send 0
+
+let serve_connection fd ~handler =
+  (match read_line_crlf fd with
+  | None -> ()
+  | Some request_line -> (
+    (* drain headers so the peer is not left mid-send when we close *)
+    let rec drain_headers () =
+      match read_line_crlf fd with
+      | None | Some "" -> ()
+      | Some _ -> drain_headers ()
+    in
+    drain_headers ();
+    match parse_request_line request_line with
+    | None -> write_response fd (text ~status:400 "bad request\n")
+    | Some (meth, path) ->
+      let resp =
+        if meth <> "GET" then text ~status:405 "method not allowed\n"
+        else handler ~path
+      in
+      write_response fd resp));
+  try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,19 @@
+(** Minimal HTTP/1.0 responder for the daemon's metrics/health listener.
+
+    Just enough protocol for [curl] and a Prometheus scraper: parse the
+    request line, discard headers, answer one response with
+    [Connection: close]. Anything fancier (keep-alive, bodies, POST)
+    is out of scope — the ops plane is read-only by design. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** A plain-text response (the Prometheus exposition content-type,
+    which every text consumer accepts). Default status 200. *)
+
+val serve_connection : Unix.file_descr -> handler:(path:string -> response) -> unit
+(** Read one GET request from the (already accepted) socket, call
+    [handler] with the request path, write the response, and close the
+    socket. Non-GET methods get 405, unparsable requests 400; the
+    handler is only consulted for well-formed GETs. Never raises on
+    peer-induced I/O errors. *)

@@ -7,6 +7,7 @@ type verb =
   | Ping
   | Stats
   | Shutdown
+  | Dump_trace
   | Enumerate
   | Optimize
   | Sweep
@@ -19,6 +20,7 @@ let verb_name = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Dump_trace -> "dump-trace"
   | Enumerate -> "enumerate"
   | Optimize -> "optimize"
   | Sweep -> "sweep"
@@ -31,6 +33,7 @@ let verb_of_name = function
   | "ping" -> Some Ping
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
+  | "dump-trace" -> Some Dump_trace
   | "enumerate" -> Some Enumerate
   | "optimize" -> Some Optimize
   | "sweep" -> Some Sweep
@@ -59,6 +62,7 @@ type request = {
   budget : Adc_synth.Synthesizer.budget option;
   deadline_ms : int option;
   delay_ms : int;
+  req_id : string option;
 }
 
 type error_kind =
@@ -129,6 +133,7 @@ let parse_request json =
             budget = Api.budget_of_json json;
             deadline_ms = Api.of_json json Api.deadline_ms;
             delay_ms = Api.of_json json Api.delay_ms;
+            req_id = Api.of_json json Api.req_id;
           }
       with Api.Bad_field msg -> Error (Bad_request, msg)))
   | _ -> Error (Bad_request, "request must be a JSON object")
@@ -139,26 +144,31 @@ let parse_request_line line =
     Error (Bad_request, Printf.sprintf "malformed JSON: %s" msg)
   | json -> parse_request json
 
-let ok_response ~id ~verb ~cached result =
-  Json.Obj
-    [
-      ("id", id);
-      ("ok", Json.Bool true);
-      ("version", Json.Int version);
-      ("verb", Json.String (verb_name verb));
-      ("cached", Json.Bool cached);
-      ("result", result);
-    ]
+(* [req_id] is echoed only when the client supplied one: an absent field
+   keeps every pre-existing envelope byte-identical (protocol gate) *)
+let req_id_member req_id =
+  match req_id with
+  | None -> []
+  | Some r -> [ ("req_id", Json.String r) ]
 
-let error_response ~id ~kind ~message =
+let ok_response ~id ?req_id ~verb ~cached result =
   Json.Obj
-    [
-      ("id", id);
-      ("ok", Json.Bool false);
-      ("version", Json.Int version);
-      ("error", Json.String (error_name kind));
-      ("message", Json.String message);
-    ]
+    ([ ("id", id); ("ok", Json.Bool true); ("version", Json.Int version) ]
+    @ req_id_member req_id
+    @ [
+        ("verb", Json.String (verb_name verb));
+        ("cached", Json.Bool cached);
+        ("result", result);
+      ])
+
+let error_response ~id ?req_id ~kind ~message () =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool false); ("version", Json.Int version) ]
+    @ req_id_member req_id
+    @ [
+        ("error", Json.String (error_name kind));
+        ("message", Json.String message);
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* the multi-line (streaming) envelope
@@ -170,28 +180,26 @@ let error_response ~id ~kind ~message =
    every pre-existing response remains byte-identical and
    [response_is_final] classifies it as final. *)
 
-let stream_point_response ~id ~verb result =
+let stream_point_response ~id ?req_id ~verb result =
   Json.Obj
-    [
-      ("id", id);
-      ("ok", Json.Bool true);
-      ("version", Json.Int version);
-      ("verb", Json.String (verb_name verb));
-      ("stream", Json.String "point");
-      ("result", result);
-    ]
+    ([ ("id", id); ("ok", Json.Bool true); ("version", Json.Int version) ]
+    @ req_id_member req_id
+    @ [
+        ("verb", Json.String (verb_name verb));
+        ("stream", Json.String "point");
+        ("result", result);
+      ])
 
-let stream_end_response ~id ~verb ~cached result =
+let stream_end_response ~id ?req_id ~verb ~cached result =
   Json.Obj
-    [
-      ("id", id);
-      ("ok", Json.Bool true);
-      ("version", Json.Int version);
-      ("verb", Json.String (verb_name verb));
-      ("stream", Json.String "end");
-      ("cached", Json.Bool cached);
-      ("result", result);
-    ]
+    ([ ("id", id); ("ok", Json.Bool true); ("version", Json.Int version) ]
+    @ req_id_member req_id
+    @ [
+        ("verb", Json.String (verb_name verb));
+        ("stream", Json.String "end");
+        ("cached", Json.Bool cached);
+        ("result", result);
+      ])
 
 let response_is_final json =
   match Json.member "stream" json with

@@ -36,6 +36,12 @@ type verb =
                     The reply carries the daemon's protocol version. *)
   | Stats       (** daemon counters; handled inline, never queued *)
   | Shutdown    (** begin graceful drain; handled inline *)
+  | Dump_trace  (** stream the flight-recorder ring: one
+                    [{"stream":"point"}] line per retained span (the
+                    span object in trace JSONL schema), then a
+                    [{"stream":"end"}] summary. Handled inline, never
+                    queued — it must answer during overload, which is
+                    exactly when an operator wants it. *)
   | Enumerate   (** candidate configurations and distinct MDAC jobs *)
   | Optimize    (** the topology optimization — [adcopt optimize] *)
   | Sweep       (** resolution sweep + rule chart — [adcopt sweep] *)
@@ -73,6 +79,8 @@ type request = {
       (** explicit synthesis budget override (testing/CI knob) *)
   deadline_ms : int option;    (** admission-to-completion budget *)
   delay_ms : int;              (** ping busy-hold *)
+  req_id : string option;      (** client-chosen request id; echoed in
+                                   every response line when present *)
 }
 (** Defaults live on the {!Adc_api} descriptors — there is deliberately
     no default table here to drift from the CLI's. *)
@@ -93,12 +101,20 @@ val parse_request_line : string -> (request, error_kind * string) result
     [Unsupported_version]) plus a human-readable message; unknown
     fields are ignored, wrongly-typed ones rejected. *)
 
-val ok_response : id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
-val error_response : id:Json.t -> kind:error_kind -> message:string -> Json.t
+val ok_response :
+  id:Json.t -> ?req_id:string -> verb:verb -> cached:bool -> Json.t -> Json.t
+
+val error_response :
+  id:Json.t -> ?req_id:string -> kind:error_kind -> message:string -> unit ->
+  Json.t
+(** [?req_id] adds a ["req_id"] member (after ["version"]) echoing the
+    client-supplied id. When omitted the envelope is byte-identical to
+    previous protocol generations — request ids are additive. *)
 
 (** {1 The multi-line (streaming) envelope}
 
-    A streaming verb (today only {!Pareto}) answers one request with
+    A streaming verb (today {!Pareto} and {!Dump_trace}) answers one
+    request with
     {e several} response lines, all echoing the request [id]: zero or
     more non-final lines tagged ["stream": "point"], then exactly one
     final line — the ["stream": "end"] summary (which carries the
@@ -109,11 +125,12 @@ val error_response : id:Json.t -> kind:error_kind -> message:string -> Json.t
     {!response_is_final} says stop; pipelined requests on one
     connection still match lines to requests by [id]. *)
 
-val stream_point_response : id:Json.t -> verb:verb -> Json.t -> Json.t
+val stream_point_response :
+  id:Json.t -> ?req_id:string -> verb:verb -> Json.t -> Json.t
 (** One non-final incremental result line. *)
 
 val stream_end_response :
-  id:Json.t -> verb:verb -> cached:bool -> Json.t -> Json.t
+  id:Json.t -> ?req_id:string -> verb:verb -> cached:bool -> Json.t -> Json.t
 (** The final summary line of a streaming response. *)
 
 val response_is_final : Json.t -> bool

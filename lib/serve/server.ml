@@ -13,6 +13,10 @@ module Obs = Adc_obs
 module Metrics = Adc_obs.Metrics
 module Span = Adc_obs.Span
 module Clock = Adc_obs.Clock
+module Log = Adc_obs.Log
+module Sparse = Adc_numerics.Sparse
+module Transient = Adc_circuit.Transient
+module Trace_export = Adc_report.Trace_export
 
 type config = {
   socket_path : string option;
@@ -23,6 +27,10 @@ type config = {
   store_dir : string option;
   default_deadline_s : float option;
   obs : Obs.t;
+  metrics_addr : (string * int) option;
+  log : Log.t;
+  slow_ms : float option;
+  flight_capacity : int;
 }
 
 let default_config =
@@ -35,6 +43,10 @@ let default_config =
     store_dir = None;
     default_deadline_s = None;
     obs = Obs.null;
+    metrics_addr = None;
+    log = Log.null;
+    slow_ms = None;
+    flight_capacity = 0;
   }
 
 type conn = {
@@ -46,16 +58,25 @@ type conn = {
 
 type item = {
   req : Protocol.request;
+  rid : string;  (* request id: client-supplied or generated *)
   conn : conn;
   cancel : Cancel.t;
   queue_span : Span.t;
   admitted_at : int64;
 }
 
+(* last solver totals folded into the metrics registry (delta sync) *)
+type solver_seen = { sp : Sparse.totals; tr : Transient.totals }
+
 type t = {
   cfg : config;
   listeners : Unix.file_descr list;
   tcp_port : int option;
+  ops_listener : Unix.file_descr option;
+  ops_port : int option;
+  ops_stop : bool Atomic.t;
+  flight : Obs.Sink.t option;
+  req_seq : int Atomic.t;
   queue : item Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
@@ -71,6 +92,8 @@ type t = {
   mutable n_overloaded : int;
   mutable n_deadline : int;
   mutable n_failed : int;
+  mutable n_inflight : int;
+  mutable solver_seen : solver_seen;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -85,11 +108,49 @@ let set_queue_gauge t depth =
   Metrics.set (Metrics.gauge t.cfg.obs.Obs.metrics "serve.queue_depth")
     (float_of_int depth)
 
+let set_inflight_gauge t n =
+  Metrics.set (Metrics.gauge t.cfg.obs.Obs.metrics "serve.inflight")
+    (float_of_int n)
+
 let observe_latency t verb ms =
   Metrics.observe
     (Metrics.histogram t.cfg.obs.Obs.metrics
        ("serve.latency." ^ Protocol.verb_name verb))
     ms
+
+let gen_req_id t = Printf.sprintf "r%06d" (Atomic.fetch_and_add t.req_seq 1)
+
+(* Fold the numeric core's process-wide totals into the live registry as
+   monotonic counters. Delta-synced under [smutex] at read time (scrape
+   or stats) rather than on the hot path: the solver counters tick
+   millions of times per busy second and must not take a daemon lock. *)
+let sync_solver_metrics t =
+  let m = t.cfg.obs.Obs.metrics in
+  if Metrics.enabled m then begin
+    Mutex.lock t.smutex;
+    let sp = Sparse.totals () and tr = Transient.totals () in
+    let prev = t.solver_seen in
+    let add name v = Metrics.add (Metrics.counter m name) v in
+    add "solver.sparse_analyses_total"
+      (sp.Sparse.total_analyses - prev.sp.Sparse.total_analyses);
+    add "solver.sparse_refactorizations_total"
+      (sp.Sparse.total_refactorizations - prev.sp.Sparse.total_refactorizations);
+    add "solver.sparse_solves_total"
+      (sp.Sparse.total_solves - prev.sp.Sparse.total_solves);
+    add "solver.pivot_drift_total"
+      (sp.Sparse.total_pivot_drift - prev.sp.Sparse.total_pivot_drift);
+    add "solver.transient_runs_total"
+      (tr.Transient.total_runs - prev.tr.Transient.total_runs);
+    add "solver.newton_iterations_total"
+      (tr.Transient.total_newton_iterations
+      - prev.tr.Transient.total_newton_iterations);
+    add "solver.transient_accepted_steps_total"
+      (tr.Transient.total_accepted_steps - prev.tr.Transient.total_accepted_steps);
+    add "solver.transient_rejected_steps_total"
+      (tr.Transient.total_rejected_steps - prev.tr.Transient.total_rejected_steps);
+    t.solver_seen <- { sp; tr };
+    Mutex.unlock t.smutex
+  end
 
 (* ------------------------------------------------------------------ *)
 (* connection plumbing *)
@@ -164,7 +225,8 @@ let store_key (req : Protocol.request) =
         (Codec.key_montecarlo ~k:req.Protocol.k ~fs_mhz:req.Protocol.fs_mhz
            ~config:"(optimum)" ~trials:req.Protocol.trials
            ~seed:req.Protocol.seed))
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Enumerate ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Dump_trace
+  | Protocol.Enumerate ->
     None
 
 exception Bad_request of string
@@ -315,7 +377,7 @@ let compute t (req : Protocol.request) ~cancel ~emit : Json.t * bool =
         ~config ~trials:req.Protocol.trials ~seed:req.Protocol.seed ~budget
         sweep,
       false )
-  | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Stats | Protocol.Shutdown | Protocol.Dump_trace ->
     (* Inline-only verbs: the reader answers these at admission and
        never enqueues them. Should one reach a worker anyway (an
        admission regression), answer with a typed internal error — the
@@ -342,13 +404,44 @@ let dispatch_queued t (req : Protocol.request) ~cancel ~emit :
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
+(* per-verb latency percentiles from the live histograms, in verb-name
+   order (the snapshot is name-sorted); verbs that have served nothing
+   yet are omitted rather than reported as zeros *)
+let latency_json t =
+  let prefix = "serve.latency." in
+  let entries =
+    List.filter_map
+      (fun (name, snap) ->
+        match snap with
+        | Metrics.Histogram { count; max_v; buckets; _ }
+          when count > 0 && String.starts_with ~prefix name ->
+          let verb =
+            String.sub name (String.length prefix)
+              (String.length name - String.length prefix)
+          in
+          let q p = Metrics.quantile_of ~count ~max_v buckets p in
+          Some
+            ( verb,
+              Json.Obj
+                [
+                  ("count", Json.Int count);
+                  ("p50_ms", Json.Float (q 0.5));
+                  ("p90_ms", Json.Float (q 0.9));
+                  ("p99_ms", Json.Float (q 0.99));
+                ] )
+        | _ -> None)
+      (Metrics.snapshot t.cfg.obs.Obs.metrics)
+  in
+  Json.Obj entries
+
 let stats_json t =
   Mutex.lock t.smutex;
   let requests = t.n_requests
   and completed = t.n_completed
   and overloaded = t.n_overloaded
   and deadline = t.n_deadline
-  and failed = t.n_failed in
+  and failed = t.n_failed
+  and inflight = t.n_inflight in
   Mutex.unlock t.smutex;
   Mutex.lock t.qmutex;
   let depth = Queue.length t.queue in
@@ -363,6 +456,7 @@ let stats_json t =
       ("failed", Json.Int failed);
       ("queue_depth", Json.Int depth);
       ("queue_limit", Json.Int t.cfg.queue_depth);
+      ("inflight", Json.Int inflight);
       ("workers", Json.Int t.cfg.workers);
       ("jobs", Json.Int (Pool.size (Optimize.shared_pool t.shared)));
       ("jobs_cached", Json.Int (Optimize.shared_jobs_cached t.shared));
@@ -370,6 +464,7 @@ let stats_json t =
       ("job_misses", Json.Int job_misses);
       ( "store",
         match t.store with None -> Json.Null | Some s -> Store.stats_json s );
+      ("latency_ms", latency_json t);
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
       ("draining", Json.Bool (Atomic.get t.stop));
     ]
@@ -380,22 +475,35 @@ let stats_json t =
 let process t (item : item) =
   let req = item.req in
   let id = req.Protocol.id in
+  let rid = item.rid in
+  (* the envelope echoes an id only when the client chose one; spans and
+     logs always carry [rid] *)
+  let wire_rid = req.Protocol.req_id in
   Span.finish
     ~attrs:
       [
         ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+        ("req_id", Obs.Sink.String rid);
         ( "wait_ms",
           Obs.Sink.Float (Clock.ns_to_ms (Clock.elapsed_ns ~since:item.admitted_at)) );
       ]
     item.queue_span;
   if Cancel.cancelled item.cancel then begin
     bump t (fun t -> t.n_deadline <- t.n_deadline + 1);
-    Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.deadline_exceeded");
+    Metrics.inc
+      (Metrics.counter t.cfg.obs.Obs.metrics "serve.deadline_exceeded_total");
+    Log.warn t.cfg.log ~req_id:rid
+      ~fields:[ ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb)) ]
+      "deadline elapsed before the request reached a worker";
     send t item.conn
-      (Protocol.error_response ~id ~kind:Protocol.Deadline_exceeded
-         ~message:"deadline elapsed before the request reached a worker")
+      (Protocol.error_response ~id ?req_id:wire_rid
+         ~kind:Protocol.Deadline_exceeded
+         ~message:"deadline elapsed before the request reached a worker" ())
   end
   else begin
+    bump t (fun t ->
+        t.n_inflight <- t.n_inflight + 1;
+        set_inflight_gauge t t.n_inflight);
     let span = Obs.span t.cfg.obs ~name:"serve.request" () in
     let t0 = Clock.now_ns () in
     let finish ~ok ~cached ~truncated =
@@ -405,24 +513,45 @@ let process t (item : item) =
         ~attrs:
           [
             ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+            ("req_id", Obs.Sink.String rid);
             ("ok", Obs.Sink.Bool ok);
             ("cached", Obs.Sink.Bool cached);
             ("truncated", Obs.Sink.Bool truncated);
           ]
-        span
+        span;
+      let fields =
+        [
+          ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+          ("ms", Obs.Sink.Float ms);
+          ("ok", Obs.Sink.Bool ok);
+          ("cached", Obs.Sink.Bool cached);
+          ("truncated", Obs.Sink.Bool truncated);
+        ]
+      in
+      (match t.cfg.slow_ms with
+      | Some limit when ms > limit ->
+        Log.warn t.cfg.log ~req_id:rid
+          ~fields:(fields @ [ ("slow_ms_limit", Obs.Sink.Float limit) ])
+          "slow request"
+      | _ -> Log.info t.cfg.log ~req_id:rid ~fields "request completed");
+      bump t (fun t ->
+          t.n_inflight <- t.n_inflight - 1;
+          set_inflight_gauge t t.n_inflight)
     in
     let verb = req.Protocol.verb in
     let streaming = verb = Protocol.Pareto in
     let emit result =
-      send t item.conn (Protocol.stream_point_response ~id ~verb result)
+      send t item.conn
+        (Protocol.stream_point_response ~id ?req_id:wire_rid ~verb result)
     in
     (* streaming verbs close with a [stream:"end"] summary line instead
        of the plain envelope; single-line verbs are byte-unchanged *)
     let send_final ~cached payload =
       send t item.conn
         (if streaming then
-           Protocol.stream_end_response ~id ~verb ~cached payload
-         else Protocol.ok_response ~id ~verb ~cached payload)
+           Protocol.stream_end_response ~id ?req_id:wire_rid ~verb ~cached
+             payload
+         else Protocol.ok_response ~id ?req_id:wire_rid ~verb ~cached payload)
     in
     (* a warm streaming hit replays the point lines a cold run streamed:
        the stored summary's [grid] carries every cell, front-flagged *)
@@ -467,7 +596,16 @@ let process t (item : item) =
       | Error (kind, message) ->
         bump t (fun t -> t.n_failed <- t.n_failed + 1);
         finish ~ok:false ~cached:false ~truncated:false;
-        send t item.conn (Protocol.error_response ~id ~kind ~message))
+        Log.error t.cfg.log ~req_id:rid
+          ~fields:
+            [
+              ("verb", Obs.Sink.String (Protocol.verb_name verb));
+              ("error", Obs.Sink.String (Protocol.error_name kind));
+              ("message", Obs.Sink.String message);
+            ]
+          "request failed";
+        send t item.conn
+          (Protocol.error_response ~id ?req_id:wire_rid ~kind ~message ()))
   end
 
 let rec worker_loop t =
@@ -490,23 +628,64 @@ let rec worker_loop t =
 
 let admit t conn (req : Protocol.request) =
   let id = req.Protocol.id in
+  let rid =
+    match req.Protocol.req_id with Some r -> r | None -> gen_req_id t
+  in
+  let wire_rid = req.Protocol.req_id in
   bump t (fun t -> t.n_requests <- t.n_requests + 1);
-  Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.requests");
+  Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.requests_total");
   match req.Protocol.verb with
   | Protocol.Stats ->
+    sync_solver_metrics t;
     send t conn
-      (Protocol.ok_response ~id ~verb:Protocol.Stats ~cached:false
-         (stats_json t));
+      (Protocol.ok_response ~id ?req_id:wire_rid ~verb:Protocol.Stats
+         ~cached:false (stats_json t));
     bump t (fun t -> t.n_completed <- t.n_completed + 1)
   | Protocol.Shutdown ->
+    Log.info t.cfg.log ~req_id:rid "shutdown requested; draining";
     send t conn
-      (Protocol.ok_response ~id ~verb:Protocol.Shutdown ~cached:false
+      (Protocol.ok_response ~id ?req_id:wire_rid ~verb:Protocol.Shutdown
+         ~cached:false
          (Json.Obj [ ("stopping", Json.Bool true) ]));
     bump t (fun t -> t.n_completed <- t.n_completed + 1);
     Atomic.set t.stop true;
     Mutex.lock t.qmutex;
     Condition.broadcast t.qcond;
     Mutex.unlock t.qmutex
+  | Protocol.Dump_trace ->
+    (* inline so it answers even during overload or drain — exactly when
+       an operator reaches for the flight recorder *)
+    let events, dropped, cap =
+      match t.flight with
+      | Some ring ->
+        (Obs.Sink.events ring, Obs.Sink.dropped ring, Obs.Sink.capacity ring)
+      | None -> ([], 0, 0)
+    in
+    let verb = Protocol.Dump_trace in
+    List.iter
+      (fun e ->
+        (* re-parse through the canonical span codec so each point line's
+           [result] is exactly a trace-JSONL object Trace_reader accepts *)
+        send t conn
+          (Protocol.stream_point_response ~id ?req_id:wire_rid ~verb
+             (Json.parse (Obs.Sink.event_to_json e))))
+      events;
+    send t conn
+      (Protocol.stream_end_response ~id ?req_id:wire_rid ~verb ~cached:false
+         (Json.Obj
+            [
+              ("events", Json.Int (List.length events));
+              ("dropped", Json.Int dropped);
+              ("capacity", Json.Int cap);
+            ]));
+    Log.info t.cfg.log ~req_id:rid
+      ~fields:
+        [
+          ("events", Obs.Sink.Int (List.length events));
+          ("dropped", Obs.Sink.Int dropped);
+        ]
+      "flight recorder dumped";
+    bump t (fun t -> t.n_completed <- t.n_completed + 1)
   | _ ->
     (* the deadline clock starts at admission: queueing time counts
        against the budget, which is what makes backpressure visible to
@@ -535,6 +714,7 @@ let admit t conn (req : Protocol.request) =
           let item =
             {
               req;
+              rid;
               conn;
               cancel;
               queue_span = Obs.span t.cfg.obs ~name:"serve.queue" ();
@@ -544,21 +724,36 @@ let admit t conn (req : Protocol.request) =
           Queue.push item t.queue;
           set_queue_gauge t (Queue.length t.queue);
           Condition.signal t.qcond;
-          `Admitted
+          `Admitted (Queue.length t.queue)
         end
       in
       Mutex.unlock t.qmutex;
       d
     in
     (match decision with
-    | `Admitted -> ()
+    | `Admitted depth ->
+      Log.debug t.cfg.log ~req_id:rid
+        ~fields:
+          [
+            ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+            ("queue_depth", Obs.Sink.Int depth);
+          ]
+        "request admitted"
     | `Reject (kind, message) ->
       (match kind with
       | Protocol.Overloaded ->
         bump t (fun t -> t.n_overloaded <- t.n_overloaded + 1);
-        Metrics.inc (Metrics.counter t.cfg.obs.Obs.metrics "serve.overloaded")
+        Metrics.inc
+          (Metrics.counter t.cfg.obs.Obs.metrics "serve.overloaded_total")
       | _ -> ());
-      send t conn (Protocol.error_response ~id ~kind ~message))
+      Log.warn t.cfg.log ~req_id:rid
+        ~fields:
+          [
+            ("verb", Obs.Sink.String (Protocol.verb_name req.Protocol.verb));
+            ("error", Obs.Sink.String (Protocol.error_name kind));
+          ]
+        "request rejected";
+      send t conn (Protocol.error_response ~id ?req_id:wire_rid ~kind ~message ()))
 
 let handle_line t conn line =
   match Protocol.parse_request_line line with
@@ -573,7 +768,14 @@ let handle_line t conn line =
       | exception Json.Parse_error _ -> Json.Null
       | json -> Option.value (Json.member "id" json) ~default:Json.Null
     in
-    send t conn (Protocol.error_response ~id ~kind ~message)
+    Log.warn t.cfg.log
+      ~fields:
+        [
+          ("error", Obs.Sink.String (Protocol.error_name kind));
+          ("message", Obs.Sink.String message);
+        ]
+      "unparseable request";
+    send t conn (Protocol.error_response ~id ~kind ~message ())
   | Ok req -> admit t conn req
 
 (* ------------------------------------------------------------------ *)
@@ -620,25 +822,130 @@ let listen_tcp host port =
   fd
 
 (* ------------------------------------------------------------------ *)
+(* the ops plane: /metrics, /healthz, /readyz over plain HTTP *)
+
+let ops_handler t ~path =
+  match path with
+  | "/metrics" ->
+    let m = t.cfg.obs.Obs.metrics in
+    if Metrics.enabled m then begin
+      Metrics.inc (Metrics.counter m "serve.scrapes_total");
+      sync_solver_metrics t;
+      (* the one shared exposition path: the scrape body is exactly what
+         [adcopt trace export --format prometheus] renders offline *)
+      Http.text (Trace_export.prometheus (Metrics.snapshot m))
+    end
+    else Http.text ~status:503 "metrics registry disabled\n"
+  | "/healthz" -> Http.text "ok\n"
+  | "/readyz" ->
+    if Atomic.get t.stop then Http.text ~status:503 "draining\n"
+    else Http.text "ready\n"
+  | _ -> Http.text ~status:404 "not found\n"
+
+(* The ops listener outlives the request plane on purpose: it keeps
+   answering through the drain (so /readyz flips to 503 while in-flight
+   work finishes) and is only joined after the workers are gone. *)
+let ops_loop t fd =
+  let rec loop () =
+    if Atomic.get t.ops_stop then ()
+    else begin
+      (match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true fd with
+        | exception Unix.Unix_error _ -> ()
+        | cfd, _ ->
+          ignore
+            (Thread.create
+               (fun () -> Http.serve_connection cfd ~handler:(ops_handler t))
+               ()))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let flight_events t =
+  match t.flight with
+  | None -> None
+  | Some ring -> Some (Obs.Sink.events ring, Obs.Sink.dropped ring)
+
+(* ------------------------------------------------------------------ *)
 (* lifecycle *)
+
+(* the solver counters and ops gauges exist from the first scrape even
+   before any request ran: a stable exposition shape is what dashboards
+   and the CI asserts key on *)
+let preregister_metrics m =
+  if Metrics.enabled m then begin
+    List.iter
+      (fun n -> ignore (Metrics.counter m n))
+      [
+        "serve.requests_total";
+        "serve.overloaded_total";
+        "serve.deadline_exceeded_total";
+        "serve.scrapes_total";
+        "solver.sparse_analyses_total";
+        "solver.sparse_refactorizations_total";
+        "solver.sparse_solves_total";
+        "solver.pivot_drift_total";
+        "solver.transient_runs_total";
+        "solver.newton_iterations_total";
+        "solver.transient_accepted_steps_total";
+        "solver.transient_rejected_steps_total";
+      ];
+    List.iter
+      (fun n -> ignore (Metrics.gauge m n))
+      [ "serve.queue_depth"; "serve.inflight" ];
+    List.iter
+      (fun v -> ignore (Metrics.histogram m ("serve.latency." ^ Protocol.verb_name v)))
+      [
+        Protocol.Ping;
+        Protocol.Enumerate;
+        Protocol.Optimize;
+        Protocol.Sweep;
+        Protocol.Synth;
+        Protocol.Montecarlo;
+        Protocol.Batch;
+        Protocol.Pareto;
+      ]
+  end
 
 let create cfg =
   if cfg.socket_path = None && cfg.tcp = None then
     invalid_arg "Server.create: need a unix socket path or a TCP address";
+  (* the flight recorder tees into whatever sink the config carries, so
+     an explicit --trace file and the ring record the same spans *)
+  let flight =
+    if cfg.flight_capacity > 0 then
+      Some (Obs.Sink.ring ~capacity:cfg.flight_capacity)
+    else None
+  in
+  let cfg =
+    match flight with
+    | Some ring ->
+      { cfg with obs = { cfg.obs with Obs.sink = Obs.Sink.tee cfg.obs.Obs.sink ring } }
+    | None -> cfg
+  in
+  preregister_metrics cfg.obs.Obs.metrics;
   let unix_fd = Option.map listen_unix cfg.socket_path in
   let tcp_fd = Option.map (fun (h, p) -> listen_tcp h p) cfg.tcp in
-  let tcp_port =
-    Option.map
-      (fun fd ->
-        match Unix.getsockname fd with
-        | Unix.ADDR_INET (_, p) -> p
-        | Unix.ADDR_UNIX _ -> 0)
-      tcp_fd
+  let port_of fd =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> 0
   in
+  let tcp_port = Option.map port_of tcp_fd in
+  let ops_fd = Option.map (fun (h, p) -> listen_tcp h p) cfg.metrics_addr in
   {
     cfg;
     listeners = List.filter_map Fun.id [ unix_fd; tcp_fd ];
     tcp_port;
+    ops_listener = ops_fd;
+    ops_port = Option.map port_of ops_fd;
+    ops_stop = Atomic.make false;
+    flight;
+    req_seq = Atomic.make 1;
     queue = Queue.create ();
     qmutex = Mutex.create ();
     qcond = Condition.create ();
@@ -654,13 +961,29 @@ let create cfg =
     n_overloaded = 0;
     n_deadline = 0;
     n_failed = 0;
+    n_inflight = 0;
+    solver_seen = { sp = Sparse.totals (); tr = Transient.totals () };
   }
 
 let tcp_port t = t.tcp_port
+let metrics_port t = t.ops_port
 
 let stop t = Atomic.set t.stop true
 
 let run t =
+  Log.info t.cfg.log
+    ~fields:
+      [
+        ("workers", Obs.Sink.Int (Stdlib.max 1 t.cfg.workers));
+        ("queue_depth", Obs.Sink.Int t.cfg.queue_depth);
+        ("jobs", Obs.Sink.Int (Pool.size (Optimize.shared_pool t.shared)));
+        ("flight_capacity", Obs.Sink.Int t.cfg.flight_capacity);
+      ]
+    "daemon starting";
+  let ops_thread =
+    Option.map (fun fd -> Thread.create (fun () -> ops_loop t fd) ())
+      t.ops_listener
+  in
   let workers =
     List.init (Stdlib.max 1 t.cfg.workers) (fun _ ->
         Thread.create (fun () -> worker_loop t) ())
@@ -678,7 +1001,10 @@ let run t =
   in
   accept_loop ();
   (* drain: stop admitting (the flag is set), let the workers empty the
-     queue and finish in-flight requests, then tear the rest down *)
+     queue and finish in-flight requests, then tear the rest down. The
+     ops listener keeps answering (/readyz says 503) until the very
+     end. *)
+  Log.info t.cfg.log "draining";
   Mutex.lock t.qmutex;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex;
@@ -694,7 +1020,13 @@ let run t =
   List.iter
     (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     open_conns;
-  Optimize.shutdown_shared t.shared
+  Optimize.shutdown_shared t.shared;
+  Atomic.set t.ops_stop true;
+  Option.iter Thread.join ops_thread;
+  Option.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.ops_listener;
+  Log.info t.cfg.log "drained"
 
 let snapshot t f =
   Mutex.lock t.smutex;

@@ -44,11 +44,27 @@ type config = {
   obs : Adc_obs.t;               (** tracing/metrics context; the serve
                                      span kinds are documented in
                                      docs/OBSERVABILITY.md *)
+  metrics_addr : (string * int) option;
+      (** optional ops-plane HTTP listener (host, port; port 0 binds an
+          ephemeral port, see {!metrics_port}) answering [GET /metrics]
+          (the live registry through the same
+          [Adc_report.Trace_export.prometheus] exposition the offline
+          exporter uses), [GET /healthz] (process liveness, always 200)
+          and [GET /readyz] (200 while accepting, 503 once draining) *)
+  log : Adc_obs.Log.t;           (** leveled structured logger for the
+                                     daemon's own diagnostics (default
+                                     {!Adc_obs.Log.null}) *)
+  slow_ms : float option;        (** latency threshold above which a
+                                     completed request logs a
+                                     [slow request] warning *)
+  flight_capacity : int;         (** flight-recorder ring size in spans;
+                                     0 disables the recorder *)
 }
 
 val default_config : config
 (** No listeners (callers must set one), depth 64, 2 workers, 1 domain,
-    no store, no default deadline, {!Adc_obs.null}. *)
+    no store, no default deadline, {!Adc_obs.null}, no ops listener, no
+    logger, no slow threshold, no flight recorder. *)
 
 type t
 
@@ -73,9 +89,20 @@ val tcp_port : t -> int option
 (** The bound TCP port, when a TCP listener was configured — useful
     with port 0. *)
 
+val metrics_port : t -> int option
+(** The bound ops-plane port, when [metrics_addr] was configured. *)
+
+val flight_events : t -> (Adc_obs.Sink.event list * int) option
+(** The flight recorder's retained spans (oldest first) and its eviction
+    count; [None] when [flight_capacity] was 0. Safe from any thread —
+    this is what the CLI's SIGUSR1 dump and the [dump-trace] verb
+    read. *)
+
 val stats_json : t -> Adc_json.Json.t
 (** The [stats] verb's payload: request/completion/rejection counters,
-    queue occupancy, shared-cache size, store counters, uptime. *)
+    queue occupancy, current inflight count, per-verb latency
+    percentiles ([latency_ms], from the live histograms), shared-cache
+    size, store counters, uptime. *)
 
 val dispatch_queued :
   t ->

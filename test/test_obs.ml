@@ -145,6 +145,151 @@ let test_memory_drain_partitions () =
   Alcotest.(check int) "second run isolated" 1 (List.length (Sink.drain sink))
 
 (* ------------------------------------------------------------------ *)
+(* the flight-recorder ring sink *)
+
+let mk_event ?(name = "e") i =
+  {
+    Sink.name;
+    id = i;
+    parent = None;
+    start_ns = Int64.of_int i;
+    dur_ns = 1L;
+    attrs = [ ("i", Sink.Int i) ];
+  }
+
+let test_ring_capacity_and_order () =
+  let ring = Sink.ring ~capacity:8 in
+  Alcotest.(check bool) "ring is enabled" true (Sink.enabled ring);
+  for i = 0 to 19 do
+    Sink.write ring (mk_event i)
+  done;
+  let kept = Sink.events ring in
+  Alcotest.(check int) "capacity bound holds" 8 (List.length kept);
+  Alcotest.(check int) "evictions counted" 12 (Sink.dropped ring);
+  Alcotest.(check int) "capacity reported" 8 (Sink.capacity ring);
+  Alcotest.(check (list int)) "oldest-first, most recent retained"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Sink.id) kept);
+  (* drain clears like the memory sink *)
+  Alcotest.(check int) "drain returns contents" 8
+    (List.length (Sink.drain ring));
+  Alcotest.(check int) "drain clears" 0 (List.length (Sink.events ring));
+  Alcotest.(check int) "drain resets eviction count" 0 (Sink.dropped ring);
+  Alcotest.(check bool) "zero capacity rejected" true
+    (match Sink.ring ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ring_tee_composition () =
+  let ring = Sink.ring ~capacity:4 in
+  (* a tee with a disabled branch collapses onto the ring, preserving
+     the zero-cost-when-off guarantee *)
+  let teed = Sink.tee Sink.null ring in
+  Sink.write teed (mk_event 1);
+  Alcotest.(check int) "write through collapsed tee lands in ring" 1
+    (List.length (Sink.events ring));
+  let mem = Sink.memory () in
+  let both = Sink.tee mem ring in
+  Sink.write both (mk_event 2);
+  Alcotest.(check int) "tee duplicates into ring" 2
+    (List.length (Sink.events ring));
+  Alcotest.(check int) "tee duplicates into memory" 1
+    (List.length (Sink.events mem))
+
+let test_ring_roundtrips_trace_reader () =
+  let ring = Sink.ring ~capacity:4 in
+  let e =
+    {
+      Sink.name = "serve.request";
+      id = 11;
+      parent = Some 3;
+      start_ns = 1234L;
+      dur_ns = 567L;
+      attrs =
+        [
+          ("verb", Sink.String "optimize");
+          ("req_id", Sink.String "r\"quoted\"");
+          ("ok", Sink.Bool true);
+          ("ms", Sink.Float 1.25);
+        ];
+    }
+  in
+  Sink.write ring e;
+  match Sink.events ring with
+  | [ kept ] ->
+    let parsed = Adc_report.Trace_reader.parse (Sink.event_to_json kept) in
+    Alcotest.(check bool) "dump line round-trips through Trace_reader" true
+      (parsed = e)
+  | evts -> Alcotest.failf "expected 1 event, got %d" (List.length evts)
+
+(* Concurrent writers across domains: the capacity bound holds, kept +
+   dropped accounts for every write, and no event tears — whatever the
+   interleaving, each slot is one of the values some domain wrote. *)
+let prop_ring_concurrent_writers =
+  QCheck2.Test.make ~name:"ring sink: concurrent domain writers never tear"
+    ~count:25
+    QCheck2.Gen.(tup2 (int_range 1 48) (int_range 1 120))
+    (fun (capacity, per_domain) ->
+      let ring = Sink.ring ~capacity in
+      let n_domains = 4 in
+      let workers =
+        List.init n_domains (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_domain - 1 do
+                  Sink.write ring
+                    (mk_event ~name:(Printf.sprintf "d%d" d) ((d * per_domain) + i))
+                done))
+      in
+      List.iter Domain.join workers;
+      let kept = Sink.events ring in
+      let total = n_domains * per_domain in
+      List.length kept = min total capacity
+      && Sink.dropped ring + List.length kept = total
+      && List.for_all
+           (fun e ->
+             (* untorn: the name still matches the id the same domain
+                stamped into the attrs *)
+             match (e.Sink.attrs, int_of_string_opt (String.sub e.Sink.name 1 (String.length e.Sink.name - 1))) with
+             | [ ("i", Sink.Int i) ], Some d ->
+               i = e.Sink.id && d = i / per_domain
+             | _ -> false)
+           kept)
+
+(* ------------------------------------------------------------------ *)
+(* the leveled logger *)
+
+let test_log_levels_and_formats () =
+  let path = Filename.temp_file "adc_log_test" ".log" in
+  let oc = open_out path in
+  let log = Adc_obs.Log.create ~level:Adc_obs.Log.Info ~format:Adc_obs.Log.Jsonl ~oc () in
+  Adc_obs.Log.debug log "invisible";
+  Adc_obs.Log.info log ~req_id:"r42"
+    ~fields:[ ("verb", Sink.String "ping"); ("ms", Sink.Float 0.5) ]
+    "request completed";
+  Adc_obs.Log.warn log "slow request";
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "level filter drops debug" 2 (List.length lines);
+  let first = List.nth lines 0 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "jsonl carries %s" needle) true
+        (contains_substring first needle))
+    [ {|"level":"info"|}; {|"req_id":"r42"|}; {|"verb":"ping"|}; {|"msg":"request completed"|} ];
+  Alcotest.(check bool) "null logger disabled at every level" false
+    (Adc_obs.Log.enabled Adc_obs.Log.null Adc_obs.Log.Error);
+  Alcotest.(check bool) "live logger enabled at its level" true
+    (Adc_obs.Log.enabled log Adc_obs.Log.Warn)
+
+(* ------------------------------------------------------------------ *)
 (* metrics *)
 
 let test_metrics_multidomain_counters () =
@@ -426,7 +571,15 @@ let () =
           quick "JSON encoding" test_json_encoding;
           quick "multi-domain file writes stay line-atomic" test_file_sink_multidomain;
           quick "memory drain partitions runs" test_memory_drain_partitions;
+          quick "ring bounds capacity, keeps newest, oldest-first"
+            test_ring_capacity_and_order;
+          quick "ring composes under tee" test_ring_tee_composition;
+          quick "ring dump round-trips Trace_reader"
+            test_ring_roundtrips_trace_reader;
+          QCheck_alcotest.to_alcotest prop_ring_concurrent_writers;
         ] );
+      ( "log",
+        [ quick "level filter and JSONL shape" test_log_levels_and_formats ] );
       ( "metrics",
         [
           quick "multi-domain counters" test_metrics_multidomain_counters;

@@ -187,7 +187,7 @@ let test_streaming_envelope () =
   Alcotest.(check bool) "errors are final" true
     (Protocol.response_is_final
        (Protocol.error_response ~id:Json.Null ~kind:Protocol.Internal
-          ~message:"x"))
+          ~message:"x" ()))
 
 let test_response_shapes () =
   let ok =
@@ -201,7 +201,7 @@ let test_response_shapes () =
     (Json.to_string ok);
   let err =
     Protocol.error_response ~id:Json.Null ~kind:Protocol.Overloaded
-      ~message:"queue full"
+      ~message:"queue full" ()
   in
   Alcotest.(check string) "error line"
     (Printf.sprintf
@@ -508,17 +508,19 @@ let test_deadline_leaves_pool_reusable () =
 (* ------------------------------------------------------------------ *)
 (* end-to-end daemon *)
 
-let with_server ?(queue_depth = 8) ?(workers = 2) ?store_dir f =
+let with_server ?(queue_depth = 8) ?(workers = 2) ?store_dir
+    ?(cfg = fun c -> c) f =
   let dir = tmp_dir "adcopt-serve" in
   let socket = Filename.concat dir "d.sock" in
   let cfg =
-    {
-      Server.default_config with
-      Server.socket_path = Some socket;
-      queue_depth;
-      workers;
-      store_dir;
-    }
+    cfg
+      {
+        Server.default_config with
+        Server.socket_path = Some socket;
+        queue_depth;
+        workers;
+        store_dir;
+      }
   in
   let srv = Server.create cfg in
   let thread = Thread.create Server.run srv in
@@ -879,6 +881,203 @@ let test_server_bad_requests () =
       Client.close c)
 
 (* ------------------------------------------------------------------ *)
+(* the live operations plane *)
+
+(* minimal HTTP/1.0 client for the ops listener: one GET, read to EOF,
+   split status from body *)
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          slurp ()
+      in
+      slurp ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.failf "unparseable HTTP response: %s" raw
+      in
+      let body =
+        let sep = "\r\n\r\n" in
+        let rec find i =
+          if i + 4 > String.length raw then None
+          else if String.sub raw i 4 = sep then Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> String.sub raw i (String.length raw - i)
+        | None -> ""
+      in
+      (status, body))
+
+let test_server_req_id_envelope () =
+  let obs = Adc_obs.in_memory () in
+  with_server
+    ~cfg:(fun c -> { c with Server.obs })
+    (fun _srv socket ->
+      let c = Client.connect_unix socket in
+      (* no client req_id: the envelope must not grow the field *)
+      let bare = Client.request c (Json.parse {|{"id":1,"verb":"ping"}|}) in
+      Alcotest.(check bool) "no req_id member when client sent none" true
+        (Json.member "req_id" bare = None);
+      (* client-chosen id: echoed verbatim, before the result member *)
+      let resp =
+        Client.request c
+          (Json.parse {|{"id":2,"verb":"ping","req_id":"cli-abc42"}|})
+      in
+      Alcotest.(check bool) "req_id echoed" true
+        (member_exn "req_id" resp = Json.String "cli-abc42");
+      Alcotest.(check bool) "still ok" true
+        (member_exn "ok" resp = Json.Bool true);
+      Client.close c;
+      (* the same id must be stamped on the request span *)
+      let rid_of e =
+        match List.assoc_opt "req_id" e.Adc_obs.Sink.attrs with
+        | Some (Adc_obs.Sink.String s) -> Some s
+        | _ -> None
+      in
+      let events = Adc_obs.Sink.events obs.Adc_obs.sink in
+      let request_spans =
+        List.filter (fun e -> e.Adc_obs.Sink.name = "serve.request") events
+      in
+      Alcotest.(check bool) "span attr carries the wire req_id" true
+        (List.exists (fun e -> rid_of e = Some "cli-abc42") request_spans);
+      (* the bare request still got a daemon-generated id on its span *)
+      Alcotest.(check bool) "generated rid stamped when client sent none" true
+        (List.exists
+           (fun e ->
+             match rid_of e with
+             | Some s -> String.length s > 0 && s.[0] = 'r'
+             | None -> false)
+           request_spans))
+
+let test_server_ops_plane_scrape () =
+  let obs = Adc_obs.in_memory () in
+  with_server
+    ~cfg:(fun c ->
+      { c with Server.obs; metrics_addr = Some ("127.0.0.1", 0) })
+    (fun srv socket ->
+      let port =
+        match Server.metrics_port srv with
+        | Some p -> p
+        | None -> Alcotest.fail "metrics listener did not bind"
+      in
+      let c = Client.connect_unix socket in
+      ignore (Client.request c (Json.parse {|{"verb":"ping"}|}));
+      let status, body = http_get port "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 status;
+      Alcotest.(check string) "healthz body" "ok\n" body;
+      let status, body = http_get port "/readyz" in
+      Alcotest.(check int) "readyz 200 while accepting" 200 status;
+      Alcotest.(check string) "readyz body" "ready\n" body;
+      let status, scraped = http_get port "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 status;
+      (* one shared exposition path: the live scrape must be byte-identical
+         to rendering the same registry through the offline exporter *)
+      let offline =
+        Adc_report.Trace_export.prometheus
+          (Adc_obs.Metrics.snapshot obs.Adc_obs.metrics)
+      in
+      Alcotest.(check string) "scrape == Trace_export.prometheus, bytes"
+        offline scraped;
+      Alcotest.(check bool) "request counter present and non-zero" true
+        (contains scraped "adcopt_serve_requests_total 1");
+      Alcotest.(check bool) "solver counters exposed" true
+        (contains scraped "adcopt_solver_sparse_solves_total");
+      Alcotest.(check bool) "scrapes counted" true
+        (contains scraped "adcopt_serve_scrapes_total 1");
+      (* hold a worker busy so the drain stays open, then watch /readyz
+         flip to 503 while the daemon finishes the in-flight ping *)
+      let slow =
+        Thread.create
+          (fun () ->
+            let c2 = Client.connect_unix socket in
+            ignore
+              (Client.request c2
+                 (Json.parse {|{"verb":"ping","delay_ms":700}|}));
+            Client.close c2)
+          ()
+      in
+      Thread.delay 0.15;
+      Server.stop srv;
+      Thread.delay 0.05;
+      let status, body = http_get port "/readyz" in
+      Alcotest.(check int) "readyz 503 during drain" 503 status;
+      Alcotest.(check string) "draining body" "draining\n" body;
+      Thread.join slow;
+      Client.close c)
+
+let test_server_dump_trace_roundtrip () =
+  with_server
+    ~cfg:(fun c -> { c with Server.flight_capacity = 64 })
+    (fun srv socket ->
+      let c = Client.connect_unix socket in
+      ignore (Client.request c (Json.parse {|{"verb":"ping"}|}));
+      ignore (Client.request c (Json.parse {|{"verb":"ping"}|}));
+      let lines = ref [] in
+      let final =
+        Client.request_stream c
+          (Json.parse {|{"id":7,"verb":"dump-trace"}|})
+          ~on_line:(fun l -> lines := l :: !lines)
+      in
+      let points = List.rev !lines in
+      Alcotest.(check bool) "final ok" true
+        (member_exn "ok" final = Json.Bool true);
+      Alcotest.(check bool) "stream end" true
+        (member_exn "stream" final = Json.String "end");
+      let summary = member_exn "result" final in
+      Alcotest.(check bool) "summary counts the dumped events" true
+        (member_exn "events" summary = Json.Int (List.length points));
+      Alcotest.(check bool) "nothing evicted at this volume" true
+        (member_exn "dropped" summary = Json.Int 0);
+      Alcotest.(check bool) "capacity advertised" true
+        (member_exn "capacity" summary = Json.Int 64);
+      Alcotest.(check bool) "ring captured the pings" true
+        (List.length points >= 2);
+      (* every point line's result is a span the trace toolchain parses:
+         this is the contract that makes
+         [adcopt call --extract result | adcopt trace summary -] work *)
+      let parsed =
+        List.map
+          (fun line ->
+            Alcotest.(check bool) "point envelope" true
+              (member_exn "stream" line = Json.String "point"
+              && member_exn "id" line = Json.Int 7);
+            Adc_report.Trace_reader.parse
+              (Json.to_string (member_exn "result" line)))
+          points
+      in
+      Alcotest.(check bool) "request spans present in the dump" true
+        (List.exists
+           (fun e -> e.Adc_obs.Sink.name = "serve.request")
+           parsed);
+      (* what went over the wire is exactly what the ring holds *)
+      (match Server.flight_events srv with
+      | Some (events, dropped) ->
+        Alcotest.(check int) "ring still holds the dump" (List.length parsed)
+          (List.length events);
+        Alcotest.(check int) "no evictions" 0 dropped;
+        List.iter2
+          (fun wire live ->
+            Alcotest.(check bool) "wire event == live event" true
+              (wire = live))
+          parsed events
+      | None -> Alcotest.fail "flight recorder should be live");
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -936,5 +1135,10 @@ let () =
           quick "pareto streams then replays from the store"
             test_server_pareto_streams_and_replays;
           quick "pareto empty axis refused" test_server_pareto_bad_axes;
+          quick "req_id echoed and stamped on spans" test_server_req_id_envelope;
+          slow "ops plane: scrape, healthz, readyz flip"
+            test_server_ops_plane_scrape;
+          quick "dump-trace round-trips the flight recorder"
+            test_server_dump_trace_roundtrip;
         ] );
     ]
