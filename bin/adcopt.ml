@@ -24,6 +24,7 @@ module Codec = Adc_serve.Codec
 module Store = Adc_serve.Store
 module Server = Adc_serve.Server
 module Client = Adc_serve.Client
+module Router = Adc_cluster.Router
 module Trace_reader = Adc_report.Trace_reader
 module Trace_analysis = Adc_report.Trace_analysis
 module Trace_export = Adc_report.Trace_export
@@ -901,15 +902,37 @@ let flight_dump_arg =
   Arg.(value & opt (some string) None
        & info [ "flight-dump" ] ~docv:"FILE" ~doc)
 
-let serve socket listen queue_depth workers jobs store deadline trace metrics
-    metrics_addr log_level log_format slow_ms flight_capacity flight_dump =
+let store_max_entries_arg =
+  let doc =
+    "Cap the $(b,--store) directory at $(docv) entries with an \
+     LRU-by-mtime sweep (at startup and after each write), so \
+     cluster-replicated hot cells cannot grow the store without bound."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "store-max-entries" ] ~docv:"N" ~doc)
+
+let node_id_arg =
+  let doc =
+    "This process's cluster identity, stamped on every log line \
+     (alongside the req_id) and surfaced in the $(b,stats) payload so \
+     merged fleet logs and aggregated stats stay attributable. Default: \
+     the socket file's basename."
+  in
+  Arg.(value & opt (some string) None & info [ "node-id" ] ~docv:"ID" ~doc)
+
+let serve socket listen queue_depth workers jobs store store_max_entries
+    deadline trace metrics metrics_addr log_level log_format slow_ms
+    flight_capacity flight_dump node_id =
   let jobs = resolve_jobs jobs in
   let tcp = Option.map host_port_of_string listen in
+  let node_id =
+    match node_id with Some n -> n | None -> Filename.basename socket
+  in
   let log =
     if log_level = "off" then Adc_obs.Log.null
     else
       match Adc_obs.Log.level_of_string log_level with
-      | Some level -> Adc_obs.Log.create ~level ~format:log_format ()
+      | Some level -> Adc_obs.Log.create ~level ~format:log_format ~node_id ()
       | None -> die "adcopt serve: unknown --log-level %S" log_level
   in
   (* the daemon's registry is always live — the ops plane scrapes it;
@@ -926,12 +949,14 @@ let serve socket listen queue_depth workers jobs store deadline trace metrics
       workers;
       jobs;
       store_dir = store;
+      store_max_entries;
       default_deadline_s = deadline;
       obs;
       metrics_addr = Option.map host_port_of_string metrics_addr;
       log;
       slow_ms;
       flight_capacity;
+      node_id = Some node_id;
     }
   in
   let srv =
@@ -1011,9 +1036,10 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve $ serve_socket_arg $ listen_arg $ queue_depth_arg
-          $ workers_arg $ jobs_arg $ store_arg $ deadline_arg $ trace_arg
-          $ metrics_arg $ metrics_addr_arg $ log_level_arg $ log_format_arg
-          $ slow_ms_arg $ flight_capacity_arg $ flight_dump_arg)
+          $ workers_arg $ jobs_arg $ store_arg $ store_max_entries_arg
+          $ deadline_arg $ trace_arg $ metrics_arg $ metrics_addr_arg
+          $ log_level_arg $ log_format_arg $ slow_ms_arg $ flight_capacity_arg
+          $ flight_dump_arg $ node_id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* call: one request against a running daemon *)
@@ -1039,7 +1065,15 @@ let request_json_arg =
   let doc = "The request object, e.g. '{\"verb\":\"optimize\",\"k\":12}'." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
 
-let call socket connect extract request =
+let connect_retries_arg =
+  let doc =
+    "Retry a failed connect up to $(docv) more times with exponential \
+     backoff (50 ms doubling, capped at 1 s) — lets scripts start a \
+     daemon and call it without sleep loops."
+  in
+  Arg.(value & opt int 0 & info [ "connect-retries" ] ~docv:"N" ~doc)
+
+let call socket connect extract connect_retries request =
   let request =
     match Json.parse request with
     | json -> json
@@ -1053,14 +1087,26 @@ let call socket connect extract request =
       Json.Obj (fields @ [ ("version", Json.Int Api.protocol_version) ])
     | _ -> request
   in
-  let client =
-    try
-      match connect with
-      | Some hp -> let h, p = host_port_of_string hp in Client.connect_tcp h p
-      | None -> Client.connect_unix socket
-    with Unix.Unix_error (e, _, _) ->
-      die "adcopt call: cannot connect: %s" (Unix.error_message e)
+  let connect_once () =
+    match connect with
+    | Some hp -> let h, p = host_port_of_string hp in Client.connect_tcp h p
+    | None -> Client.connect_unix socket
   in
+  (* connect errors (refused, missing socket, timed out) are the
+     retryable family; anything else is a real bug and dies at once *)
+  let rec connect_retrying attempt =
+    match connect_once () with
+    | client -> client
+    | exception Unix.Unix_error (e, _, _) ->
+      if attempt >= connect_retries then
+        die "adcopt call: cannot connect: %s" (Unix.error_message e)
+      else begin
+        let backoff_ms = min (50. *. (2. ** float_of_int attempt)) 1000. in
+        Unix.sleepf (backoff_ms /. 1e3);
+        connect_retrying (attempt + 1)
+      end
+  in
+  let client = connect_retrying 0 in
   let response =
     (* non-final lines (a streaming verb's incremental results) print as
        they arrive; --extract applies to each of them as well as to the
@@ -1112,7 +1158,155 @@ let call_cmd =
   in
   Cmd.v (Cmd.info "call" ~doc)
     Term.(const call $ serve_socket_arg $ connect_arg $ extract_arg
-          $ request_json_arg)
+          $ connect_retries_arg $ request_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route: the cluster front door *)
+
+let backends_arg =
+  let doc =
+    "Comma-separated backend addresses, each a running $(b,adcopt serve): \
+     a Unix socket path or $(b,host:port)."
+  in
+  Arg.(required
+       & opt (some string) None
+       & info [ "backends" ] ~docv:"A,B,..." ~doc)
+
+let route_socket_arg =
+  let doc = "Unix-domain front socket to listen on." in
+  Arg.(value
+       & opt string "/tmp/adcopt-route.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let vnodes_arg =
+  let doc =
+    "Virtual nodes per backend on the consistent-hash ring: more points \
+     flatten the keyspace split at the cost of a larger ring."
+  in
+  Arg.(value & opt int 160 & info [ "vnodes" ] ~docv:"N" ~doc)
+
+let replicas_arg =
+  let doc =
+    "Replica set size R: a freshly computed result is asynchronously \
+     offered to the key's R-1 ring successors ($(b,store-put), \
+     digest-verified). 1 disables replication."
+  in
+  Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"R" ~doc)
+
+let retries_arg =
+  let doc =
+    "Extra backends tried per forward after the key's owner, walking the \
+     ring successors with exponential backoff deducted from the \
+     request's remaining $(b,deadline_ms)."
+  in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let connect_timeout_arg =
+  let doc = "Per-attempt backend connect budget in milliseconds." in
+  Arg.(value & opt int 1000 & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
+
+let probe_period_arg =
+  let doc =
+    "Background health-probe cadence in seconds: each backend is pinged \
+     and marked up/down on this period. 0 disables the prober (health \
+     then tracks only request-level outcomes)."
+  in
+  Arg.(value & opt float 2.0 & info [ "probe-period" ] ~docv:"SECONDS" ~doc)
+
+let no_replication_arg =
+  let doc = "Do not offer finished results to ring replicas." in
+  Arg.(value & flag & info [ "no-replication" ] ~doc)
+
+let no_donation_arg =
+  let doc = "Do not broker peer warm-start donation." in
+  Arg.(value & flag & info [ "no-donation" ] ~doc)
+
+let route backends socket listen vnodes replicas retries connect_timeout_ms
+    probe_period no_replication no_donation metrics_addr log_level log_format
+    node_id =
+  let backends =
+    String.split_on_char ',' backends
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if backends = [] then die "adcopt route: --backends names no backend";
+  let node_id =
+    match node_id with Some n -> n | None -> Filename.basename socket
+  in
+  let log =
+    if log_level = "off" then Adc_obs.Log.null
+    else
+      match Adc_obs.Log.level_of_string log_level with
+      | Some level -> Adc_obs.Log.create ~level ~format:log_format ~node_id ()
+      | None -> die "adcopt route: unknown --log-level %S" log_level
+  in
+  let obs = Adc_obs.create ~metrics:true () in
+  let cfg =
+    {
+      Router.backends;
+      socket_path = Some socket;
+      tcp = Option.map host_port_of_string listen;
+      vnodes;
+      replicas;
+      retries;
+      connect_timeout_ms;
+      probe_period_s = probe_period;
+      replication = not no_replication;
+      donation = not no_donation;
+      metrics_addr = Option.map host_port_of_string metrics_addr;
+      obs;
+      log;
+      node_id = Some node_id;
+    }
+  in
+  let router =
+    try Router.create cfg with
+    | Invalid_argument msg -> die "adcopt route: %s" msg
+    | Unix.Unix_error (e, _, arg) ->
+      die "adcopt route: cannot listen (%s: %s)" arg (Unix.error_message e)
+  in
+  let request_stop _ = Router.stop router in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Adc_obs.Log.info log
+    ~fields:
+      ([
+         ("socket", Adc_obs.Sink.String socket);
+         ("backends", Adc_obs.Sink.Int (List.length backends));
+         ("vnodes", Adc_obs.Sink.Int vnodes);
+         ("replicas", Adc_obs.Sink.Int replicas);
+       ]
+      @ (match (cfg.Router.tcp, Router.tcp_port router) with
+        | Some (h, _), Some p ->
+          [ ("tcp", Adc_obs.Sink.String (Printf.sprintf "%s:%d" h p)) ]
+        | _ -> [])
+      @
+      match (cfg.Router.metrics_addr, Router.metrics_port router) with
+      | Some (h, _), Some p ->
+        [ ("metrics", Adc_obs.Sink.String (Printf.sprintf "%s:%d" h p)) ]
+      | _ -> [])
+    "routing";
+  Router.run router;
+  Adc_obs.Log.info log "drained, bye";
+  Adc_obs.close obs;
+  exit 0
+
+let route_cmd =
+  let doc =
+    "Front a fleet of $(b,adcopt serve) backends with one socket speaking \
+     the same newline-JSON protocol (see docs/CLUSTER.md). Requests are \
+     consistent-hashed onto the backend that caches their key; $(b,batch) \
+     and $(b,pareto) fan out per owner and reassemble byte-identically; a \
+     dead backend's keys re-route to its ring successor; finished results \
+     replicate to ring replicas and converged synthesis lineages are \
+     donated peer-to-peer for warm starts."
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const route $ backends_arg $ route_socket_arg $ listen_arg
+          $ vnodes_arg $ replicas_arg $ retries_arg $ connect_timeout_arg
+          $ probe_period_arg $ no_replication_arg $ no_donation_arg
+          $ metrics_addr_arg $ log_level_arg $ log_format_arg $ node_id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* extract: reach into a JSON document on stdin *)
@@ -1153,7 +1347,7 @@ let main_cmd =
   Cmd.group info
     [ enumerate_cmd; optimize_cmd; sweep_cmd; batch_cmd; pareto_cmd;
       synth_cmd; behavioral_cmd; corners_cmd; montecarlo_cmd; area_cmd;
-      trace_cmd; serve_cmd; call_cmd; extract_cmd ]
+      trace_cmd; serve_cmd; route_cmd; call_cmd; extract_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -1,0 +1,31 @@
+type entry = { mutable holders : string list; origin : string }
+
+type t = { table : (string, entry) Hashtbl.t; mutex : Mutex.t }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create () = { table = Hashtbl.create 64; mutex = Mutex.create () }
+
+let record t ~digest ~backend =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | None ->
+        Hashtbl.replace t.table digest
+          { holders = [ backend ]; origin = backend }
+      | Some e ->
+        if not (List.mem backend e.holders) then
+          e.holders <- backend :: e.holders)
+
+let holders t ~digest =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | None -> []
+      | Some e -> e.holders)
+
+let origin t ~digest =
+  locked t (fun () ->
+      Option.map (fun e -> e.origin) (Hashtbl.find_opt t.table digest))
+
+let size t = locked t (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,35 @@
+(** The router's donor index: which backend holds which settled
+    synthesis lineage.
+
+    Keys are {!Adc_pipeline.Job_key} digests — the same recursive
+    warm-start pinning that makes equal keys bit-identical outcomes,
+    which is exactly why shipping one between nodes is byte-safe. After
+    a backend computes (or imports) a job the router {!record}s it;
+    before forwarding a spec whose plan includes a key some {e other}
+    backend holds, the router brokers a [job-get] → [job-put] donation
+    so the target starts warm instead of cold.
+
+    The first backend recorded for a digest is remembered as its
+    {!origin}: a later cache hit answered by a {e different} backend is
+    counted as a cross-node (replica) hit in the router's stats — the
+    figure the cluster bench reports. Thread-safe; the index is
+    advisory (worst case a donation is skipped or duplicated, both
+    harmless), so it never blocks the request path on anything but its
+    own mutex. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> digest:string -> backend:string -> unit
+(** Note that [backend] now holds the lineage. Idempotent; the first
+    call for a digest fixes {!origin}. *)
+
+val holders : t -> digest:string -> string list
+(** Backends known to hold the lineage, most recently recorded first. *)
+
+val origin : t -> digest:string -> string option
+(** The backend that first computed (or first received) the lineage. *)
+
+val size : t -> int
+(** Distinct digests indexed. *)

@@ -1,0 +1,45 @@
+type t = {
+  ids : string list;
+  states : (string, bool) Hashtbl.t;
+  mutable transitions : int;
+  mutex : Mutex.t;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ids =
+  let ids =
+    List.fold_left
+      (fun acc id -> if List.mem id acc then acc else id :: acc)
+      [] ids
+    |> List.rev
+  in
+  let states = Hashtbl.create (max 8 (List.length ids)) in
+  List.iter (fun id -> Hashtbl.replace states id true) ids;
+  { ids; states; transitions = 0; mutex = Mutex.create () }
+
+let is_up t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.states id with Some up -> up | None -> false)
+
+let mark t id up =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.states id with
+      | None -> ()
+      | Some prev ->
+        if prev <> up then begin
+          Hashtbl.replace t.states id up;
+          t.transitions <- t.transitions + 1
+        end)
+
+let up_count t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ up n -> if up then n + 1 else n) t.states 0)
+
+let transitions t = locked t (fun () -> t.transitions)
+
+let snapshot t =
+  locked t (fun () ->
+      List.map (fun id -> (id, Hashtbl.find t.states id)) t.ids)

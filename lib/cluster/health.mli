@@ -1,0 +1,35 @@
+(** The router's per-backend health registry.
+
+    Pure bookkeeping behind a mutex: backends start [Up], the prober
+    and the request path {!mark} them as probes succeed and forwards
+    fail, and the routing path consults {!is_up} when walking the
+    ring's successor list. Marking is idempotent — only actual
+    transitions count toward {!transitions}, so the flap counter in the
+    router's stats means what it says.
+
+    The registry deliberately knows nothing about {e how} a backend is
+    probed (protocol ping, [/readyz] scrape, a failed forward): callers
+    own the evidence, this module owns the verdict. *)
+
+type t
+
+val create : string list -> t
+(** All backends start healthy — the first probe cycle (or first failed
+    forward) demotes the dead ones. Unknown ids passed to the other
+    functions are ignored ([is_up] answers [false]). *)
+
+val is_up : t -> string -> bool
+
+val mark : t -> string -> bool -> unit
+(** Record fresh evidence: [mark t id true] after a successful probe or
+    forward, [false] after a refused connect, EOF mid-response or
+    failed probe. *)
+
+val up_count : t -> int
+
+val transitions : t -> int
+(** Total Up↔Down flips since {!create} (both directions). *)
+
+val snapshot : t -> (string * bool) list
+(** Current verdicts in {!create} order — the router's [stats]
+    payload. *)

@@ -1,0 +1,49 @@
+(** One-shot typed calls against a backend daemon.
+
+    A backend address is either a Unix socket path or ["host:port"]
+    (the presence of a [':'] decides — socket paths in this repo are
+    absolute or at least never carry one). Every helper opens a fresh
+    bounded-timeout connection, speaks one request, and closes: the
+    router holds no long-lived backend connections, so a restarted
+    backend needs no reconnect logic and a dead one costs exactly one
+    timeout.
+
+    The data-plane helpers ({!store_put}, {!job_get}, {!job_put})
+    translate failures into their neutral value ([false] / [None])
+    rather than raising — replication and donation are best-effort by
+    design and must never take a client request down with them. The
+    forwarding path uses {!connect} directly and handles its own
+    exceptions, because {e there} a failure must trigger a re-route. *)
+
+val connect : ?timeout_ms:int -> string -> Adc_serve.Client.t
+(** Connect to a backend address (default timeout 1000 ms). Raises
+    [Unix.Unix_error] like the underlying {!Adc_serve.Client}
+    connectors. *)
+
+val ping : ?timeout_ms:int -> string -> bool
+(** Protocol-level liveness probe: connect, [ping], expect
+    [ok:true]. *)
+
+val stats : ?timeout_ms:int -> string -> Adc_json.Json.t option
+(** The backend's [stats] payload ([result] member), or [None] on any
+    failure. *)
+
+val shutdown : ?timeout_ms:int -> string -> bool
+(** Ask the backend to begin its graceful drain. *)
+
+val store_put :
+  ?timeout_ms:int -> string -> key:string -> digest:string ->
+  payload:Adc_json.Json.t -> bool
+(** Offer one store entry to a replica. [true] iff the backend answered
+    [stored:true] — [false] covers store-less backends, digest
+    rejection and transport failure alike. *)
+
+val job_get : ?timeout_ms:int -> string -> key:string -> Adc_json.Json.t option
+(** Fetch one settled job outcome (the [outcome] member) from a peer's
+    synthesis cache; [None] when absent, unsettled or unreachable. *)
+
+val job_put :
+  ?timeout_ms:int -> string -> key:string -> outcome:Adc_json.Json.t -> bool
+(** Donate one outcome into a peer's cache. [true] iff the peer
+    imported it (first writer wins — an already-known key answers
+    [false], which is fine). *)

@@ -41,6 +41,15 @@ val front_flags : coord list -> bool list
 (** Per-coordinate front membership: [true] iff no other element of
     the list dominates it. Pure; order-preserving. *)
 
+val grid : ks:int list -> fs_mhz:float list -> int list * float list * (int * float) list
+(** The deduplicated traversal grid behind {!search}: descending sorted
+    axes and the (k, fs_mhz) cells in descending (k, fs) lexicographic
+    order — the order in which front membership becomes final. Exposed
+    pure so a cluster router can fan the cells into per-node optimize
+    requests and reassemble the front with the same dominance pass.
+    Raises [Invalid_argument] exactly as {!search} does on an empty
+    axis or a non-positive sampling rate. *)
+
 (** {1 The search driver} *)
 
 type point = {

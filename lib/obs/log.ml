@@ -19,12 +19,17 @@ type format = Text | Jsonl
 
 type sink = Disabled | Channel of { oc : out_channel; mutex : Mutex.t }
 
-type t = { level : level; format : format; sink : sink }
+type t = {
+  level : level;
+  format : format;
+  sink : sink;
+  node_id : string option;
+}
 
-let null = { level = Error; format = Text; sink = Disabled }
+let null = { level = Error; format = Text; sink = Disabled; node_id = None }
 
-let create ?(level = Info) ?(format = Text) ?(oc = stderr) () =
-  { level; format; sink = Channel { oc; mutex = Mutex.create () } }
+let create ?(level = Info) ?(format = Text) ?(oc = stderr) ?node_id () =
+  { level; format; sink = Channel { oc; mutex = Mutex.create () }; node_id }
 
 let enabled t lvl =
   match t.sink with
@@ -42,14 +47,19 @@ let timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec ms
 
-let render_text ~ts ~lvl ~req_id ~fields msg =
+let render_text ~ts ~lvl ~node_id ~req_id ~fields msg =
   let b = Buffer.create 96 in
   Buffer.add_string b ts;
   Buffer.add_char b ' ';
   Buffer.add_string b (Printf.sprintf "%-5s" (level_name lvl));
-  (match req_id with
-  | Some r -> Buffer.add_string b (Printf.sprintf " [%s]" r)
-  | None -> ());
+  (* the bracket carries whatever identity the record has: [node rid],
+     [node] or [rid] — merged cluster logs stay attributable even when
+     req_ids collide across daemons *)
+  (match (node_id, req_id) with
+  | Some n, Some r -> Buffer.add_string b (Printf.sprintf " [%s %s]" n r)
+  | Some n, None -> Buffer.add_string b (Printf.sprintf " [%s]" n)
+  | None, Some r -> Buffer.add_string b (Printf.sprintf " [%s]" r)
+  | None, None -> ());
   Buffer.add_char b ' ';
   Buffer.add_string b msg;
   List.iter
@@ -58,7 +68,7 @@ let render_text ~ts ~lvl ~req_id ~fields msg =
     fields;
   Buffer.contents b
 
-let render_jsonl ~ts ~lvl ~req_id ~fields msg =
+let render_jsonl ~ts ~lvl ~node_id ~req_id ~fields msg =
   let b = Buffer.create 128 in
   Buffer.add_string b
     (Printf.sprintf "{\"ts\":\"%s\",\"level\":\"%s\",\"msg\":\"%s\"" ts
@@ -66,6 +76,11 @@ let render_jsonl ~ts ~lvl ~req_id ~fields msg =
   (match req_id with
   | Some r ->
     Buffer.add_string b (Printf.sprintf ",\"req_id\":\"%s\"" (Sink.json_escape r))
+  | None -> ());
+  (match node_id with
+  | Some n ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"node_id\":\"%s\"" (Sink.json_escape n))
   | None -> ());
   List.iter
     (fun (k, v) ->
@@ -82,8 +97,8 @@ let log t lvl ?req_id ?(fields = []) msg =
     let ts = timestamp () in
     let line =
       match t.format with
-      | Text -> render_text ~ts ~lvl ~req_id ~fields msg
-      | Jsonl -> render_jsonl ~ts ~lvl ~req_id ~fields msg
+      | Text -> render_text ~ts ~lvl ~node_id:t.node_id ~req_id ~fields msg
+      | Jsonl -> render_jsonl ~ts ~lvl ~node_id:t.node_id ~req_id ~fields msg
     in
     Mutex.lock c.mutex;
     output_string c.oc line;

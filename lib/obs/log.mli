@@ -31,9 +31,15 @@ type t
 val null : t
 (** Disabled logger: every call is a cheap no-op. *)
 
-val create : ?level:level -> ?format:format -> ?oc:out_channel -> unit -> t
+val create :
+  ?level:level -> ?format:format -> ?oc:out_channel -> ?node_id:string ->
+  unit -> t
 (** Defaults: [Info] level, [Text] format, [stderr]. The channel is not
-    closed by the logger; stderr outlives it. *)
+    closed by the logger; stderr outlives it. [node_id] (default none)
+    stamps every record with the emitting process's cluster identity —
+    in {!Text} it shares the bracket with the req_id ([\[node rid\]]),
+    in {!Jsonl} it is a ["node_id"] member — so merged fleet logs stay
+    attributable even when req_ids collide across daemons. *)
 
 val enabled : t -> level -> bool
 (** Whether a record at this level would be emitted — lets call sites

@@ -5,21 +5,56 @@ type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 let of_fd fd =
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
-let connect_unix path =
+(* Bounded connect: non-blocking [connect], wait for writability with
+   [select], then read SO_ERROR for the real outcome. A lapsed budget
+   raises [ETIMEDOUT] — the same exception family callers already
+   handle for refused connections. The socket is restored to blocking
+   before use; without [timeout_ms] this is the plain blocking
+   connect. *)
+let connect_with_timeout fd addr = function
+  | None -> Unix.connect fd addr
+  | Some ms ->
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1e3) in
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+      ->
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then
+          raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        else
+          match Unix.select [] [ fd ] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+          | _, _ :: _, _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+      in
+      wait ());
+    Unix.clear_nonblock fd
+
+let connect_unix ?timeout_ms path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
+  (try connect_with_timeout fd (Unix.ADDR_UNIX path) timeout_ms
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
   of_fd fd
 
-let connect_tcp host port =
+let connect_tcp ?timeout_ms host port =
   let addr =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> Unix.inet_addr_of_string host
   in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+  (try connect_with_timeout fd (Unix.ADDR_INET (addr, port)) timeout_ms
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
   of_fd fd
+
+let set_read_timeout_ms t ms =
+  let seconds = if ms <= 0 then 0.0 else float_of_int ms /. 1e3 in
+  Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO seconds
 
 let send t json =
   output_string t.oc (Json.to_string json);

@@ -5,8 +5,22 @@
 
 type t
 
-val connect_unix : string -> t
-val connect_tcp : string -> int -> t
+val connect_unix : ?timeout_ms:int -> string -> t
+val connect_tcp : ?timeout_ms:int -> string -> int -> t
+(** [timeout_ms] (default: block indefinitely) bounds connection
+    establishment: a non-blocking connect raced against a [select]
+    deadline, raising [Unix.Unix_error (ETIMEDOUT, _, _)] when it
+    lapses — the same exception family a refused connection raises, so
+    retry loops handle both uniformly. The socket is blocking again
+    once connected. *)
+
+val set_read_timeout_ms : t -> int -> unit
+(** Bound every subsequent blocking read on the connection
+    ([SO_RCVTIMEO]): a reply that fails to arrive within [ms]
+    milliseconds makes the read raise instead of hanging forever. [ms
+    <= 0] clears the bound. The cluster router uses this so a backend
+    that dies with a request in flight is detected and re-routed
+    rather than wedging the stream. *)
 
 val request : t -> Adc_json.Json.t -> Adc_json.Json.t
 (** [send] then [recv] — the simple synchronous round trip. For a

@@ -63,6 +63,71 @@ let write_response fd resp =
   in
   send 0
 
+(* One-shot GET against a peer's ops plane (the router's readyz
+   probes). Same HTTP/1.0 dialect the responder above speaks: send the
+   request, read status line + headers, then the body until EOF.
+   [timeout_ms] bounds the whole exchange via SO_RCVTIMEO/SO_SNDTIMEO;
+   any failure — connect, timeout, short response — returns [None]
+   (a probe failure, not an exception). *)
+let get ?(timeout_ms = 1000) ~host ~port path =
+  match
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let tmo = float_of_int timeout_ms /. 1e3 in
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo;
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host
+        in
+        let payload = Bytes.of_string req in
+        let rec send off =
+          if off < Bytes.length payload then
+            match Unix.write fd payload off (Bytes.length payload - off) with
+            | 0 -> failwith "short write"
+            | n -> send (off + n)
+        in
+        send 0;
+        let status_line =
+          match read_line_crlf fd with
+          | Some l -> l
+          | None -> failwith "no status line"
+        in
+        let status =
+          match String.split_on_char ' ' status_line with
+          | _ :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> failwith "bad status")
+          | _ -> failwith "bad status line"
+        in
+        let rec drain_headers () =
+          match read_line_crlf fd with
+          | None | Some "" -> ()
+          | Some _ -> drain_headers ()
+        in
+        drain_headers ();
+        let body = Buffer.create 256 in
+        let chunk = Bytes.create 4096 in
+        let rec read_body () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes body chunk 0 n;
+            read_body ()
+        in
+        read_body ();
+        (status, Buffer.contents body))
+  with
+  | result -> Some result
+  | exception _ -> None
+
 let serve_connection fd ~handler =
   (match read_line_crlf fd with
   | None -> ()

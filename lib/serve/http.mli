@@ -11,6 +11,15 @@ val text : ?status:int -> string -> response
 (** A plain-text response (the Prometheus exposition content-type,
     which every text consumer accepts). Default status 200. *)
 
+val get :
+  ?timeout_ms:int -> host:string -> port:int -> string ->
+  (int * string) option
+(** One-shot client GET against a peer's ops plane — the router's
+    [/readyz] probes. Returns [(status, body)], or [None] on {e any}
+    failure (connect refused, timeout — default 1000 ms over the whole
+    exchange — or a malformed response): a probe failure is data, not
+    an exception. *)
+
 val serve_connection : Unix.file_descr -> handler:(path:string -> response) -> unit
 (** Read one GET request from the (already accepted) socket, call
     [handler] with the request path, write the response, and close the

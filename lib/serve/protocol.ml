@@ -15,6 +15,10 @@ type verb =
   | Montecarlo
   | Batch
   | Pareto
+  | Store_put
+  | Store_get
+  | Job_put
+  | Job_get
 
 let verb_name = function
   | Ping -> "ping"
@@ -28,6 +32,10 @@ let verb_name = function
   | Montecarlo -> "montecarlo"
   | Batch -> "batch"
   | Pareto -> "pareto"
+  | Store_put -> "store-put"
+  | Store_get -> "store-get"
+  | Job_put -> "job-put"
+  | Job_get -> "job-get"
 
 let verb_of_name = function
   | "ping" -> Some Ping
@@ -41,6 +49,10 @@ let verb_of_name = function
   | "montecarlo" -> Some Montecarlo
   | "batch" -> Some Batch
   | "pareto" -> Some Pareto
+  | "store-put" -> Some Store_put
+  | "store-get" -> Some Store_get
+  | "job-put" -> Some Job_put
+  | "job-get" -> Some Job_get
   | _ -> None
 
 type request = {
@@ -63,6 +75,9 @@ type request = {
   deadline_ms : int option;
   delay_ms : int;
   req_id : string option;
+  skey : string option;
+  digest : string option;
+  payload : Json.t option;
 }
 
 type error_kind =
@@ -71,6 +86,7 @@ type error_kind =
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
+  | Backend_unavailable
   | Internal
 
 let error_name = function
@@ -79,6 +95,7 @@ let error_name = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
+  | Backend_unavailable -> "backend_unavailable"
   | Internal -> "internal"
 
 (* Every parameter decodes through its [Adc_api] descriptor — the same
@@ -134,6 +151,15 @@ let parse_request json =
             deadline_ms = Api.of_json json Api.deadline_ms;
             delay_ms = Api.of_json json Api.delay_ms;
             req_id = Api.of_json json Api.req_id;
+            skey = Api.of_json json Api.store_key;
+            digest = Api.of_json json Api.digest;
+            payload =
+              (* the raw payload object of the cluster data-plane verbs;
+                 carried verbatim (not an [Adc_api] scalar) because its
+                 bytes are the thing the digest signs *)
+              (match Json.member "payload" json with
+              | None | Some Json.Null -> None
+              | Some p -> Some p);
           }
       with Api.Bad_field msg -> Error (Bad_request, msg)))
   | _ -> Error (Bad_request, "request must be a JSON object")

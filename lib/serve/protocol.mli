@@ -55,6 +55,23 @@ type verb =
                     [{"stream":"point"}] lines while the grid is still
                     synthesizing, then one final [{"stream":"end"}]
                     summary (see {!stream_point_response}) *)
+  | Store_put   (** cluster data plane: offer a response-store entry
+                    ([key] + [digest] + [payload]); the daemon verifies
+                    the digest against the canonical payload bytes
+                    before writing, the same corruption rejection the
+                    store applies on read. Replies [{"stored":bool}] —
+                    [false] (not an error) when the daemon runs without
+                    a store. *)
+  | Store_get   (** cluster data plane: read a store entry by [key];
+                    replies [{"found":bool, ...}] with the entry's
+                    digest and payload when found *)
+  | Job_put     (** cluster data plane: donate one settled {!Job_key}
+                    outcome into the shared synthesis cache; replies
+                    [{"imported":bool}] — [false] when the key is
+                    already present (first writer wins) or the outcome
+                    is incomplete *)
+  | Job_get     (** cluster data plane: export one settled job outcome
+                    by key; replies [{"found":bool, ...}] *)
 
 val verb_name : verb -> string
 val verb_of_name : string -> verb option
@@ -81,6 +98,13 @@ type request = {
   delay_ms : int;              (** ping busy-hold *)
   req_id : string option;      (** client-chosen request id; echoed in
                                    every response line when present *)
+  skey : string option;        (** cluster verbs: the addressed store
+                                   entry or job key ([key] on the wire) *)
+  digest : string option;      (** store-put: md5 hex of the canonical
+                                   payload bytes *)
+  payload : Json.t option;     (** cluster verbs: the carried object,
+                                   verbatim — its canonical bytes are
+                                   what the digest signs *)
 }
 (** Defaults live on the {!Adc_api} descriptors — there is deliberately
     no default table here to drift from the CLI's. *)
@@ -91,6 +115,10 @@ type error_kind =
   | Overloaded           (** admission queue at [--queue-depth]; retry *)
   | Deadline_exceeded    (** [deadline_ms] elapsed before work started *)
   | Shutting_down        (** daemon draining; no new work accepted *)
+  | Backend_unavailable  (** cluster router: every backend that could
+                             own the request's keys is down — emitted
+                             only by [adcopt route], never by a single
+                             daemon *)
   | Internal             (** computation raised; message carries it *)
 
 val error_name : error_kind -> string

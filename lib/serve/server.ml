@@ -2,6 +2,7 @@ module Json = Adc_json.Json
 module Spec = Adc_pipeline.Spec
 module Config = Adc_pipeline.Config
 module Optimize = Adc_pipeline.Optimize
+module Job_key = Adc_pipeline.Job_key
 module Rules = Adc_pipeline.Rules
 module Front = Adc_pipeline.Front
 module Montecarlo = Adc_pipeline.Montecarlo
@@ -25,12 +26,14 @@ type config = {
   workers : int;
   jobs : int;
   store_dir : string option;
+  store_max_entries : int option;
   default_deadline_s : float option;
   obs : Obs.t;
   metrics_addr : (string * int) option;
   log : Log.t;
   slow_ms : float option;
   flight_capacity : int;
+  node_id : string option;
 }
 
 let default_config =
@@ -41,12 +44,14 @@ let default_config =
     workers = 2;
     jobs = 1;
     store_dir = None;
+    store_max_entries = None;
     default_deadline_s = None;
     obs = Obs.null;
     metrics_addr = None;
     log = Log.null;
     slow_ms = None;
     flight_capacity = 0;
+    node_id = None;
   }
 
 type conn = {
@@ -226,7 +231,8 @@ let store_key (req : Protocol.request) =
            ~config:"(optimum)" ~trials:req.Protocol.trials
            ~seed:req.Protocol.seed))
   | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Dump_trace
-  | Protocol.Enumerate ->
+  | Protocol.Enumerate | Protocol.Store_put | Protocol.Store_get
+  | Protocol.Job_put | Protocol.Job_get ->
     None
 
 exception Bad_request of string
@@ -234,6 +240,11 @@ exception Bad_request of string
 (* a queued computation that cannot proceed for reasons that are the
    daemon's fault, not the client's *)
 exception Internal_error of string
+
+let require_skey (req : Protocol.request) ~verb =
+  match req.Protocol.skey with
+  | Some k -> k
+  | None -> raise (Bad_request (Printf.sprintf "%s: missing \"key\"" verb))
 
 (* Returns the result payload and whether a deadline cut it short
    (truncated results are served but never stored). [emit] publishes
@@ -377,6 +388,87 @@ let compute t (req : Protocol.request) ~cancel ~emit : Json.t * bool =
         ~config ~trials:req.Protocol.trials ~seed:req.Protocol.seed ~budget
         sweep,
       false )
+  | Protocol.Store_put ->
+    (* the cluster replication verb: a peer (or the router on its
+       behalf) offers a finished entry. The digest is verified against
+       the canonical payload bytes before anything touches disk — the
+       same corruption rejection [Store.find] applies on read, applied
+       at the door. A daemon without a store answers [stored:false]
+       rather than an error, so routers can offer unconditionally. *)
+    let key = require_skey req ~verb:"store-put" in
+    let payload =
+      match req.Protocol.payload with
+      | Some p -> p
+      | None -> raise (Bad_request "store-put: missing \"payload\"")
+    in
+    let digest =
+      match req.Protocol.digest with
+      | Some d -> d
+      | None -> raise (Bad_request "store-put: missing \"digest\"")
+    in
+    let bytes = Json.to_string payload in
+    if Digest.to_hex (Digest.string bytes) <> String.lowercase_ascii digest
+    then
+      raise
+        (Bad_request "store-put: digest does not match the payload bytes");
+    (match t.store with
+    | None -> (Json.Obj [ ("stored", Json.Bool false) ], false)
+    | Some store ->
+      Store.add store ~key ~payload:bytes;
+      (Json.Obj [ ("stored", Json.Bool true) ], false))
+  | Protocol.Store_get ->
+    let key = require_skey req ~verb:"store-get" in
+    let found =
+      match t.store with
+      | None -> None
+      | Some store -> Store.find store ~key
+    in
+    ( (match found with
+      | None ->
+        Json.Obj [ ("found", Json.Bool false); ("key", Json.String key) ]
+      | Some payload ->
+        Json.Obj
+          [
+            ("found", Json.Bool true);
+            ("key", Json.String key);
+            ( "digest",
+              Json.String (Digest.to_hex (Digest.string payload)) );
+            ("payload", Json.parse payload);
+          ]),
+      false )
+  | Protocol.Job_put ->
+    (* peer warm-start donation: install one settled outcome under its
+       Job_key. [import_job] rejects truncated or solution-less
+       outcomes and never displaces an existing entry, so a donation
+       can only ever substitute for the identical local computation. *)
+    let key = require_skey req ~verb:"job-put" in
+    let payload =
+      match req.Protocol.payload with
+      | Some p -> p
+      | None -> raise (Bad_request "job-put: missing \"payload\"")
+    in
+    let outcome =
+      try Codec.job_outcome_of_json payload
+      with Codec.Decode_error msg ->
+        raise (Bad_request (Printf.sprintf "job-put: %s" msg))
+    in
+    let imported =
+      Optimize.import_job t.shared (Job_key.of_string key) outcome
+    in
+    (Json.Obj [ ("imported", Json.Bool imported) ], false)
+  | Protocol.Job_get ->
+    let key = require_skey req ~verb:"job-get" in
+    ( (match Optimize.export_job t.shared (Job_key.of_string key) with
+      | None ->
+        Json.Obj [ ("found", Json.Bool false); ("key", Json.String key) ]
+      | Some o ->
+        Json.Obj
+          [
+            ("found", Json.Bool true);
+            ("key", Json.String key);
+            ("outcome", Codec.job_outcome_json o);
+          ]),
+      false )
   | Protocol.Stats | Protocol.Shutdown | Protocol.Dump_trace ->
     (* Inline-only verbs: the reader answers these at admission and
        never enqueues them. Should one reach a worker anyway (an
@@ -398,6 +490,7 @@ let dispatch_queued t (req : Protocol.request) ~cancel ~emit :
   match compute t req ~cancel ~emit with
   | payload -> Ok payload
   | exception Bad_request msg -> Error (Protocol.Bad_request, msg)
+  | exception Codec.Decode_error msg -> Error (Protocol.Bad_request, msg)
   | exception Internal_error msg -> Error (Protocol.Internal, msg)
   | exception e -> Error (Protocol.Internal, Printexc.to_string e)
 
@@ -465,6 +558,10 @@ let stats_json t =
       ( "store",
         match t.store with None -> Json.Null | Some s -> Store.stats_json s );
       ("latency_ms", latency_json t);
+      ( "node_id",
+        match t.cfg.node_id with
+        | None -> Json.Null
+        | Some n -> Json.String n );
       ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
       ("draining", Json.Bool (Atomic.get t.stop));
     ]
@@ -587,8 +684,12 @@ let process t (item : item) =
       match dispatch_queued t req ~cancel:item.cancel ~emit with
       | Ok (payload, truncated) ->
         (match (t.store, key) with
-        | Some store, Some k when not truncated ->
-          Store.add store ~key:k ~payload:(Json.to_string payload)
+        | Some store, Some k when not truncated -> (
+          (* the result is already computed and about to be delivered;
+             a failed cache write (disk full, dir removed) must not
+             fail the request or kill the worker *)
+          try Store.add store ~key:k ~payload:(Json.to_string payload)
+          with Sys_error _ | Unix.Unix_error _ -> ())
         | _ -> ());
         bump t (fun t -> t.n_completed <- t.n_completed + 1);
         finish ~ok:true ~cached:false ~truncated;
@@ -908,6 +1009,10 @@ let preregister_metrics m =
         Protocol.Montecarlo;
         Protocol.Batch;
         Protocol.Pareto;
+        Protocol.Store_put;
+        Protocol.Store_get;
+        Protocol.Job_put;
+        Protocol.Job_get;
       ]
   end
 
@@ -951,7 +1056,10 @@ let create cfg =
     qcond = Condition.create ();
     stop = Atomic.make false;
     shared = Optimize.create_shared ~obs:cfg.obs ~jobs:(Stdlib.max 1 cfg.jobs) ();
-    store = Option.map Store.open_dir cfg.store_dir;
+    store =
+      Option.map
+        (Store.open_dir ?max_entries:cfg.store_max_entries)
+        cfg.store_dir;
     conns = ref [];
     cmutex = Mutex.create ();
     started_at = Unix.gettimeofday ();

@@ -39,6 +39,10 @@ type config = {
   jobs : int;                    (** domains in the shared synthesis
                                      pool (default 1) *)
   store_dir : string option;     (** persistent design store directory *)
+  store_max_entries : int option;
+      (** LRU-by-mtime cap on the store directory (swept at open and
+          after every write); [None] = unbounded. Keeps replicated hot
+          cells from growing a node's store without bound. *)
   default_deadline_s : float option;
       (** deadline applied to requests that carry none *)
   obs : Adc_obs.t;               (** tracing/metrics context; the serve
@@ -59,6 +63,11 @@ type config = {
                                      [slow request] warning *)
   flight_capacity : int;         (** flight-recorder ring size in spans;
                                      0 disables the recorder *)
+  node_id : string option;       (** this daemon's cluster identity;
+                                     surfaced in the [stats] payload so
+                                     a router can attribute aggregated
+                                     figures (stamp it on the logger
+                                     too — see {!Adc_obs.Log.create}) *)
 }
 
 val default_config : config

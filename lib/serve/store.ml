@@ -2,11 +2,13 @@ module Json = Adc_json.Json
 
 type t = {
   dir : string;
+  max_entries : int option;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable writes : int;
   mutable rejected : int;
+  mutable evicted : int;
 }
 
 let rec mkdir_p dir =
@@ -17,12 +19,6 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let open_dir dir =
-  mkdir_p dir;
-  if not (Sys.is_directory dir) then
-    invalid_arg (Printf.sprintf "Store.open_dir: %s is not a directory" dir);
-  { dir; mutex = Mutex.create (); hits = 0; misses = 0; writes = 0; rejected = 0 }
-
 let dir t = t.dir
 
 let path_of t ~key =
@@ -31,6 +27,55 @@ let path_of t ~key =
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* LRU-by-mtime eviction: when the directory holds more than
+   [max_entries] entry files, remove the oldest beyond the cap ((mtime,
+   name) order makes ties deterministic). Runs at open (a restarted
+   daemon inherits a possibly-overfull directory) and after every
+   write, so replicated hot cells cannot grow a node's store without
+   bound. In-flight [.tmp.*] files are never candidates; a racing
+   reader of a just-evicted entry sees an ordinary miss. Caller holds
+   the mutex (or is single-threaded at open). *)
+let sweep_unlocked t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap ->
+    let entries =
+      match Sys.readdir t.dir with
+      | exception Sys_error _ -> [||]
+      | names -> names
+    in
+    let aged =
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             if Filename.check_suffix name ".json" then
+               let path = Filename.concat t.dir name in
+               match Unix.stat path with
+               | exception Unix.Unix_error _ -> None
+               | st -> Some ((st.Unix.st_mtime, name), path)
+             else None)
+      |> List.sort compare
+    in
+    let excess = List.length aged - Stdlib.max 0 cap in
+    if excess > 0 then
+      List.iteri
+        (fun i (_, path) ->
+          if i < excess then begin
+            (try Sys.remove path with Sys_error _ -> ());
+            t.evicted <- t.evicted + 1
+          end)
+        aged
+
+let open_dir ?max_entries dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Store.open_dir: %s is not a directory" dir);
+  let t =
+    { dir; max_entries; mutex = Mutex.create (); hits = 0; misses = 0;
+      writes = 0; rejected = 0; evicted = 0 }
+  in
+  sweep_unlocked t;
+  t
 
 (* One entry is two lines: a header object carrying the full key (hash
    collisions resolve to a miss, never to the wrong payload) plus the
@@ -89,7 +134,12 @@ let find t ~key =
       | exception Sys_error _ -> `Rejected
       | contents ->
         (match validate ~key contents with
-        | Some payload -> `Hit payload
+        | Some payload ->
+          (* re-touch so eviction is least-recently-USED, not
+             least-recently-written: a hot entry must outlive colder
+             ones written after it *)
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+          `Hit payload
         | None -> `Rejected)
   in
   locked t (fun () ->
@@ -101,12 +151,19 @@ let find t ~key =
         t.misses <- t.misses + 1);
   match outcome with `Hit payload -> Some payload | `Miss | `Rejected -> None
 
+let tmp_seq = Atomic.make 0
+
 let add t ~key ~payload =
   let path = path_of t ~key in
-  (* temp-then-rename keeps concurrent readers and a mid-write crash
-     from ever observing a torn entry *)
+  (* Temp-then-rename keeps concurrent readers and a mid-write crash
+     from ever observing a torn entry. The sequence number makes the
+     temp name unique per call, not just per process: two worker
+     threads (or a replication offer racing a local compute) writing
+     the same key must not share a temp file, or the loser's rename
+     fails on a path the winner already moved. *)
   let tmp =
-    Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
   in
   let oc = open_out_bin tmp in
   (try
@@ -120,12 +177,15 @@ let add t ~key ~payload =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  locked t (fun () -> t.writes <- t.writes + 1)
+  locked t (fun () ->
+      t.writes <- t.writes + 1;
+      sweep_unlocked t)
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let writes t = locked t (fun () -> t.writes)
 let rejected t = locked t (fun () -> t.rejected)
+let evicted t = locked t (fun () -> t.evicted)
 
 let stats_json t =
   locked t (fun () ->
@@ -135,4 +195,5 @@ let stats_json t =
           ("misses", Json.Int t.misses);
           ("writes", Json.Int t.writes);
           ("rejected", Json.Int t.rejected);
+          ("evicted", Json.Int t.evicted);
         ])

@@ -23,9 +23,18 @@
 
 type t
 
-val open_dir : string -> t
+val open_dir : ?max_entries:int -> string -> t
 (** [open_dir dir] creates [dir] (and parents) if needed. Raises
-    [Invalid_argument] if the path exists and is not a directory. *)
+    [Invalid_argument] if the path exists and is not a directory.
+
+    [max_entries] (default unbounded) caps the directory at that many
+    entry files with an LRU-by-mtime sweep — run once at open (a
+    restarted daemon inherits a possibly-overfull directory) and after
+    every {!add} — so replicated hot cells cannot grow a node's store
+    without bound. Eviction removes the oldest files beyond the cap
+    ((mtime, name) order, so ties are deterministic); an evicted entry
+    simply reads as a miss. Temp+rename write semantics are
+    untouched. *)
 
 val dir : t -> string
 
@@ -51,6 +60,9 @@ val writes : t -> int
 val rejected : t -> int
 (** Integrity failures observed by {!find}. *)
 
+val evicted : t -> int
+(** Entries removed by the [max_entries] LRU sweep since open. *)
+
 val stats_json : t -> Adc_json.Json.t
-(** [{"hits":..,"misses":..,"writes":..,"rejected":..}] — embedded in
-    the serve [stats] verb's response. *)
+(** [{"hits":..,"misses":..,"writes":..,"rejected":..,"evicted":..}] —
+    embedded in the serve [stats] verb's response. *)
